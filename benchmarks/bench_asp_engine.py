@@ -1,0 +1,125 @@
+"""ASP-engine ablations (design choices called out in DESIGN.md).
+
+Not a paper figure — these benches justify two engine design choices:
+
+* **lazy loop formulas** (ASSAT) vs paying for loop handling upfront:
+  measured as the number of loop-formula repairs on real concretizer
+  workloads (expected: ~0, which is why lazy wins) against the cost of
+  solving a loop-heavy synthetic program (where laziness still works);
+* **model-guided bound strengthening** for ``#minimize`` vs naive
+  enumerate-all-models-and-pick: strengthening visits O(cost-steps)
+  models; enumeration visits all of them.
+"""
+
+import pytest
+
+from repro.asp.api import Control
+from repro.asp.grounder import Grounder
+from repro.asp.parser import parse_program
+from repro.asp.stable import StableModelFinder
+from repro.asp.translate import Translator
+from repro.bench import bench_repo, local_cache_specs
+from repro.concretize import Concretizer
+
+
+class TestLoopFormulaLaziness:
+    def test_concretizer_workload_needs_no_loop_formulas(self, benchmark):
+        """Dependency DAGs are acyclic: the lazy strategy's bet is that
+        real workloads trigger zero repairs — verify and time it."""
+        benchmark.group = "asp-loops"
+        repo = bench_repo()
+        cache = list(local_cache_specs())
+
+        def solve():
+            c = Concretizer(repo, reusable_specs=cache, splicing=True)
+            result = c.solve(["mfem ^mpiabi"])
+            return result.stats["loop_formulas"]
+
+        loops = benchmark(solve)
+        assert loops == 0, "acyclic workload should need no loop repairs"
+
+    def test_loop_heavy_synthetic_program(self, benchmark):
+        """A chain of positive loops with external supports: the lazy
+        strategy repairs each loop at most once."""
+        benchmark.group = "asp-loops"
+        n = 30
+        lines = []
+        for i in range(n):
+            lines.append(f"a{i} :- b{i}. b{i} :- a{i}.")
+            lines.append(f"{{ s{i} }}. a{i} :- s{i}.")
+            lines.append(f":- not b{i}.")
+        text = "\n".join(lines)
+
+        def solve():
+            translator = Translator(Grounder(parse_program(text)).ground())
+            finder = StableModelFinder(translator)
+            model = finder.solve()
+            assert model is not None
+            return finder.loop_formulas_added
+
+        loops = benchmark(solve)
+        assert loops <= 2 * n, "each loop repaired a bounded number of times"
+
+
+class TestOptimizationStrategy:
+    N = 12
+
+    def _program(self):
+        picks = " ; ".join(f"pick({i})" for i in range(1, self.N + 1))
+        lines = [f"3 {{ {picks} }} 3."]
+        for i in range(1, self.N + 1):
+            lines.append(f"cost({i}, {i * i}).")
+        lines.append("#minimize { C, X : pick(X), cost(X, C) }.")
+        return "\n".join(lines)
+
+    def test_bound_strengthening(self, benchmark):
+        benchmark.group = "asp-optimize"
+
+        def solve():
+            ctl = Control()
+            ctl.add(self._program())
+            result = ctl.solve()
+            assert result.cost[0] == 1 + 4 + 9
+            return result.stats["models_seen"]
+
+        models = benchmark(solve)
+        # strengthening needs at most a handful of improving models, far
+        # fewer than the C(12,3)=220 total models enumeration would visit
+        assert models < 60
+
+    def test_naive_enumeration_baseline(self, benchmark):
+        """The ablation baseline: enumerate stable models by blocking
+        clauses and take the best — correct but visits every model."""
+        benchmark.group = "asp-optimize"
+
+        def solve():
+            translator = Translator(
+                Grounder(parse_program(self._program())).ground()
+            )
+            finder = StableModelFinder(translator)
+            seen = 0
+            best = None
+            while True:
+                model = finder.solve()
+                if model is None:
+                    break
+                seen += 1
+                solver_model = translator.solver.model()
+                cost = sum(
+                    w
+                    for w, var in translator.objectives[0]
+                    if solver_model[var] == 1
+                )
+                best = cost if best is None else min(best, cost)
+                # block this model's pick-set
+                picks = [
+                    translator.atom_var[a]
+                    for a in model
+                    if a.predicate == "pick"
+                ]
+                translator.solver.add_clause([-v for v in picks])
+            assert best == 14
+            return seen
+
+        models = benchmark(solve)
+        assert models == 220, "enumeration visits every 3-subset"

@@ -1,0 +1,88 @@
+"""Figure 5 / RQ1: old vs new encoding of reusable specs (no splicing).
+
+The paper compares *old spack* (direct ``imposed_constraint`` facts)
+against *splice spack* (``hash_attr`` indirection) with automatic
+splicing disabled, over the RADIUSS stack against the local and public
+buildcaches.  Expectation (Section 6.2): the indirection adds only a
+few percent — paper numbers: **+4.7 % (local)**, **+7.1 % (public)**.
+
+Run:   pytest benchmarks/bench_fig5_encoding.py --benchmark-only
+Scale: REPRO_BENCH_RUNS / REPRO_PUBLIC_SPECS / REPRO_BENCH_SPECS=all
+"""
+
+import pytest
+
+from repro.bench import (
+    FigureReport,
+    aggregate_percent,
+    bench_repo,
+    bench_roots,
+    bench_runs,
+    local_cache_specs,
+    public_cache_specs,
+    time_concretization,
+    write_results,
+)
+
+SPECS = bench_roots()
+CACHES = ["local", "public"]
+ENCODINGS = ["old", "new"]
+
+_results = {}
+
+
+def _cache(name):
+    return local_cache_specs() if name == "local" else public_cache_specs()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    report = FigureReport(
+        "figure5", "old vs new reusable-spec encoding (splicing disabled)"
+    )
+    for key in sorted(_results):
+        report.add_timing(_results[key])
+    for cache in CACHES:
+        old = [_results[(cache, "old", s)] for s in SPECS
+               if (cache, "old", s) in _results]
+        new = [_results[(cache, "new", s)] for s in SPECS
+               if (cache, "new", s) in _results]
+        if old and new:
+            pct = aggregate_percent(old, new)
+            report.headline(
+                f"{cache}_encoding_overhead_pct (paper: "
+                f"{4.7 if cache == 'local' else 7.1})",
+                pct,
+            )
+    write_results(report)
+
+
+@pytest.mark.parametrize("cache_name", CACHES)
+@pytest.mark.parametrize("encoding", ENCODINGS)
+@pytest.mark.parametrize("spec", SPECS)
+def test_fig5_concretization(benchmark, cache_name, encoding, spec):
+    benchmark.group = f"fig5-{cache_name}-{spec}"
+    repo = bench_repo()
+    cache = _cache(cache_name)
+    runs = bench_runs()
+
+    timing = time_concretization(
+        repo,
+        cache,
+        spec,
+        runs=1,
+        encoding=encoding,
+        splicing=False,
+        label=f"{encoding}/{cache_name}",
+    )
+
+    def one_run():
+        sample = time_concretization(
+            repo, cache, spec, runs=1, encoding=encoding, splicing=False,
+            label=f"{encoding}/{cache_name}",
+        )
+        timing.samples.extend(sample.samples)
+
+    benchmark.pedantic(one_run, rounds=max(runs - 1, 1), iterations=1)
+    _results[(cache_name, encoding, spec)] = timing

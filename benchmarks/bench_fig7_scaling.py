@@ -1,0 +1,106 @@
+"""Figure 7 / RQ4: scaling in the number of splice candidates.
+
+The paper clones MPIABI 100× (differing only in name), forbids mpich in
+solutions, and concretizes MPI-dependent specs against the local cache
+with growing replica subsets.  Expectations (Section 6.4):
+
+* average +74.2 % concretization time from 10 → 100 replicas across
+  MPI-dependent specs — i.e. sublinear in a 10× candidate increase;
+* near-flat scaling for specs without an MPI dependency.
+
+Run:   pytest benchmarks/bench_fig7_scaling.py --benchmark-only
+Scale: REPRO_REPLICA_COUNTS (comma list, default "10,25,50,100")
+"""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    FigureReport,
+    bench_runs,
+    local_cache_specs,
+    mpi_bench_roots,
+    percent_increase,
+    time_concretization,
+    write_results,
+)
+from repro.repos.radiuss import add_mpiabi_replicas, make_radiuss_repo
+
+MPI_SPECS = mpi_bench_roots()
+ALL_SPECS = MPI_SPECS + ["py-shroud"]
+
+
+def replica_counts():
+    raw = os.environ.get("REPRO_REPLICA_COUNTS", "10,25,50,100")
+    return [int(x) for x in raw.split(",")]
+
+
+COUNTS = replica_counts()
+
+_repos = {}
+_results = {}
+
+
+def repo_with_replicas(count):
+    """One repo per replica count (package classes are per-repo)."""
+    if count not in _repos:
+        repo = make_radiuss_repo()
+        add_mpiabi_replicas(repo, count)
+        _repos[count] = repo
+    return _repos[count]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    report = FigureReport(
+        "figure7", "concretization time vs number of splice candidates"
+    )
+    for key in sorted(_results):
+        report.add_timing(_results[key])
+    lo, hi = COUNTS[0], COUNTS[-1]
+    increases = []
+    for spec in MPI_SPECS:
+        a = _results.get((lo, spec))
+        b = _results.get((hi, spec))
+        if a and b:
+            increases.append(percent_increase(a.mean, b.mean))
+    if increases:
+        report.headline(
+            f"mpi_avg_pct_increase_{lo}_to_{hi}_replicas (paper 10->100: 74.2)",
+            sum(increases) / len(increases),
+        )
+    control_a = _results.get((lo, "py-shroud"))
+    control_b = _results.get((hi, "py-shroud"))
+    if control_a and control_b:
+        report.headline(
+            "pyshroud_pct_increase (paper: ~flat)",
+            percent_increase(control_a.mean, control_b.mean),
+        )
+    write_results(report)
+
+
+@pytest.mark.parametrize("count", COUNTS)
+@pytest.mark.parametrize("spec", ALL_SPECS)
+def test_fig7_scaling(benchmark, count, spec):
+    benchmark.group = f"fig7-{spec}"
+    repo = repo_with_replicas(count)
+    cache = local_cache_specs()
+    runs = bench_runs()
+    forbidden = [] if spec == "py-shroud" else ["mpich"]
+
+    timing = time_concretization(
+        repo, cache, spec, runs=1, splicing=True, forbidden=forbidden,
+        label=f"replicas={count}",
+    )
+
+    def one_run():
+        sample = time_concretization(
+            repo, cache, spec, runs=1, splicing=True, forbidden=forbidden,
+            label=f"replicas={count}",
+        )
+        timing.samples.extend(sample.samples)
+
+    benchmark.pedantic(one_run, rounds=max(runs - 1, 1), iterations=1)
+    _results[(count, spec)] = timing

@@ -1,0 +1,125 @@
+"""Installation-path costs: build vs extract vs splice-rewire.
+
+The paper's abstract claims splicing "incurs minimal installation-time
+overhead and allows rapid installation from binaries, even for
+ABI-sensitive dependencies like MPI that would otherwise require many
+rebuilds."  This bench measures the three installation paths for the
+same spec (mfem + solvers stack):
+
+* **source build** — with the simulated build clock at 1 ms per real
+  build second (mfem's stack is ~1.5 simulated hours);
+* **cache extract** — relocation-only installs from a buildcache;
+* **splice rewire** — extract the build spec's binaries and rewire them
+  against mpiabi: the paper's path, expected ≈ extract ≪ build.
+"""
+
+import shutil
+
+import pytest
+
+from repro.buildcache import BuildCache
+from repro.concretize import Concretizer
+from repro.installer import Installer
+from repro.repos.radiuss import make_radiuss_repo
+
+#: wall seconds simulated per build second (1 ms/s ≈ visible but fast)
+TIME_SCALE = 0.001
+TARGET = "mfem"
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    ws = tmp_path_factory.mktemp("install-paths")
+    repo = make_radiuss_repo()
+    built = Concretizer(repo).solve([f"{TARGET} ^mpich@3.4.3"]).roots[0]
+    source = Installer(ws / "source", repo)
+    source.install(built)
+    cache = BuildCache(ws / "cache")
+    source.push_to_cache(cache, built)
+    spliced = Concretizer(
+        repo, reusable_specs=cache.all_specs(), splicing=True
+    ).solve([f"{TARGET} ^mpiabi"]).roots[0]
+    return ws, repo, built, spliced, cache
+
+
+def test_source_build_path(benchmark, setup):
+    ws, repo, built, spliced, cache = setup
+    benchmark.group = "install-paths"
+    counter = [0]
+
+    def build_fresh():
+        counter[0] += 1
+        store = ws / f"build-{counter[0]}"
+        installer = Installer(store, repo)
+        installer.builder.time_scale = TIME_SCALE
+        report = installer.install(built)
+        shutil.rmtree(store, ignore_errors=True)
+        return report
+
+    report = benchmark.pedantic(build_fresh, rounds=3, iterations=1)
+    assert len(report.built) == len(list(built.traverse()))
+
+
+def test_cache_extract_path(benchmark, setup):
+    ws, repo, built, spliced, cache = setup
+    benchmark.group = "install-paths"
+    counter = [0]
+
+    def extract_fresh():
+        counter[0] += 1
+        store = ws / f"extract-{counter[0]}"
+        installer = Installer(store, repo, caches=[cache])
+        installer.builder.time_scale = TIME_SCALE
+        report = installer.install(built)
+        shutil.rmtree(store, ignore_errors=True)
+        return report
+
+    report = benchmark.pedantic(extract_fresh, rounds=3, iterations=1)
+    assert not report.built
+
+
+def test_splice_rewire_path(benchmark, setup):
+    """The headline path: only mpiabi builds; everything MPI-dependent
+    is rewired, everything else extracted."""
+    ws, repo, built, spliced, cache = setup
+    benchmark.group = "install-paths"
+    counter = [0]
+
+    def rewire_fresh():
+        counter[0] += 1
+        store = ws / f"rewire-{counter[0]}"
+        installer = Installer(store, repo, caches=[cache])
+        installer.builder.time_scale = TIME_SCALE
+        report = installer.install(spliced)
+        shutil.rmtree(store, ignore_errors=True)
+        return report
+
+    report = benchmark.pedantic(rewire_fresh, rounds=3, iterations=1)
+    assert report.built == ["mpiabi"]
+    assert set(report.rewired) == {"mfem", "hypre"}
+
+
+def test_rewire_overhead_vs_extract_is_minimal(setup):
+    """The abstract's claim, quantified: rewiring costs about as much
+    as plain extraction and avoids nearly all of the build time."""
+    import time
+
+    ws, repo, built, spliced, cache = setup
+
+    def timed(spec, store, use_cache, scale=TIME_SCALE):
+        installer = Installer(
+            ws / store, repo, caches=[cache] if use_cache else []
+        )
+        installer.builder.time_scale = scale
+        start = time.perf_counter()
+        installer.install(spec)
+        elapsed = time.perf_counter() - start
+        shutil.rmtree(ws / store, ignore_errors=True)
+        return elapsed
+
+    build_time = timed(built, "cmp-build", use_cache=False)
+    extract_time = timed(built, "cmp-extract", use_cache=True)
+    rewire_time = timed(spliced, "cmp-rewire", use_cache=True)
+    # rewiring rebuilds only mpiabi (1300 sim-seconds of ~5500 total)
+    assert rewire_time < build_time * 0.6
+    assert rewire_time < extract_time + build_time * 0.5

@@ -1,0 +1,89 @@
+"""Ablation: transitive vs intransitive splice mechanics (Section 4.1).
+
+Library-level microbenchmark of :meth:`Spec.splice` on deep dependency
+chains: the transitive mode rebuilds every node between the root and the
+splice point; the intransitive mode additionally re-points the spliced
+node at existing dependencies.  Also measures rewire-plan construction.
+"""
+
+import pytest
+
+from repro.binary.rewire import plan_rewire
+from repro.spec import DEPTYPE_LINK_RUN, Spec, VersionList, parse_one
+
+
+def chain(depth: int, leaf_version: str):
+    """pkg0 -> pkg1 -> ... -> leaf(zlib@leaf_version)."""
+    leaf = parse_one(f"zlib@={leaf_version} arch=centos8-skylake")
+    leaf._mark_concrete()
+    node = leaf
+    for i in range(depth - 1, -1, -1):
+        parent = parse_one(f"pkg{i}@=1.0 arch=centos8-skylake")
+        parent.add_dependency(node, (DEPTYPE_LINK_RUN,))
+        parent._mark_concrete()
+        node = parent
+    return node, leaf
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_transitive_splice_depth(benchmark, depth):
+    benchmark.group = f"splice-depth-{depth}"
+    root, _ = chain(depth, "1.0")
+    replacement = parse_one("zlib@=1.1 arch=centos8-skylake")
+    replacement._mark_concrete()
+
+    result = benchmark(root.splice, replacement, True)
+    assert result.spliced
+    assert result["zlib"].version.string == "1.1"
+    # every intermediate node between root and splice point is rewired
+    rewired = [n for n in result.traverse() if n.spliced]
+    assert len(rewired) == depth
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_intransitive_splice_depth(benchmark, depth):
+    benchmark.group = f"splice-depth-{depth}"
+    root, _ = chain(depth, "1.0")
+    mid = parse_one("helper@=2.0 arch=centos8-skylake")
+    z11 = parse_one("zlib@=1.1 arch=centos8-skylake")
+    z11._mark_concrete()
+    mid.add_dependency(z11, (DEPTYPE_LINK_RUN,))
+    mid._mark_concrete()
+    root2 = parse_one("top@=1.0 arch=centos8-skylake")
+    root2.add_dependency(root, (DEPTYPE_LINK_RUN,))
+    root2.add_dependency(mid, (DEPTYPE_LINK_RUN,))
+    root2._mark_concrete()
+    z10 = root["zlib"]
+
+    result = benchmark(root2.splice, mid.copy(), False, "helper")
+    assert result.concrete
+
+
+def test_rewire_plan_cost(benchmark):
+    benchmark.group = "rewire"
+    root, _ = chain(8, "1.0")
+    replacement = parse_one("zlib@=1.1 arch=centos8-skylake")
+    replacement._mark_concrete()
+    spliced = root.splice(replacement, transitive=True)
+
+    def prefix(spec):
+        return f"/store/{spec.name}-{spec.version}-{spec.dag_hash(8)}"
+
+    plan = benchmark(plan_rewire, spliced, prefix)
+    assert plan.replaced
+
+
+def test_dag_hash_cost_on_wide_dag(benchmark):
+    benchmark.group = "hashing"
+    root = parse_one("root@=1.0 arch=centos8-skylake")
+    for i in range(60):
+        dep = parse_one(f"dep{i}@=1.0 arch=centos8-skylake")
+        dep._mark_concrete()
+        root.add_dependency(dep, (DEPTYPE_LINK_RUN,))
+    root._mark_concrete()
+
+    def rehash():
+        root._invalidate_hash()
+        return root.dag_hash()
+
+    assert benchmark(rehash)

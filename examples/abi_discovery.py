@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Automatic ABI discovery — the paper's future work, working today.
+
+Section 8: "Currently, ABI compatibility must be specified by package
+developers manually adding can_splice... In the future, we will develop
+methods for automating ABI discovery."
+
+This example runs our implementation of that idea:
+
+1. scan the RADIUSS repository's MPI providers and propose the
+   ``can_splice`` directives their ABI surfaces justify;
+2. show that the unsafe pair (openmpi ↔ mpich) is never proposed;
+3. delete a hand-written directive, re-discover it automatically, apply
+   it, and watch the solver synthesize the splice it enables.
+
+Run:  python examples/abi_discovery.py
+"""
+
+from repro import Concretizer
+from repro.binary.discovery import (
+    apply_suggestions,
+    discover_binary_splices,
+    discover_provider_splices,
+)
+from repro.binary.mockelf import MockBinary
+from repro.repos.radiuss import make_radiuss_repo
+
+
+def main() -> None:
+    repo = make_radiuss_repo()
+
+    # ---- 1. static discovery over the provider family ------------------
+    suggestions = discover_provider_splices(repo, "mpi", include_existing=True)
+    print("discovered ABI-compatible provider splices:")
+    for s in sorted(suggestions, key=lambda s: (s.splicer, s.target)):
+        print(f"  {s.splicer:<12} {s.directive_source():<40} # {s.reason}")
+
+    unsafe = [
+        s for s in suggestions
+        if {"openmpi"} & {s.splicer, s.target.split("@")[0]}
+        and {"mpich", "mvapich2", "mpiabi", "cray-mpich"}
+        & {s.splicer, s.target.split("@")[0]}
+    ]
+    assert not unsafe, "incompatible MPI_Comm layouts must never be proposed"
+    print("\n(openmpi never appears against the MPICH-ABI family — correct)")
+
+    # ---- 2. dynamic discovery over binaries -----------------------------
+    binaries = {
+        "mpich@3.4.3": MockBinary(
+            "libmpich.so",
+            defined_symbols=["MPI_Init", "MPI_Send", "MPI_Recv"],
+            type_layouts={"MPI_Comm": "int32"},
+        ),
+        "vendor-mpi@9.0": MockBinary(
+            "libvendor.so",
+            defined_symbols=["MPI_Init", "MPI_Send", "MPI_Recv", "VENDORX"],
+            type_layouts={"MPI_Comm": "int32"},
+        ),
+    }
+    dynamic = discover_binary_splices(binaries)
+    print("\nfrom binaries:")
+    for s in dynamic:
+        print(f"  {s.splicer}: {s.directive_source()}")
+
+    # ---- 3. close the loop: discovery feeds the solver ------------------
+    repo.get("mvapich2").can_splice_decls = []  # pretend nobody wrote it
+    cached = Concretizer(repo).solve(["hypre ^mpich@3.4.3"]).roots[0]
+
+    plain = Concretizer(repo, reusable_specs=[cached], splicing=True)
+    before = plain.solve(["hypre ^mvapich2"])
+    print(f"\nbefore discovery: builds = {sorted(s.name for s in before.built)}")
+
+    applied = apply_suggestions(repo, discover_provider_splices(repo, "mpi"))
+    print(f"applied {applied} discovered directive(s)")
+
+    after = Concretizer(repo, reusable_specs=[cached], splicing=True)
+    result = after.solve(["hypre ^mvapich2"])
+    print(f"after discovery:  builds = {sorted(s.name for s in result.built)}, "
+          f"spliced = {sorted(s.name for s in result.spliced)}")
+    assert {s.name for s in result.spliced} == {"hypre"}
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Avoiding "rebuild the world" on a dependency update (Section 4).
+
+zlib@1.3 declares ``can_splice("zlib@1.2", when="@1.3")`` — it keeps the
+1.2 ABI.  A stack built against zlib@1.2.13 can therefore pick up the
+new zlib by rebuilding *one* package (zlib itself) and rewiring its
+dependents, instead of cascading rebuilds through every consumer.
+
+We measure the difference directly: builds needed with and without
+splicing, plus the simulated compile time saved.
+
+Run:  python examples/dependency_update.py
+"""
+
+from repro import Concretizer, tree
+from repro.repos.radiuss import make_radiuss_repo
+
+#: consumers of zlib across the stack, built against zlib@1.2.13
+STACK = ["visit ^zlib@1.2.13", "samrai ^zlib@1.2.13", "glvis ^zlib@1.2.13"]
+
+
+def total_build_seconds(repo, specs) -> float:
+    return sum(repo.get(s.name).build_time for s in specs)
+
+
+def main() -> None:
+    repo = make_radiuss_repo()
+
+    # the existing deployment: everything built against zlib@1.2.13
+    base = Concretizer(repo)
+    installed = [base.solve([s]).roots[0] for s in STACK]
+    print("deployed stack (zlib@1.2.13):")
+    for spec in installed:
+        print(f"  {spec.name}@{spec.version}  [{spec.dag_hash(7)}]")
+
+    # ---- update to zlib@1.3 WITHOUT splicing ---------------------------
+    plain = Concretizer(repo, reusable_specs=installed)
+    rebuilds = set()
+    for name in ("visit", "samrai", "glvis"):
+        result = plain.solve([f"{name} ^zlib@1.3"])
+        rebuilds.update(s.name for s in result.built)
+    seconds_plain = sum(repo.get(n).build_time for n in rebuilds)
+    print(f"\nwithout splicing: rebuild {sorted(rebuilds)}")
+    print(f"  simulated compile time: {seconds_plain / 3600:.1f} hours")
+
+    # ---- update WITH splicing ------------------------------------------
+    splicing = Concretizer(repo, reusable_specs=installed, splicing=True)
+    spliced_builds = set()
+    spliced_specs = set()
+    example_root = None
+    for name in ("visit", "samrai", "glvis"):
+        result = splicing.solve([f"{name} ^zlib@1.3"])
+        spliced_builds.update(s.name for s in result.built)
+        spliced_specs.update(s.name for s in result.spliced)
+        if name == "visit":
+            example_root = result.roots[0]
+    seconds_spliced = sum(repo.get(n).build_time for n in spliced_builds)
+    print(f"\nwith splicing: rebuild only {sorted(spliced_builds)}; "
+          f"rewire {sorted(spliced_specs)}")
+    print(f"  simulated compile time: {seconds_spliced / 3600:.2f} hours "
+          f"({seconds_plain / max(seconds_spliced, 1):.0f}x less)")
+
+    print("\nvisit after the spliced update (note the provenance markers):\n")
+    print(tree(example_root))
+
+    assert spliced_builds == {"zlib"}, "only zlib itself should rebuild"
+    assert "visit" in spliced_specs and "hdf5" in spliced_specs, (
+        "zlib consumers are rewired, not rebuilt"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Environments: reproducible multi-package deployments with lockfiles.
+
+The `spack.yaml` workflow on top of splicing:
+
+1. declare an environment of RADIUSS roots, concretized *jointly* (one
+   consistent DAG — a single MPI for everything);
+2. lock it: the lockfile pins every concrete spec, splice provenance
+   included;
+3. reinstall the locked environment elsewhere, bit-for-bit, using a
+   buildcache + splicing so the new machine compiles nothing.
+
+Run:  python examples/environments.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import BuildCache, Installer
+from repro.environment import Environment
+from repro.repos.radiuss import make_radiuss_repo
+
+
+def main() -> None:
+    repo = make_radiuss_repo()
+    workspace = Path(tempfile.mkdtemp(prefix="env-demo-"))
+    try:
+        # ---- 1. declare + concretize jointly -------------------------
+        env = Environment(workspace / "simulation-env", repo)
+        env.add("mfem")
+        env.add("sundials")
+        env.add("hypre")
+        roots = env.concretize()
+        mpis = {
+            node.dag_hash()
+            for root in roots
+            for node in root.traverse()
+            if node.name == "mpich"
+        }
+        assert len(mpis) == 1, "joint concretization: one MPI for all roots"
+        print(f"concretized {len(roots)} roots over "
+              f"{len(env.all_specs())} distinct specs (single mpich)")
+
+        # ---- 2. build once, cache, lock --------------------------------
+        build_host = Installer(workspace / "build-host", repo)
+        report = build_host.install_all(env.concrete_roots, jobs=4)
+        print(f"build host: {report.summary()}")
+        cache = BuildCache(workspace / "cache")
+        for root in env.concrete_roots:
+            build_host.push_to_cache(cache, root)
+        env.write()
+        print(f"locked environment -> {env.path / 'repro.lock.json'}")
+
+        # ---- 3. reinstall the lock elsewhere, zero compiles ------------
+        replayed = Environment.read(env.path, repo)
+        assert replayed.concretized, "lockfile restores concrete specs"
+        assert [r.dag_hash() for r in replayed.concrete_roots] == [
+            r.dag_hash() for r in env.concrete_roots
+        ]
+        deploy_host = Installer(workspace / "deploy-host", repo, caches=[cache])
+        report = deploy_host.install_all(replayed.concrete_roots, jobs=4)
+        print(f"deploy host: {report.summary()}")
+        assert not report.built, "locked redeploy extracts everything"
+
+        # ---- 4. housekeeping: gc + verify --------------------------------
+        problems = deploy_host.verify()
+        assert not problems, problems
+        print("deploy store verifies clean; gc finds "
+              f"{len(deploy_host.gc())} orphans (expected 0)")
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

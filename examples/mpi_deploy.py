@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: deploy an MPI stack on a Cray.
+
+Storyline (Section 1):
+
+* a build server compiles an HPC stack (here: mfem and its solvers)
+  against the publicly available mpich@3.4.3 and pushes a buildcache;
+* an HPE Cray cluster has **cray-mpich** — vendor MPI that exists only
+  as a binary on that system, but is ABI-compatible with MPICH
+  (``can_splice("mpich@3.4.3")`` in its package);
+* with splicing, installing on the cluster requires **zero rebuilds**:
+  every cached binary is relinked (rewired) against cray-mpich;
+* the rewired binary actually loads, resolving MPI symbols from the
+  vendor library with consistent ``MPI_Comm`` layouts.
+
+Run:  python examples/mpi_deploy.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import BuildCache, Concretizer, Installer, Loader, MockBinary, external_spec, tree
+from repro.repos.radiuss import make_radiuss_repo
+
+STACK = ["mfem", "hypre", "conduit"]
+
+
+def fabricate_vendor_mpi(prefix: Path) -> None:
+    """Simulate the vendor-installed Cray MPICH at a system prefix."""
+    lib = prefix / "lib"
+    lib.mkdir(parents=True, exist_ok=True)
+    MockBinary(
+        soname="libcray-mpich.so",
+        defined_symbols=[
+            "MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+            "MPI_Allreduce", "MPI_Bcast", "MPIX_Cray_extensions",
+        ],
+        type_layouts={"MPI_Comm": "int32", "MPI_Datatype": "int32"},
+    ).write(lib / "libcray-mpich.so")
+
+
+def main() -> None:
+    repo = make_radiuss_repo()
+    workspace = Path(tempfile.mkdtemp(prefix="mpi-deploy-"))
+    try:
+        # ---- build server: compile against mpich, push a cache -------
+        build_server = Installer(workspace / "build-server", repo)
+        concretizer = Concretizer(repo)
+        cache = BuildCache(workspace / "cache")
+        for name in STACK:
+            spec = concretizer.solve([f"{name} ^mpich@3.4.3"]).roots[0]
+            build_server.install(spec)
+            build_server.push_to_cache(cache, spec)
+        print(f"build server: compiled {build_server.builder.build_count} packages, "
+              f"pushed {len(cache)} specs to the cache")
+
+        # ---- cluster: vendor MPI exists only here -----------------------
+        cray_prefix = workspace / "opt" / "cray" / "pe" / "mpich"
+        fabricate_vendor_mpi(cray_prefix)
+        cray_mpich = external_spec(repo, "cray-mpich", str(cray_prefix))
+
+        cluster = Concretizer(
+            repo,
+            reusable_specs=list(cache.all_specs()) + [cray_mpich],
+            splicing=True,
+        )
+        result = cluster.solve(["mfem ^cray-mpich"])
+        print("\ncluster concretization of `mfem ^cray-mpich`:\n")
+        print(tree(result.roots[0]))
+        print(f"\nbuilds required: {len(result.built)}  "
+              f"(spliced instead: {sorted(s.name for s in result.spliced)})")
+        assert not result.built, "deploying against vendor MPI needs no rebuilds"
+
+        # ---- install: extraction + rewiring, no compiler in sight ------
+        cluster_store = Installer(workspace / "cluster", repo, caches=[cache])
+        report = cluster_store.install(result.roots[0])
+        print(f"cluster install: {report.summary()}")
+        assert not report.built, "nothing compiled on the cluster"
+
+        # ---- proof of life: load the rewired binary ---------------------
+        loader = Loader()
+        mfem_prefix = Path(cluster_store.database.prefix_of(result.roots[0]))
+        outcome = loader.load(str(mfem_prefix / "lib" / "libmfem.so"))
+        print(f"\nloader: {outcome.explain()}")
+        assert outcome.ok
+        assert any("cray" in p for p in outcome.resolved.values()), (
+            "MPI must resolve to the vendor library"
+        )
+        print("mfem now runs against the vendor MPI — zero rebuilds.")
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: define packages, concretize, build, reuse.
+
+Covers the core workflow in one file:
+
+1. declare packages with the embedded DSL (Figure 1 of the paper);
+2. concretize an abstract spec into a full configuration DAG;
+3. install it (simulated builds) into a store;
+4. re-concretize against the store and watch everything get reused.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Concretizer,
+    Installer,
+    Package,
+    Repository,
+    depends_on,
+    provides,
+    tree,
+    variant,
+    version,
+)
+
+
+def make_repo() -> Repository:
+    """A small repository declared with the packaging DSL."""
+    repo = Repository("quickstart")
+
+    class Zlib(Package):
+        """Everyone's favorite compression library."""
+
+        version("1.3")
+        version("1.2.13")
+        variant("shared", default=True)
+
+    class Mpich(Package):
+        """An MPI implementation (provides the virtual `mpi`)."""
+
+        version("4.1")
+        version("3.4.3")
+        provides("mpi")
+
+    class Hdf5(Package):
+        """HDF5 with optional MPI support — a conditional dependency."""
+
+        version("1.14.1")
+        version("1.12.2")
+        variant("mpi", default=True)
+        depends_on("zlib@1.2", when="@1.12")  # old HDF5 needs old zlib
+        depends_on("zlib")
+        depends_on("mpi", when="+mpi")
+
+    class Simulation(Package):
+        """A tiny application at the top of the stack."""
+
+        version("2.0")
+        version("1.0")
+        depends_on("hdf5+mpi")
+
+    for cls in (Zlib, Mpich, Hdf5, Simulation):
+        repo.add(cls)
+    return repo
+
+
+def main() -> None:
+    repo = make_repo()
+
+    # -- 1. concretize an abstract spec --------------------------------
+    concretizer = Concretizer(repo)
+    result = concretizer.solve(["simulation"])
+    root = result.roots[0]
+    print("concretized `simulation`:\n")
+    print(tree(root))
+    print(f"\npackages to build: {sorted(s.name for s in result.built)}")
+
+    # -- 2. constraints flow through the whole DAG ---------------------
+    result = concretizer.solve(["simulation ^hdf5@1.12.2"])
+    print("\nwith `^hdf5@1.12.2` (note zlib drops to 1.2.x):\n")
+    print(tree(result.roots[0]))
+
+    # -- 3. install, then reuse ------------------------------------------
+    with tempfile.TemporaryDirectory() as store_dir:
+        installer = Installer(Path(store_dir), repo)
+        report = installer.install(root)
+        print(f"\ninstalled: {report.summary()}")
+
+        reuse = Concretizer(repo, reusable_specs=installer.database.all_specs())
+        result = reuse.solve(["simulation"])
+        print(
+            f"re-concretized against the store: "
+            f"{len(result.built)} builds needed, "
+            f"{len(result.reused)} specs reused"
+        )
+        assert not result.built, "everything should be reused"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file exists so
+`pip install -e . --no-build-isolation --no-use-pep517` works offline
+(the sandbox has setuptools but neither `wheel` nor network access).
+"""
+
+from setuptools import setup
+
+setup()

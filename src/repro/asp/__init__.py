@@ -1,0 +1,72 @@
+"""A from-scratch Answer Set Programming engine (the clingo stand-in).
+
+Pipeline: :mod:`parser` → :mod:`grounder` → :mod:`translate` (Clark
+completion to CNF) → :mod:`sat` (CDCL) → :mod:`stable` (lazy loop
+formulas) → :mod:`optimize` (lexicographic ``#minimize``), fronted by
+the :class:`~repro.asp.api.Control` façade.
+"""
+
+from .syntax import (
+    Arith,
+    Atom,
+    ChoiceElement,
+    ChoiceHead,
+    Comparison,
+    Function,
+    Integer,
+    Interval,
+    Literal,
+    MinimizeElement,
+    Program,
+    Rule,
+    String,
+    Symbol,
+    Term,
+    Variable,
+)
+from .parser import parse_program, parse_term, AspSyntaxError
+from .grounder import Grounder, GroundingError, ground
+from .ground import GroundProgram, GroundRule, GroundChoice, GroundMinimize
+from .sat import Solver, SolverError
+from .translate import Translator
+from .stable import StableModelFinder
+from .optimize import Optimizer, OptimizeResult
+from .api import Control, Model, SolveResult
+
+__all__ = [
+    "Arith",
+    "Atom",
+    "Interval",
+    "ChoiceElement",
+    "ChoiceHead",
+    "Comparison",
+    "Function",
+    "Integer",
+    "Literal",
+    "MinimizeElement",
+    "Program",
+    "Rule",
+    "String",
+    "Symbol",
+    "Term",
+    "Variable",
+    "parse_program",
+    "parse_term",
+    "AspSyntaxError",
+    "Grounder",
+    "GroundingError",
+    "ground",
+    "GroundProgram",
+    "GroundRule",
+    "GroundChoice",
+    "GroundMinimize",
+    "Solver",
+    "SolverError",
+    "Translator",
+    "StableModelFinder",
+    "Optimizer",
+    "OptimizeResult",
+    "Control",
+    "Model",
+    "SolveResult",
+]

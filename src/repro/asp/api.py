@@ -1,0 +1,149 @@
+"""Control-style façade over the ASP pipeline (the clingo stand-in).
+
+Typical use::
+
+    ctl = Control()
+    ctl.add('node("example").')
+    ctl.load("concretize.lp")
+    ctl.ground()
+    result = ctl.solve()
+    if result.satisfiable:
+        for atom in result.model.by_predicate("attr"):
+            ...
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from .grounder import Grounder
+from .optimize import Optimizer
+from .parser import parse_program
+from .syntax import Atom, Program, Rule
+from .translate import Translator
+
+__all__ = ["Control", "Model", "SolveResult"]
+
+
+class Model:
+    """A stable model: a set of ground atoms with query helpers."""
+
+    def __init__(self, atoms: Set[Atom]):
+        self.atoms = atoms
+        self._by_pred: Optional[Dict[str, List[Atom]]] = None
+
+    def by_predicate(self, predicate: str) -> List[Atom]:
+        if self._by_pred is None:
+            index: Dict[str, List[Atom]] = {}
+            for atom in self.atoms:
+                index.setdefault(atom.predicate, []).append(atom)
+            self._by_pred = index
+        return self._by_pred.get(predicate, [])
+
+    def holds(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __repr__(self):
+        return f"<Model {len(self.atoms)} atoms>"
+
+
+class SolveResult:
+    """Outcome of :meth:`Control.solve`, with cost and timing stats."""
+
+    def __init__(
+        self,
+        model: Optional[Model],
+        cost: Dict[int, int],
+        stats: Dict[str, float],
+    ):
+        self.model = model
+        self.cost = cost
+        self.stats = stats
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.model is not None
+
+    def __repr__(self):
+        status = "SAT" if self.satisfiable else "UNSAT"
+        return f"<SolveResult {status} cost={self.cost}>"
+
+
+class Control:
+    """Accumulates program text/facts, grounds, and solves."""
+
+    def __init__(self):
+        self.program = Program()
+        self._ground_program = None
+        self._translator: Optional[Translator] = None
+
+    # -- input -------------------------------------------------------------
+    def add(self, text: str) -> None:
+        """Add ASP source text to the program."""
+        parse_program(text, into=self.program)
+
+    def add_fact(self, atom: Atom) -> None:
+        self.program.add_fact(atom)
+
+    def add_facts(self, atoms: Iterable[Atom]) -> None:
+        for atom in atoms:
+            self.program.add_fact(atom)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.program.add_rule(rule)
+
+    def load(self, path) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            self.add(handle.read())
+
+    # -- pipeline ------------------------------------------------------------
+    def ground(self) -> None:
+        """Instantiate the program (must precede :meth:`solve`)."""
+        start = time.perf_counter()
+        self._ground_program = Grounder(self.program).ground()
+        self._ground_time = time.perf_counter() - start
+
+    def solve(
+        self,
+        on_model: Optional[Callable[[Model], None]] = None,
+    ) -> SolveResult:
+        """Ground (if needed), translate, and find an optimal stable model."""
+        if self._ground_program is None:
+            self.ground()
+        start = time.perf_counter()
+        translator = Translator(self._ground_program)
+        translate_time = time.perf_counter() - start
+        self._translator = translator
+
+        start = time.perf_counter()
+        optimizer = Optimizer(translator)
+        callback = None
+        if on_model is not None:
+            callback = lambda atoms: on_model(Model(atoms))  # noqa: E731
+        outcome = optimizer.optimize(on_model=callback)
+        solve_time = time.perf_counter() - start
+
+        stats = {
+            "ground_time": getattr(self, "_ground_time", 0.0),
+            "translate_time": translate_time,
+            "solve_time": solve_time,
+            "models_seen": outcome.models_seen,
+            "loop_formulas": optimizer.finder.loop_formulas_added,
+            **{f"sat_{k}": v for k, v in translator.solver.stats().items()},
+        }
+        model = Model(outcome.model) if outcome.model is not None else None
+        return SolveResult(model, outcome.cost, stats)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def ground_stats(self) -> Dict[str, int]:
+        if self._ground_program is None:
+            return {}
+        return self._ground_program.stats()

@@ -1,0 +1,145 @@
+"""Ground (variable-free) program representation.
+
+The grounder lowers a :class:`~repro.asp.syntax.Program` into these
+structures; the translator then encodes them into CNF for the CDCL core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .syntax import Atom, Term
+
+__all__ = ["GroundRule", "GroundChoice", "GroundChoiceElement", "GroundMinimize", "GroundProgram"]
+
+
+class GroundRule:
+    """``head :- pos, not neg.`` — head None means integrity constraint."""
+
+    __slots__ = ("head", "pos", "neg")
+
+    def __init__(
+        self,
+        head: Optional[Atom],
+        pos: Sequence[Atom] = (),
+        neg: Sequence[Atom] = (),
+    ):
+        self.head = head
+        self.pos = tuple(pos)
+        self.neg = tuple(neg)
+
+    def __repr__(self):
+        body = ", ".join(
+            [repr(a) for a in self.pos] + [f"not {a!r}" for a in self.neg]
+        )
+        head = repr(self.head) if self.head is not None else ""
+        if body:
+            return f"{head} :- {body}."
+        return f"{head}."
+
+
+class GroundChoiceElement:
+    """One element of a ground choice: the atom plus its condition."""
+
+    __slots__ = ("atom", "cond_pos", "cond_neg")
+
+    def __init__(
+        self,
+        atom: Atom,
+        cond_pos: Sequence[Atom] = (),
+        cond_neg: Sequence[Atom] = (),
+    ):
+        self.atom = atom
+        self.cond_pos = tuple(cond_pos)
+        self.cond_neg = tuple(cond_neg)
+
+    def __repr__(self):
+        if self.cond_pos or self.cond_neg:
+            cond = ", ".join(
+                [repr(a) for a in self.cond_pos]
+                + [f"not {a!r}" for a in self.cond_neg]
+            )
+            return f"{self.atom!r} : {cond}"
+        return repr(self.atom)
+
+
+class GroundChoice:
+    """``lo { elements } hi :- pos, not neg.``"""
+
+    __slots__ = ("elements", "lower", "upper", "pos", "neg")
+
+    def __init__(
+        self,
+        elements: Sequence[GroundChoiceElement],
+        lower: Optional[int],
+        upper: Optional[int],
+        pos: Sequence[Atom] = (),
+        neg: Sequence[Atom] = (),
+    ):
+        self.elements = tuple(elements)
+        self.lower = lower
+        self.upper = upper
+        self.pos = tuple(pos)
+        self.neg = tuple(neg)
+
+    def __repr__(self):
+        lo = f"{self.lower} " if self.lower is not None else ""
+        hi = f" {self.upper}" if self.upper is not None else ""
+        body = ", ".join(
+            [repr(a) for a in self.pos] + [f"not {a!r}" for a in self.neg]
+        )
+        text = f"{lo}{{ {'; '.join(map(repr, self.elements))} }}{hi}"
+        return f"{text} :- {body}." if body else f"{text}."
+
+
+class GroundMinimize:
+    """One ground ``weight@priority : body`` minimize element.
+
+    ``terms`` disambiguate distinct elements with identical bodies (clingo
+    sums weights over distinct tuples, not distinct bodies).
+    """
+
+    __slots__ = ("weight", "priority", "terms", "pos", "neg")
+
+    def __init__(
+        self,
+        weight: int,
+        priority: int,
+        terms: Tuple[Term, ...],
+        pos: Sequence[Atom] = (),
+        neg: Sequence[Atom] = (),
+    ):
+        self.weight = weight
+        self.priority = priority
+        self.terms = terms
+        self.pos = tuple(pos)
+        self.neg = tuple(neg)
+
+    def __repr__(self):
+        body = ", ".join(
+            [repr(a) for a in self.pos] + [f"not {a!r}" for a in self.neg]
+        )
+        return f"{self.weight}@{self.priority} : {body}"
+
+
+class GroundProgram:
+    """The full ground program handed to the propositional translator."""
+
+    def __init__(self):
+        self.rules: List[GroundRule] = []
+        self.choices: List[GroundChoice] = []
+        self.minimizes: List[GroundMinimize] = []
+
+    def stats(self) -> dict:
+        return {
+            "rules": len(self.rules),
+            "choices": len(self.choices),
+            "minimize_elements": len(self.minimizes),
+        }
+
+    def __repr__(self):
+        s = self.stats()
+        return (
+            f"<GroundProgram rules={s['rules']} choices={s['choices']} "
+            f"minimize={s['minimize_elements']}>"
+        )

@@ -1,0 +1,349 @@
+"""Parser for the textual ASP dialect (core clingo subset).
+
+Supports exactly the constructs the concretizer programs use::
+
+    node("example").
+    attr("version", node(P), V) :- pkg_fact(P, version_declared(V)).
+    { attr("hash", node(N), H) : installed_hash(N, H) } 1 :- node(N).
+    :- attr("variant", node(N), "bzip", "True"), not node("bzip2").
+    #minimize { 100@2, Node : build(Node) }.
+    % comments run to end of line
+
+Variables are uppercase identifiers (plus ``_`` anonymous, which we
+rename apart).  Strings are double-quoted; symbols lowercase; integers
+may be negative.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import List, Optional, Sequence, Union
+
+from .syntax import (
+    Arith,
+    Atom,
+    BodyElement,
+    ChoiceElement,
+    ChoiceHead,
+    Comparison,
+    COMPARISON_OPS,
+    Function,
+    Integer,
+    Interval,
+    Literal,
+    MinimizeElement,
+    Program,
+    Rule,
+    String,
+    Symbol,
+    Term,
+    Variable,
+)
+
+__all__ = ["parse_program", "parse_term", "AspSyntaxError"]
+
+
+class AspSyntaxError(SyntaxError):
+    """Raised on malformed ASP text."""
+
+
+TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>%[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<minimize>\#minimize\b)
+  | (?P<maximize>\#maximize\b)
+  | (?P<ifop>:-)
+  | (?P<interval>\.\.)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<arith>[+*/-])
+  | (?P<int>\d+)
+  | (?P<ident>[a-z_][A-Za-z0-9_']*)
+  | (?P<var>[A-Z][A-Za-z0-9_']*)
+  | (?P<punct>[(){};:,.@])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE,
+)
+
+_anon_counter = itertools.count()
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens: List[tuple] = []
+        pos = 0
+        line = 1
+        while pos < len(text):
+            m = TOKEN_RE.match(text, pos)
+            if m is None:
+                raise AspSyntaxError(
+                    f"line {line}: unexpected character {text[pos:pos + 12]!r}"
+                )
+            kind = m.lastgroup
+            value = m.group(0)
+            line += value.count("\n")
+            if kind not in ("ws", "comment"):
+                self.tokens.append((kind, value, line))
+            pos = m.end()
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Optional[tuple]:
+        i = self.pos + offset
+        return self.tokens[i] if i < len(self.tokens) else None
+
+    def next(self) -> tuple:
+        if self.pos >= len(self.tokens):
+            raise AspSyntaxError("unexpected end of input")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> tuple:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise AspSyntaxError(
+                f"line {token[2]}: expected {value or kind}, got {token[1]!r}"
+            )
+        return token
+
+    def at(self, kind: str, value: Optional[str] = None, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return (
+            token is not None
+            and token[0] == kind
+            and (value is None or token[1] == value)
+        )
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _Tokens(text)
+
+    # -- terms -------------------------------------------------------------
+    # grammar:  term   := sum [".." sum]
+    #           sum    := product (("+"|"-") product)*
+    #           product:= factor (("*"|"/") factor)*
+    #           factor := "-" factor | "(" term ")" | primary
+    def parse_term(self) -> Term:
+        term = self._parse_sum()
+        if self.tokens.at("interval"):
+            self.tokens.next()
+            high = self._parse_sum()
+            return Interval(term, high)
+        return term
+
+    def _parse_sum(self) -> Term:
+        term = self._parse_product()
+        while self.tokens.at("arith", "+") or self.tokens.at("arith", "-"):
+            op = self.tokens.next()[1]
+            term = Arith(op, term, self._parse_product()).substitute({})
+        return term
+
+    def _parse_product(self) -> Term:
+        term = self._parse_factor()
+        while self.tokens.at("arith", "*") or self.tokens.at("arith", "/"):
+            op = self.tokens.next()[1]
+            term = Arith(op, term, self._parse_factor()).substitute({})
+        return term
+
+    def _parse_factor(self) -> Term:
+        if self.tokens.at("arith", "-"):
+            line = self.tokens.next()[2]
+            inner = self._parse_factor()
+            if isinstance(inner, Integer):
+                return Integer(-inner.value)
+            return Arith("-", Integer(0), inner)
+        if self.tokens.at("punct", "("):
+            self.tokens.next()
+            term = self.parse_term()
+            self.tokens.expect("punct", ")")
+            return term
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Term:
+        token = self.tokens.next()
+        kind, value, line = token
+        if kind == "int":
+            return Integer(int(value))
+        if kind == "string":
+            return String(_unquote(value))
+        if kind == "var":
+            return Variable(value)
+        if kind == "ident":
+            if value == "_":
+                return Variable(f"_Anon{next(_anon_counter)}")
+            if value == "not":
+                raise AspSyntaxError(f"line {line}: 'not' is not a term")
+            if self.tokens.at("punct", "("):
+                self.tokens.next()
+                args = self._parse_term_list()
+                self.tokens.expect("punct", ")")
+                return Function(value, args)
+            return Symbol(value)
+        raise AspSyntaxError(f"line {line}: expected a term, got {value!r}")
+
+    def _parse_term_list(self) -> List[Term]:
+        terms = [self.parse_term()]
+        while self.tokens.at("punct", ","):
+            self.tokens.next()
+            terms.append(self.parse_term())
+        return terms
+
+    # -- atoms / body elements ----------------------------------------------
+    def _term_to_atom(self, term: Term) -> Atom:
+        if isinstance(term, Function):
+            return Atom(term.name, term.args)
+        if isinstance(term, Symbol):
+            return Atom(term.name)
+        raise AspSyntaxError(f"cannot use term {term!r} as an atom")
+
+    def parse_body_element(self) -> BodyElement:
+        if self.tokens.at("ident", "not"):
+            self.tokens.next()
+            term = self.parse_term()
+            return Literal(self._term_to_atom(term), positive=False)
+        left = self.parse_term()
+        if self.tokens.at("op"):
+            op = self.tokens.next()[1]
+            right = self.parse_term()
+            return Comparison(op, left, right)
+        return Literal(self._term_to_atom(left))
+
+    def parse_body(self) -> List[BodyElement]:
+        elements = [self.parse_body_element()]
+        while self.tokens.at("punct", ","):
+            self.tokens.next()
+            elements.append(self.parse_body_element())
+        return elements
+
+    # -- heads ------------------------------------------------------------
+    def _parse_choice(self, lower: Optional[int]) -> ChoiceHead:
+        self.tokens.expect("punct", "{")
+        elements: List[ChoiceElement] = []
+        if not self.tokens.at("punct", "}"):
+            while True:
+                atom = self._term_to_atom(self.parse_term())
+                condition: List[BodyElement] = []
+                if self.tokens.at("punct", ":"):
+                    self.tokens.next()
+                    condition = self._parse_condition()
+                elements.append(ChoiceElement(atom, condition))
+                if self.tokens.at("punct", ";"):
+                    self.tokens.next()
+                    continue
+                break
+        self.tokens.expect("punct", "}")
+        upper = None
+        if self.tokens.at("int"):
+            upper = int(self.tokens.next()[1])
+        return ChoiceHead(elements, lower, upper)
+
+    def _parse_condition(self) -> List[BodyElement]:
+        """Condition literals inside a choice element, ``,``-separated but
+        terminated by ``;`` or ``}``."""
+        condition = [self.parse_body_element()]
+        while self.tokens.at("punct", ","):
+            self.tokens.next()
+            condition.append(self.parse_body_element())
+        return condition
+
+    # -- statements -----------------------------------------------------------
+    def parse_minimize(self, maximize: bool) -> List[MinimizeElement]:
+        self.tokens.expect("punct", "{")
+        elements: List[MinimizeElement] = []
+        while True:
+            weight = self.parse_term()
+            priority = 0
+            if self.tokens.at("punct", "@"):
+                self.tokens.next()
+                priority = int(self.tokens.expect("int")[1])
+            terms: List[Term] = []
+            while self.tokens.at("punct", ","):
+                self.tokens.next()
+                terms.append(self.parse_term())
+            body: List[BodyElement] = []
+            if self.tokens.at("punct", ":"):
+                self.tokens.next()
+                body = self._parse_condition()
+            if maximize and isinstance(weight, Integer):
+                weight = Integer(-weight.value)
+            elements.append(MinimizeElement(weight, priority, terms, body))
+            if self.tokens.at("punct", ";"):
+                self.tokens.next()
+                continue
+            break
+        self.tokens.expect("punct", "}")
+        self.tokens.expect("punct", ".")
+        return elements
+
+    def parse_statement(self, program: Program) -> None:
+        if self.tokens.at("minimize") or self.tokens.at("maximize"):
+            maximize = self.tokens.next()[0] == "maximize"
+            for element in self.parse_minimize(maximize):
+                program.add_minimize(element)
+            return
+
+        head: Union[Atom, ChoiceHead, None] = None
+        if self.tokens.at("ifop"):
+            pass  # constraint — no head
+        elif self.tokens.at("punct", "{"):
+            head = self._parse_choice(lower=None)
+        elif self.tokens.at("int") and self.tokens.at("punct", "{", offset=1):
+            lower = int(self.tokens.next()[1])
+            head = self._parse_choice(lower)
+        else:
+            head = self._term_to_atom(self.parse_term())
+
+        body: List[BodyElement] = []
+        if self.tokens.at("ifop"):
+            self.tokens.next()
+            body = self.parse_body()
+        self.tokens.expect("punct", ".")
+        if isinstance(head, Atom) and not body:
+            for expanded in _expand_intervals(head):
+                program.add_rule(Rule(expanded, body))
+            return
+        program.add_rule(Rule(head, body))
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.tokens.peek() is not None:
+            self.parse_statement(program)
+        return program
+
+
+def _expand_intervals(atom: Atom) -> List[Atom]:
+    """Expand interval arguments of a fact: ``p(1..3).`` → three facts."""
+    for index, arg in enumerate(atom.args):
+        if isinstance(arg, Interval):
+            expanded: List[Atom] = []
+            for value in arg.expand():
+                new_args = atom.args[:index] + (value,) + atom.args[index + 1 :]
+                expanded.extend(_expand_intervals(Atom(atom.predicate, new_args)))
+            return expanded
+    return [atom]
+
+
+def parse_program(text: str, into: Optional[Program] = None) -> Program:
+    """Parse ASP source text into a :class:`Program`."""
+    parsed = _Parser(text).parse_program()
+    if into is not None:
+        into.extend(parsed)
+        return into
+    return parsed
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single ground or non-ground term (handy in tests)."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    if parser.tokens.peek() is not None:
+        raise AspSyntaxError(f"trailing input after term: {text!r}")
+    return term

@@ -1,0 +1,144 @@
+"""Stable-model search: supported models + lazy loop formulas (ASSAT).
+
+The completion CNF admits every *supported* model; supported models can
+still contain positively-circular justifications ("unfounded sets").
+Following Lin & Zhao's ASSAT method, we:
+
+1. find a supported model with the CDCL core;
+2. compute the least fixpoint of the model's reduct — atoms derivable
+   from facts through rules whose negative body the model satisfies
+   (choice atoms count as self-derivable when some choice rule licenses
+   them);
+3. if every true atom is derived, the model is stable — done;
+4. otherwise the underived true atoms form an unfounded set ``U``: add,
+   for each ``a ∈ U``, the loop formula ``a → ∨ external supports of U``
+   (supports whose positive atoms avoid ``U``), and re-solve.
+
+Dependency DAGs are acyclic in practice, so the concretizer almost never
+triggers step 4 — but correctness does not rely on that.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ground import GroundProgram
+from .syntax import Atom
+from .translate import Translator
+
+__all__ = ["StableModelFinder"]
+
+
+class StableModelFinder:
+    """Finds stable models of a ground program, lazily adding loop
+    formulas on top of a shared :class:`Translator`."""
+
+    def __init__(self, translator: Translator):
+        self.translator = translator
+        self.program: GroundProgram = translator.program
+        self.loop_formulas_added = 0
+        # Index rules/choices by head atom for fast reduct computation.
+        self._rules_by_head: Dict[Atom, List] = defaultdict(list)
+        for rule in self.program.rules:
+            if rule.head is not None:
+                self._rules_by_head[rule.head].append(rule)
+        self._choices_by_atom: Dict[Atom, List[Tuple]] = defaultdict(list)
+        for choice in self.program.choices:
+            for element in choice.elements:
+                self._choices_by_atom[element.atom].append((choice, element))
+
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Set[Atom]]:
+        """Return a stable model (set of true atoms) or None if UNSAT."""
+        solver = self.translator.solver
+        while True:
+            if not solver.solve(assumptions):
+                return None
+            model = self.translator.decode_model()
+            unfounded = self._unfounded_set(model)
+            if not unfounded:
+                return model
+            self._add_loop_formulas(unfounded, model)
+
+    # ------------------------------------------------------------------
+    def _unfounded_set(self, model: Set[Atom]) -> Set[Atom]:
+        """True atoms not derivable in the reduct's least fixpoint."""
+        derived: Set[Atom] = set()
+        # Worklist over candidate atoms; a candidate derives when one of
+        # its rules fires w.r.t. the current derived set and the model.
+        changed = True
+        pending = set(model)
+        while changed:
+            changed = False
+            newly: List[Atom] = []
+            for atom in pending:
+                if self._derivable(atom, derived, model):
+                    newly.append(atom)
+            for atom in newly:
+                derived.add(atom)
+                pending.discard(atom)
+                changed = True
+        return set(model) - derived
+
+    def _derivable(self, atom: Atom, derived: Set[Atom], model: Set[Atom]) -> bool:
+        for rule in self._rules_by_head.get(atom, ()):  # normal rules
+            if all(p in derived for p in rule.pos) and not any(
+                n in model for n in rule.neg
+            ):
+                return True
+        for choice, element in self._choices_by_atom.get(atom, ()):
+            if (
+                all(p in derived for p in choice.pos)
+                and not any(n in model for n in choice.neg)
+                and all(p in derived for p in element.cond_pos)
+                and not any(n in model for n in element.cond_neg)
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _add_loop_formulas(self, unfounded: Set[Atom], model: Set[Atom]) -> None:
+        # Lin–Zhao: if any atom of an unfounded set is true, some
+        # *external* support of the set (a support whose positive atoms
+        # all lie outside the set) must be active.  The whole unfounded
+        # set may union several independent loops — split it into
+        # positively-connected components first so each gets a targeted
+        # (and much stronger) formula, converging in fewer repairs.
+        solver = self.translator.solver
+        for component in self._components(unfounded):
+            externals = [
+                support.var
+                for atom in component
+                for support in self.translator.supports.get(atom, ())
+                if not (support.pos_atoms & component)
+            ]
+            for atom in component:
+                var = self.translator.atom_var[atom]
+                solver.add_clause([-var] + externals)
+                self.loop_formulas_added += 1
+
+    def _components(self, unfounded: Set[Atom]) -> List[Set[Atom]]:
+        """Connected components of the positive support graph within the
+        unfounded set (union-find)."""
+        parent: Dict[Atom, Atom] = {a: a for a in unfounded}
+
+        def find(a: Atom) -> Atom:
+            while parent[a] is not a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        def union(a: Atom, b: Atom) -> None:
+            ra, rb = find(a), find(b)
+            if ra is not rb:
+                parent[ra] = rb
+
+        for atom in unfounded:
+            for support in self.translator.supports.get(atom, ()):
+                for dep in support.pos_atoms & unfounded:
+                    union(atom, dep)
+        groups: Dict[Atom, Set[Atom]] = {}
+        for atom in unfounded:
+            groups.setdefault(find(atom), set()).add(atom)
+        return list(groups.values())

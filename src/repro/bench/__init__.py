@@ -1,0 +1,36 @@
+"""Benchmark harness shared by the benchmarks/ suite."""
+
+from .runner import (
+    TimingSample,
+    ConfigTiming,
+    time_concretization,
+    percent_increase,
+)
+from .report import format_table, aggregate_percent, write_results, FigureReport
+from .scenarios import (
+    bench_runs,
+    bench_roots,
+    mpi_bench_roots,
+    bench_repo,
+    local_cache_specs,
+    public_cache_specs,
+    SPLICE_TARGET_MPICH,
+)
+
+__all__ = [
+    "TimingSample",
+    "ConfigTiming",
+    "time_concretization",
+    "percent_increase",
+    "format_table",
+    "aggregate_percent",
+    "write_results",
+    "FigureReport",
+    "bench_runs",
+    "bench_roots",
+    "mpi_bench_roots",
+    "bench_repo",
+    "local_cache_specs",
+    "public_cache_specs",
+    "SPLICE_TARGET_MPICH",
+]

@@ -1,0 +1,94 @@
+"""Benchmark reporting: the tables/series the paper's figures plot.
+
+Each figure's bench prints (a) per-spec timing rows matching the
+figure's series and (b) the aggregate percentages quoted in the text
+(Sections 6.2–6.4), so paper-vs-measured comparison is one diff away.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .runner import ConfigTiming, percent_increase
+
+__all__ = ["format_table", "aggregate_percent", "write_results", "FigureReport"]
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None) -> str:
+    """Plain-text table for terminal output."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def aggregate_percent(
+    baselines: Sequence[ConfigTiming], measured: Sequence[ConfigTiming]
+) -> float:
+    """Mean per-spec percent increase (the aggregation the paper quotes:
+    'across all specs ... we see an X percent increase')."""
+    by_spec = {t.spec: t for t in baselines}
+    increases = [
+        percent_increase(by_spec[t.spec].mean, t.mean)
+        for t in measured
+        if t.spec in by_spec
+    ]
+    return sum(increases) / len(increases) if increases else 0.0
+
+
+class FigureReport:
+    """Collects rows + headline numbers for one figure, and persists
+    them as JSON next to the bench outputs (consumed by EXPERIMENTS.md
+    updates and regression checks)."""
+
+    def __init__(self, figure: str, title: str):
+        self.figure = figure
+        self.title = title
+        self.rows: List[Dict] = []
+        self.headlines: Dict[str, float] = {}
+
+    def add_timing(self, timing: ConfigTiming) -> None:
+        self.rows.append(timing.row())
+
+    def headline(self, key: str, value: float) -> None:
+        self.headlines[key] = round(value, 2)
+
+    def render(self) -> str:
+        parts = [f"== {self.figure}: {self.title} ==", format_table(self.rows)]
+        for key, value in self.headlines.items():
+            parts.append(f"{key}: {value}")
+        return "\n".join(parts)
+
+    def save(self, directory: Path) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.figure}.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "figure": self.figure,
+                    "title": self.title,
+                    "rows": self.rows,
+                    "headlines": self.headlines,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return path
+
+
+def write_results(report: FigureReport, directory: str = "bench_results") -> None:
+    print(report.render())
+    report.save(Path(directory))

@@ -1,0 +1,120 @@
+"""Benchmark runner: timed concretizations with summary statistics.
+
+The paper times the *concretization* step (not builds) over 30 runs per
+configuration (Section 6.1.4).  Pure-Python solving is orders of
+magnitude slower than clingo, so run counts and cache sizes are scaled
+by environment knobs (see :mod:`repro.bench.scenarios`); all reported
+comparisons are relative, which survives the scaling.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..concretize import Concretizer
+from ..package.repository import Repository
+from ..spec import Spec
+
+__all__ = ["TimingSample", "ConfigTiming", "time_concretization", "percent_increase"]
+
+
+@dataclass
+class TimingSample:
+    """One timed solve."""
+
+    seconds: float
+    built: int
+    spliced: int
+    reused: int
+
+
+@dataclass
+class ConfigTiming:
+    """Repeated solves of one (spec, configuration) pair."""
+
+    label: str
+    spec: str
+    samples: List[TimingSample] = field(default_factory=list)
+
+    @property
+    def times(self) -> List[float]:
+        return [s.seconds for s in self.samples]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.times) if len(self.times) > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.times)
+
+    @property
+    def max(self) -> float:
+        return max(self.times)
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "spec": self.spec,
+            "runs": len(self.samples),
+            "mean_s": round(self.mean, 4),
+            "median_s": round(self.median, 4),
+            "stdev_s": round(self.stdev, 4),
+            "min_s": round(self.min, 4),
+            "max_s": round(self.max, 4),
+            "built": self.samples[-1].built if self.samples else 0,
+            "spliced": self.samples[-1].spliced if self.samples else 0,
+        }
+
+
+def time_concretization(
+    repo: Repository,
+    reusable: Sequence[Spec],
+    spec: str,
+    runs: int = 3,
+    encoding: str = "new",
+    splicing: bool = False,
+    forbidden: Sequence[str] = (),
+    label: str = "",
+) -> ConfigTiming:
+    """Time ``runs`` fresh concretizations of ``spec``.
+
+    A fresh Concretizer per run, as each paper measurement is a fresh
+    ``spack spec`` invocation.
+    """
+    timing = ConfigTiming(label=label or f"{encoding}{'+splice' if splicing else ''}",
+                          spec=spec)
+    for _ in range(runs):
+        concretizer = Concretizer(
+            repo, reusable_specs=reusable, encoding=encoding, splicing=splicing
+        )
+        start = time.perf_counter()
+        result = concretizer.solve([spec], forbidden=forbidden)
+        elapsed = time.perf_counter() - start
+        timing.samples.append(
+            TimingSample(
+                seconds=elapsed,
+                built=len(result.built),
+                spliced=len(result.spliced),
+                reused=len(result.reused),
+            )
+        )
+    return timing
+
+
+def percent_increase(baseline: float, measured: float) -> float:
+    """(measured - baseline) / baseline, in percent."""
+    if baseline == 0:
+        return 0.0
+    return (measured - baseline) / baseline * 100.0

@@ -1,0 +1,139 @@
+"""Shared experimental setup for the Figure 5/6/7 benchmarks.
+
+Scaling knobs (environment variables), with laptop-friendly defaults:
+
+======================  =======  ==========================================
+variable                default  paper value
+======================  =======  ==========================================
+``REPRO_BENCH_RUNS``    3        30 runs per configuration
+``REPRO_PUBLIC_SPECS``  300      ~20,000 specs in the public buildcache
+``REPRO_LOCAL_CONFIGS`` 3        1 configuration (~200 specs incl. deps)
+``REPRO_BENCH_SPECS``   subset   all 32 RADIUSS roots / all 14 MPI roots
+======================  =======  ==========================================
+
+The local/public caches keep the paper's ~2-orders-of-magnitude size
+relationship at reduced absolute scale.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from ..buildcache import generate_cache_specs, vary_configurations
+from ..package.repository import Repository
+from ..repos.radiuss import (
+    MPI_DEPENDENT_ROOTS,
+    RADIUSS_ROOTS,
+    make_radiuss_repo,
+)
+from ..spec import Spec
+
+__all__ = [
+    "bench_runs",
+    "bench_roots",
+    "mpi_bench_roots",
+    "local_cache_specs",
+    "public_cache_specs",
+    "SPLICE_TARGET_MPICH",
+]
+
+#: the cached stacks are built against this mpich (the splice target)
+SPLICE_TARGET_MPICH = "3.4.3"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def bench_runs() -> int:
+    """Repetitions per configuration (paper: 30)."""
+    return _env_int("REPRO_BENCH_RUNS", 3)
+
+
+def bench_roots() -> List[str]:
+    """RADIUSS roots timed by Figure 5 (subset by default for speed)."""
+    if os.environ.get("REPRO_BENCH_SPECS") == "all":
+        return list(RADIUSS_ROOTS)
+    return [
+        "raja", "umpire", "chai", "caliper", "py-shroud", "zfp",
+        "hypre", "mfem", "conduit", "sundials", "axom", "visit",
+    ]
+
+
+def mpi_bench_roots() -> List[str]:
+    """MPI-dependent roots timed by Figures 6 and 7."""
+    if os.environ.get("REPRO_BENCH_SPECS") == "all":
+        return list(MPI_DEPENDENT_ROOTS)
+    return ["hypre", "sundials", "conduit", "mfem", "axom", "glvis", "visit"]
+
+
+@lru_cache(maxsize=1)
+def _shared_repo() -> Repository:
+    return make_radiuss_repo()
+
+
+def bench_repo() -> Repository:
+    return _shared_repo()
+
+
+@lru_cache(maxsize=1)
+def local_cache_specs() -> Tuple[Spec, ...]:
+    """The local buildcache: the RADIUSS stack built consistently against
+    mpich@3.4.3, in a few variant configurations (~150-250 nodes)."""
+    repo = _shared_repo()
+    configs = _env_int("REPRO_LOCAL_CONFIGS", 3)
+    specs: List[Spec] = []
+    variations: List[Dict] = [
+        {},  # all defaults
+        {("hdf5", "cxx"): "True", ("raja", "openmp"): "False"},
+        {("conduit", "hdf5"): "False", ("mfem", "zlib"): "False"},
+        {("zlib", "optimize"): "False", ("hdf5", "shared"): "False"},
+    ]
+    from ..buildcache.generate import greedy_concretize
+
+    seen = set()
+    for variant_choice in variations[:configs]:
+        for root in RADIUSS_ROOTS:
+            spec = greedy_concretize(
+                repo,
+                root,
+                versions={"mpich": SPLICE_TARGET_MPICH},
+                variants=variant_choice,
+                include_build_deps=False,
+            )
+            h = spec.dag_hash()
+            if h not in seen:
+                seen.add(h)
+                specs.append(spec)
+    return tuple(specs)
+
+
+@lru_cache(maxsize=1)
+def public_cache_specs() -> Tuple[Spec, ...]:
+    """The public buildcache: many configurations of the stack (scaled
+    from the paper's 20k; keep ≳1.5 orders of magnitude above local)."""
+    repo = _shared_repo()
+    count = _env_int("REPRO_PUBLIC_SPECS", 300)
+    specs = list(
+        vary_configurations(
+            repo,
+            RADIUSS_ROOTS,
+            count=count,
+            seed=42,
+            providers=[
+                {"mpi": "mpich"},
+                {"mpi": "mpich"},
+                {"mpi": "openmpi"},
+                {"mpi": "mvapich2"},
+            ],
+        )
+    )
+    # the public cache also contains the consistently-built local stack
+    # (the paper's public cache includes RADIUSS configurations)
+    specs.extend(local_cache_specs())
+    return tuple(specs)

@@ -1,0 +1,28 @@
+"""Mock binary substrate: ELF-like containers, ABI model, relocation,
+rewiring, and a dynamic-loader simulation."""
+
+from .mockelf import MockBinary, BinaryFormatError, MAGIC
+from .abi import AbiReport, check_abi_compatibility, abi_compatible
+from .relocate import RelocationResult, relocate_binary, relocate_text, pad_prefix
+from .rewire import RewirePlan, RewireError, plan_rewire, rewire_binary
+from .loader import Loader, LoadResult, LoadError
+
+__all__ = [
+    "MockBinary",
+    "BinaryFormatError",
+    "MAGIC",
+    "AbiReport",
+    "check_abi_compatibility",
+    "abi_compatible",
+    "RelocationResult",
+    "relocate_binary",
+    "relocate_text",
+    "pad_prefix",
+    "RewirePlan",
+    "RewireError",
+    "plan_rewire",
+    "rewire_binary",
+    "Loader",
+    "LoadResult",
+    "LoadError",
+]

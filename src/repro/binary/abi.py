@@ -1,0 +1,71 @@
+"""ABI-compatibility model (Section 2.1).
+
+A compiled package X is ABI-compatible with a compiled package Y when:
+
+1. X exports (defines) every symbol Y's dependents import from Y —
+   mangled-name superset; and
+2. every opaque type both sides expose has the *same layout descriptor*
+   (the MPICH ``MPI_Comm = int32`` vs Open MPI ``MPI_Comm = ptr-struct``
+   incompatibility is exactly a layout mismatch).
+
+These checks run at "load" time (:mod:`.loader`) and in tests to verify
+that splices the concretizer synthesizes are actually safe, and that
+unsafe substitutions (openmpi for mpich) are caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .mockelf import MockBinary
+
+__all__ = ["AbiReport", "check_abi_compatibility", "abi_compatible"]
+
+
+@dataclass
+class AbiReport:
+    """Outcome of an ABI compatibility check."""
+
+    compatible: bool
+    missing_symbols: List[str] = field(default_factory=list)
+    layout_mismatches: Dict[str, tuple] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        if self.compatible:
+            return "ABI compatible"
+        parts = []
+        if self.missing_symbols:
+            parts.append(f"missing symbols: {', '.join(self.missing_symbols)}")
+        for type_name, (old, new) in sorted(self.layout_mismatches.items()):
+            parts.append(f"type {type_name}: layout {old!r} != {new!r}")
+        return "ABI incompatible: " + "; ".join(parts)
+
+
+def check_abi_compatibility(
+    replacement: MockBinary, original: MockBinary
+) -> AbiReport:
+    """Can ``replacement`` stand in for ``original``?
+
+    Symbol check: the replacement must define a superset of the
+    original's defined symbols (dependents may import any of them).
+    Layout check: every opaque type exported by both must agree.
+    """
+    missing = sorted(
+        set(original.defined_symbols) - set(replacement.defined_symbols)
+    )
+    mismatches: Dict[str, tuple] = {}
+    for type_name, layout in original.type_layouts.items():
+        theirs = replacement.type_layouts.get(type_name)
+        if theirs is not None and theirs != layout:
+            mismatches[type_name] = (layout, theirs)
+    return AbiReport(
+        compatible=not missing and not mismatches,
+        missing_symbols=missing,
+        layout_mismatches=mismatches,
+    )
+
+
+def abi_compatible(replacement: MockBinary, original: MockBinary) -> bool:
+    """Boolean shorthand for :func:`check_abi_compatibility`."""
+    return check_abi_compatibility(replacement, original).compatible

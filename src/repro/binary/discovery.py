@@ -1,0 +1,199 @@
+"""Automatic ABI discovery (the paper's future work, Section 8).
+
+    "Currently, ABI compatibility must be specified by package
+    developers manually adding can_splice to their package classes.
+    In the future, we will develop methods for automating ABI
+    discovery for the Spack ecosystem."
+
+This module implements that extension over our ABI model: compare the
+exported surface (mangled symbols + opaque type layouts) of package
+configurations and propose the ``can_splice`` directives a maintainer
+would otherwise write by hand.  Two modes:
+
+* :func:`discover_provider_splices` — *static*: for each virtual
+  interface, compare every provider pair declared in a repository;
+* :func:`discover_binary_splices` — *dynamic*: compare actual built
+  artifacts (:class:`MockBinary`), the analogue of running ``libabigail``
+  over a binary cache.
+
+Suggestions are conservative: a replacement must export a superset of
+symbols AND agree on every shared opaque-type layout — exactly the
+:func:`~repro.binary.abi.check_abi_compatibility` criterion, so every
+suggestion is safe by construction of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..package.directives import CanSpliceDecl
+from ..package.repository import Repository
+from ..spec import Spec, parse_one
+from .abi import check_abi_compatibility
+from .mockelf import MockBinary
+
+__all__ = [
+    "SpliceSuggestion",
+    "discover_provider_splices",
+    "discover_binary_splices",
+    "apply_suggestions",
+]
+
+
+@dataclass(frozen=True)
+class SpliceSuggestion:
+    """A proposed ``can_splice`` directive."""
+
+    #: package that would carry the directive (the replacement)
+    splicer: str
+    #: the target constraint, e.g. ``"mpich@3.4.3"``
+    target: str
+    #: optional constraint on the splicer (the ``when`` spec)
+    when: Optional[str]
+    #: human-readable justification
+    reason: str
+
+    def directive_source(self) -> str:
+        """The package.py line a maintainer would paste."""
+        if self.when:
+            return f'can_splice("{self.target}", when="{self.when}")'
+        return f'can_splice("{self.target}")'
+
+
+def _surface_of(pkg_cls, spec: Spec) -> MockBinary:
+    """The ABI surface of one package configuration as a pseudo-binary."""
+    return MockBinary(
+        soname=f"lib{pkg_cls.name}.so",
+        defined_symbols=list(pkg_cls.exported_symbols(spec)),
+        type_layouts=dict(pkg_cls.exported_type_layouts(spec)),
+    )
+
+
+def _pin(repo: Repository, name: str, version) -> Spec:
+    spec = parse_one(f"{name}@={version}")
+    return spec
+
+
+def discover_provider_splices(
+    repo: Repository,
+    virtual: Optional[str] = None,
+    include_existing: bool = False,
+) -> List[SpliceSuggestion]:
+    """Propose cross-provider splices for a virtual interface.
+
+    For every ordered provider pair (replacement, target) of each
+    virtual, checks whether the replacement's newest configuration is
+    ABI-compatible with each declared target version.  Suggestions
+    already covered by an existing ``can_splice`` are skipped unless
+    ``include_existing``.
+    """
+    suggestions: List[SpliceSuggestion] = []
+    virtuals = [virtual] if virtual is not None else repo.virtual_names()
+    for v in virtuals:
+        providers = repo.providers(v)
+        for replacement_name in providers:
+            replacement_cls = repo.get(replacement_name)
+            if not replacement_cls.declared_versions():
+                continue
+            replacement_spec = _pin(
+                repo, replacement_name, replacement_cls.preferred_version()
+            )
+            replacement_surface = _surface_of(replacement_cls, replacement_spec)
+            for target_name in providers:
+                if target_name == replacement_name:
+                    continue
+                target_cls = repo.get(target_name)
+                for target_version in target_cls.declared_versions():
+                    target_spec = _pin(repo, target_name, target_version)
+                    report = check_abi_compatibility(
+                        replacement_surface, _surface_of(target_cls, target_spec)
+                    )
+                    if not report.compatible:
+                        continue
+                    target_text = f"{target_name}@{target_version}"
+                    if not include_existing and _already_declared(
+                        replacement_cls, target_text
+                    ):
+                        continue
+                    suggestions.append(
+                        SpliceSuggestion(
+                            splicer=replacement_name,
+                            target=target_text,
+                            when=None,
+                            reason=(
+                                f"{replacement_name} exports all "
+                                f"{len(replacement_surface.defined_symbols)} "
+                                f"symbols of {target_text} with matching "
+                                "opaque-type layouts"
+                            ),
+                        )
+                    )
+    return suggestions
+
+
+def _already_declared(pkg_cls, target_text: str) -> bool:
+    target = parse_one(target_text)
+    for decl in pkg_cls.can_splice_decls:
+        if decl.target.name == target.name and target.versions.satisfies(
+            decl.target.versions
+        ):
+            return True
+    return False
+
+
+def discover_binary_splices(
+    binaries: Dict[str, MockBinary],
+) -> List[SpliceSuggestion]:
+    """Propose splices by inspecting built artifacts directly.
+
+    ``binaries`` maps a label (e.g. ``"mpich@3.4.3"``) to the binary it
+    produced.  Every ordered pair is checked; compatible pairs become
+    suggestions.  This is the buildcache-scanning analogue of running an
+    ABI checker over compiled libraries.
+    """
+    suggestions: List[SpliceSuggestion] = []
+    for replacement_label, replacement in sorted(binaries.items()):
+        for target_label, target in sorted(binaries.items()):
+            if replacement_label == target_label:
+                continue
+            report = check_abi_compatibility(replacement, target)
+            if report.compatible:
+                splicer = parse_one(replacement_label)
+                when = None
+                if not splicer.versions.is_any:
+                    when = f"@{splicer.versions}"
+                suggestions.append(
+                    SpliceSuggestion(
+                        splicer=splicer.name,
+                        target=target_label,
+                        when=when,
+                        reason=(
+                            f"binary {replacement.soname} covers "
+                            f"{target.soname}'s exported surface"
+                        ),
+                    )
+                )
+    return suggestions
+
+
+def apply_suggestions(
+    repo: Repository, suggestions: Sequence[SpliceSuggestion]
+) -> int:
+    """Register suggested directives on the packages (in-memory).
+
+    Returns how many were applied.  Safe to run repeatedly; existing
+    declarations are not duplicated.
+    """
+    applied = 0
+    for suggestion in suggestions:
+        pkg_cls = repo.get(suggestion.splicer)
+        if _already_declared(pkg_cls, suggestion.target):
+            continue
+        decl = CanSpliceDecl(
+            target=parse_one(suggestion.target),
+            when=parse_one(suggestion.when) if suggestion.when else None,
+        )
+        pkg_cls.can_splice_decls = list(pkg_cls.can_splice_decls) + [decl]
+        applied += 1
+    return applied

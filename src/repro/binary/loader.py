@@ -1,0 +1,143 @@
+"""A dynamic-loader simulation: resolve NEEDED entries through RPATHs.
+
+This is the "does it actually run" check for installed and rewired
+binaries: every NEEDED soname must be found under some RPATH directory,
+every undefined symbol must be defined by a resolved library, and
+opaque-type layouts must agree between importer and exporter —
+otherwise the load fails exactly the way a real mixed-MPI deployment
+crashes at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .mockelf import MockBinary, BinaryFormatError
+
+__all__ = ["Loader", "LoadResult", "LoadError"]
+
+
+class LoadError(RuntimeError):
+    """Raised by :meth:`Loader.load_or_raise` on resolution failure."""
+
+
+@dataclass
+class LoadResult:
+    """Outcome of loading one binary and its transitive dependencies."""
+
+    ok: bool
+    resolved: Dict[str, str] = field(default_factory=dict)
+    missing_libraries: List[str] = field(default_factory=list)
+    unresolved_symbols: List[str] = field(default_factory=list)
+    layout_conflicts: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        if self.ok:
+            return f"loaded ({len(self.resolved)} libraries)"
+        parts = []
+        if self.missing_libraries:
+            parts.append(f"missing libraries: {', '.join(self.missing_libraries)}")
+        if self.unresolved_symbols:
+            parts.append(
+                f"unresolved symbols: {', '.join(self.unresolved_symbols)}"
+            )
+        if self.layout_conflicts:
+            parts.append(f"layout conflicts: {', '.join(self.layout_conflicts)}")
+        return "load failed: " + "; ".join(parts)
+
+
+class Loader:
+    """Resolves mock binaries like ``ld.so`` resolves real ones."""
+
+    def __init__(self):
+        #: filesystem scan cache: directory → {soname: path}
+        self._dir_cache: Dict[str, Dict[str, str]] = {}
+
+    def _scan(self, directory: str) -> Dict[str, str]:
+        cached = self._dir_cache.get(directory)
+        if cached is not None:
+            return cached
+        found: Dict[str, str] = {}
+        root = Path(directory)
+        if root.is_dir():
+            for path in sorted(root.rglob("*")):
+                if not path.is_file():
+                    continue
+                try:
+                    binary = MockBinary.read(path)
+                except (BinaryFormatError, OSError):
+                    continue
+                found.setdefault(binary.soname, str(path))
+        self._dir_cache[directory] = found
+        return found
+
+    def resolve(self, soname: str, rpaths: List[str]) -> Optional[str]:
+        """First RPATH directory providing ``soname`` wins, like ld.so."""
+        for rpath in rpaths:
+            # normalize padded prefixes (/x/./. → /x)
+            normalized = str(Path(rpath).resolve()) if Path(rpath).exists() else rpath
+            found = self._scan(normalized).get(soname)
+            if found is not None:
+                return found
+        return None
+
+    def load(self, path: str) -> LoadResult:
+        """Load a binary, resolving its full NEEDED closure."""
+        result = LoadResult(ok=True)
+        try:
+            root = MockBinary.read(Path(path))
+        except (BinaryFormatError, OSError) as e:
+            result.ok = False
+            result.missing_libraries.append(f"{path} ({e})")
+            return result
+
+        loaded: Dict[str, MockBinary] = {root.soname: root}
+        result.resolved[root.soname] = str(path)
+        queue = [root]
+        while queue:
+            current = queue.pop()
+            for soname in current.needed:
+                if soname in loaded:
+                    continue
+                found = self.resolve(soname, current.rpaths)
+                if found is None:
+                    result.ok = False
+                    result.missing_libraries.append(soname)
+                    continue
+                dep = MockBinary.read(Path(found))
+                loaded[soname] = dep
+                result.resolved[soname] = found
+                queue.append(dep)
+
+        # symbol resolution: every undefined symbol must be defined
+        all_defined = {
+            sym for binary in loaded.values() for sym in binary.defined_symbols
+        }
+        for binary in loaded.values():
+            for sym in binary.undefined_symbols:
+                if sym not in all_defined:
+                    result.ok = False
+                    result.unresolved_symbols.append(f"{binary.soname}:{sym}")
+
+        # opaque-type layouts must be consistent across the load set
+        layouts: Dict[str, tuple] = {}
+        for binary in sorted(loaded.values(), key=lambda b: b.soname):
+            for type_name, layout in binary.type_layouts.items():
+                seen = layouts.get(type_name)
+                if seen is None:
+                    layouts[type_name] = (layout, binary.soname)
+                elif seen[0] != layout:
+                    result.ok = False
+                    result.layout_conflicts.append(
+                        f"{type_name}: {seen[1]}={seen[0]} vs "
+                        f"{binary.soname}={layout}"
+                    )
+        return result
+
+    def load_or_raise(self, path: str) -> LoadResult:
+        result = self.load(path)
+        if not result.ok:
+            raise LoadError(result.explain())
+        return result

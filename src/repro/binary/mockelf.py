@@ -1,0 +1,113 @@
+"""MockBinary: a tiny ELF-like container for simulated builds.
+
+Real Spack patches RPATH entries and path strings inside ELF binaries
+(Section 3.4).  We reproduce the observable contract with a JSON-backed
+container that carries exactly the fields relocation and rewiring touch:
+
+* a dynamic section with ``NEEDED`` (dependency sonames), ``RPATH``
+  (search paths baked in at link time), and ``SONAME``;
+* a symbol table of exported (``defined``) and imported (``undefined``)
+  mangled names — the ABI surface of Section 2.1;
+* exported opaque-type layout records (``MPI_Comm: int32`` vs
+  ``ptr-struct``);
+* an opaque ``path_blob`` of embedded path strings, standing in for the
+  string tables real patching rewrites (including the padded-path trick
+  used when a new prefix is longer than the old one).
+
+Binaries serialize to bytes with a magic header so tests can treat them
+as opaque files on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["MockBinary", "BinaryFormatError", "MAGIC"]
+
+MAGIC = b"\x7fMOCKELF\x01"
+
+
+class BinaryFormatError(ValueError):
+    """Raised for corrupt or non-mock binary files."""
+
+
+@dataclass
+class MockBinary:
+    """One shared library or executable produced by a simulated build."""
+
+    soname: str
+    #: sonames of the libraries this binary links against
+    needed: List[str] = field(default_factory=list)
+    #: embedded run-time search paths (install prefixes of dependencies)
+    rpaths: List[str] = field(default_factory=list)
+    #: exported (defined) mangled symbols
+    defined_symbols: List[str] = field(default_factory=list)
+    #: imported (undefined) symbols to be resolved from NEEDED libraries
+    undefined_symbols: List[str] = field(default_factory=list)
+    #: opaque-type layout descriptors this binary was compiled against
+    type_layouts: Dict[str, str] = field(default_factory=dict)
+    #: embedded path strings (sorted for determinism on round-trip)
+    path_blob: List[str] = field(default_factory=list)
+    #: provenance: dag hash of the spec this binary was built from
+    built_from: str = ""
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        payload = {
+            "soname": self.soname,
+            "needed": self.needed,
+            "rpaths": self.rpaths,
+            "defined_symbols": self.defined_symbols,
+            "undefined_symbols": self.undefined_symbols,
+            "type_layouts": self.type_layouts,
+            "path_blob": self.path_blob,
+            "built_from": self.built_from,
+        }
+        return MAGIC + json.dumps(payload, sort_keys=True).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MockBinary":
+        if not data.startswith(MAGIC):
+            raise BinaryFormatError("not a mock binary (bad magic)")
+        try:
+            payload = json.loads(data[len(MAGIC):])
+        except json.JSONDecodeError as e:
+            raise BinaryFormatError(f"corrupt mock binary: {e}") from e
+        return cls(**payload)
+
+    def write(self, path: Path) -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def read(cls, path: Path) -> "MockBinary":
+        return cls.from_bytes(Path(path).read_bytes())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def references_prefix(self, prefix: str) -> bool:
+        """Does any embedded path mention ``prefix``?"""
+        return any(prefix in p for p in self.rpaths + self.path_blob)
+
+    def copy(self) -> "MockBinary":
+        return MockBinary(
+            self.soname,
+            list(self.needed),
+            list(self.rpaths),
+            list(self.defined_symbols),
+            list(self.undefined_symbols),
+            dict(self.type_layouts),
+            list(self.path_blob),
+            self.built_from,
+        )
+
+    def __repr__(self):
+        return (
+            f"<MockBinary {self.soname} needed={self.needed} "
+            f"rpaths={len(self.rpaths)}>"
+        )

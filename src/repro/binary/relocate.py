@@ -1,0 +1,91 @@
+"""Binary relocation: rewrite install prefixes inside binaries.
+
+Spack installs everything under a user prefix and embeds dependency
+locations as RPATHs; installing a cached binary elsewhere requires
+patching every occurrence of the old prefixes (Section 3.4).  Two
+regimes, as in Spack:
+
+* new prefix **shorter or equal**: plain string replacement, padded
+  with ``/`` repetition to preserve blob lengths (binary patching may
+  not change string-table sizes);
+* new prefix **longer**: the ``patchelf``-style path applies — we model
+  it as an explicit "lengthen" rewrite that is only legal on fields
+  that tolerate resizing (rpaths and path_blob entries here), counted
+  separately so tests can assert which regime ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .mockelf import MockBinary
+
+__all__ = ["RelocationResult", "relocate_binary", "relocate_text", "pad_prefix"]
+
+
+@dataclass
+class RelocationResult:
+    """Bookkeeping for one binary relocation."""
+
+    binary: MockBinary
+    replacements: int = 0
+    lengthened: int = 0
+    padded: int = 0
+
+
+def pad_prefix(new_prefix: str, old_length: int) -> str:
+    """Pad a shorter prefix to ``old_length`` with self-referential
+    ``/./`` segments (the classic binary-patching trick: ``/opt/x`` and
+    ``/opt/x/././.`` name the same directory)."""
+    if len(new_prefix) > old_length:
+        raise ValueError("cannot pad a longer prefix")
+    padded = new_prefix
+    while len(padded) + 2 <= old_length:
+        padded += "/."
+    # final odd byte: a trailing slash also preserves the path
+    if len(padded) < old_length:
+        padded += "/"
+    return padded
+
+
+def relocate_text(text: str, prefix_map: Dict[str, str]) -> str:
+    """Rewrite every occurrence of the old prefixes (longest first, so
+    nested prefixes do not shadow each other)."""
+    for old in sorted(prefix_map, key=len, reverse=True):
+        text = text.replace(old, prefix_map[old])
+    return text
+
+
+def relocate_binary(
+    binary: MockBinary,
+    prefix_map: Dict[str, str],
+    pad: bool = True,
+) -> RelocationResult:
+    """Return a relocated copy of ``binary``.
+
+    ``prefix_map`` maps old install prefixes to new locations.  With
+    ``pad=True``, same-directory padding keeps replacement strings the
+    exact length of the originals whenever the new prefix is shorter
+    (simple patching logic); longer prefixes take the patchelf-style
+    lengthening path and are counted in ``lengthened``.
+    """
+    out = binary.copy()
+    result = RelocationResult(out)
+
+    def rewrite(path: str) -> str:
+        for old in sorted(prefix_map, key=len, reverse=True):
+            if old in path:
+                new = prefix_map[old]
+                if pad and len(new) < len(old):
+                    new = pad_prefix(new, len(old))
+                    result.padded += 1
+                elif len(new) > len(old):
+                    result.lengthened += 1
+                result.replacements += 1
+                path = path.replace(old, new)
+        return path
+
+    out.rpaths = [rewrite(p) for p in out.rpaths]
+    out.path_blob = [rewrite(p) for p in out.path_blob]
+    return result

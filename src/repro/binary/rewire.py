@@ -1,0 +1,138 @@
+"""Rewiring: relocation generalized to splices (Section 4.2).
+
+Relocation moves *the same* library to a new path; rewiring points a
+binary at a *different but ABI-compatible* library.  The build spec of a
+spliced spec tells us how the binary was originally linked; diffing the
+build spec's dependencies against the spliced spec's dependencies yields
+the prefix map (old dependency prefix → spliced dependency prefix) and
+the soname map (old NEEDED entry → replacement soname) that the patcher
+applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..spec import Spec, DEPTYPE_LINK_RUN
+from .abi import AbiReport, check_abi_compatibility
+from .mockelf import MockBinary
+from .relocate import relocate_binary
+
+__all__ = ["RewirePlan", "RewireError", "plan_rewire", "rewire_binary"]
+
+
+class RewireError(RuntimeError):
+    """Raised when a splice cannot be rewired (no build spec, or the
+    replacement is ABI-incompatible and checking is enforced)."""
+
+
+@dataclass
+class RewirePlan:
+    """The mapping a splice induces on one spliced spec's binaries."""
+
+    spec: Spec
+    build_spec: Spec
+    #: old dependency node → new dependency node
+    replaced: List[Tuple[Spec, Spec]] = field(default_factory=list)
+    #: old install prefix → new install prefix
+    prefix_map: Dict[str, str] = field(default_factory=dict)
+    #: old soname → new soname (for cross-package splices)
+    soname_map: Dict[str, str] = field(default_factory=dict)
+
+
+def plan_rewire(
+    spec: Spec,
+    prefix_of: Callable[[Spec], str],
+    soname_of: Optional[Callable[[Spec], str]] = None,
+    old_prefix_of: Optional[Callable[[Spec], str]] = None,
+) -> RewirePlan:
+    """Compute the rewiring plan for a spliced spec.
+
+    ``prefix_of`` maps a concrete spec node to its install prefix
+    (usually the install database); ``old_prefix_of`` resolves where the
+    *replaced* dependencies lived when the binary was built (cache
+    metadata — they may never be installed locally, e.g. mpich on a
+    Cray deploy target).  Dependencies are matched between the build
+    spec and the spliced spec: same-name nodes whose hashes differ were
+    replaced by the splice; build-spec dependencies missing from the
+    spliced spec were replaced by a *different-named* package, matched
+    against spliced dependencies not present in the build spec.
+    """
+    if not spec.spliced:
+        raise RewireError(f"{spec.name} is not a spliced spec (no build spec)")
+    build_spec = spec.build_spec
+    if soname_of is None:
+        soname_of = lambda s: f"lib{s.name}.so"  # noqa: E731
+    if old_prefix_of is None:
+        old_prefix_of = prefix_of
+
+    # Only direct dependencies: a binary's NEEDED/RPATH entries reference
+    # the libraries it was linked against, not their transitive closure
+    # (deeper splices rewire the deeper binaries, each with its own plan).
+    old_deps = {e.spec.name: e.spec for e in build_spec.edges(DEPTYPE_LINK_RUN)}
+    new_deps = {e.spec.name: e.spec for e in spec.edges(DEPTYPE_LINK_RUN)}
+
+    plan = RewirePlan(spec=spec, build_spec=build_spec)
+    unmatched_old: List[Spec] = []
+    for name, old in sorted(old_deps.items()):
+        new = new_deps.get(name)
+        if new is None:
+            unmatched_old.append(old)
+        elif new.dag_hash() != old.dag_hash():
+            plan.replaced.append((old, new))
+
+    unmatched_new = [
+        n for name, n in sorted(new_deps.items()) if name not in old_deps
+    ]
+    if len(unmatched_old) != len(unmatched_new):
+        raise RewireError(
+            f"cannot match replaced dependencies of {spec.name}: "
+            f"{[s.name for s in unmatched_old]} vs {[s.name for s in unmatched_new]}"
+        )
+    # Cross-package replacements: pair leftovers (deterministically by
+    # name). A single splice replaces a single package, so in practice
+    # there is at most one pair.
+    plan.replaced.extend(zip(unmatched_old, unmatched_new))
+
+    for old, new in plan.replaced:
+        plan.prefix_map[old_prefix_of(old)] = prefix_of(new)
+        old_soname, new_soname = soname_of(old), soname_of(new)
+        if old_soname != new_soname:
+            plan.soname_map[old_soname] = new_soname
+    # unreplaced shared dependencies still need relocating when the
+    # binary was built on another machine (old location → local install)
+    for name, old in sorted(old_deps.items()):
+        new = new_deps.get(name)
+        if new is not None and new.dag_hash() == old.dag_hash():
+            old_location = old_prefix_of(old)
+            new_location = prefix_of(new)
+            if old_location != new_location:
+                plan.prefix_map[old_location] = new_location
+    return plan
+
+
+def rewire_binary(
+    binary: MockBinary,
+    plan: RewirePlan,
+    check_abi: Optional[Callable[[Spec, Spec], AbiReport]] = None,
+) -> MockBinary:
+    """Patch one binary according to a rewire plan.
+
+    Rewrites RPATH/path references through the relocation machinery and
+    NEEDED entries through the soname map.  When ``check_abi`` is given,
+    each replacement pair is verified first and an ABI-incompatible
+    replacement raises :class:`RewireError` — the guard that makes the
+    openmpi-for-mpich substitution fail loudly.
+    """
+    if check_abi is not None:
+        for old, new in plan.replaced:
+            report = check_abi(old, new)
+            if not report.compatible:
+                raise RewireError(
+                    f"refusing to rewire {binary.soname}: {new.name} cannot "
+                    f"replace {old.name}: {report.explain()}"
+                )
+    patched = relocate_binary(binary, plan.prefix_map, pad=True).binary
+    patched.needed = [plan.soname_map.get(n, n) for n in patched.needed]
+    return patched

@@ -1,0 +1,368 @@
+"""Command-line interface — a miniature ``spack``.
+
+Run as ``python -m repro <command>``::
+
+    python -m repro spec "hdf5 ^mpich"            # concretize + print tree
+    python -m repro spec --splice "hdf5 ^mpiabi"  # allow spliced solutions
+    python -m repro install --store /tmp/store "hdf5"
+    python -m repro find --store /tmp/store       # list installed specs
+    python -m repro buildcache create --store /tmp/store --cache /tmp/bc hdf5
+    python -m repro suggest-splices               # ABI discovery report
+
+Packages come from the built-in RADIUSS repository by default
+(``--repo mock`` switches to the paper's Figure-1 toy packages).
+A ``--cache DIR`` buildcache and the ``--store DIR`` install database
+both contribute reusable specs to the concretizer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .binary.discovery import discover_provider_splices
+from .buildcache import BuildCache
+from .concretize import Concretizer, UnsatisfiableError
+from .installer import InstallError, Installer
+from .package.repository import Repository
+from .repos.mock import make_mock_repo
+from .repos.radiuss import make_radiuss_repo
+from .spec import tree
+from .spec.diff import diff_specs
+
+__all__ = ["main"]
+
+
+def _load_repo(name: str) -> Repository:
+    if name == "mock":
+        return make_mock_repo()
+    if name == "radiuss":
+        return make_radiuss_repo()
+    path = Path(name)
+    if path.is_dir():
+        from .package.repo_dir import load_repository
+
+        return load_repository(path)
+    raise SystemExit(
+        f"unknown repository {name!r} (use 'radiuss', 'mock', or a directory)"
+    )
+
+
+def _reusable(args) -> list:
+    specs = []
+    if getattr(args, "cache", None):
+        cache = BuildCache(Path(args.cache))
+        specs.extend(cache.all_specs())
+    if getattr(args, "store", None):
+        store = Path(args.store)
+        if (store / "db.json").exists():
+            from .installer.database import Database
+
+            specs.extend(Database(store).all_specs())
+    return specs
+
+
+def cmd_spec(args) -> int:
+    """`repro spec`: concretize and print trees, builds, and splices."""
+    repo = _load_repo(args.repo)
+    concretizer = Concretizer(
+        repo,
+        reusable_specs=_reusable(args),
+        splicing=args.splice,
+    )
+    try:
+        result = concretizer.solve(args.specs, forbidden=args.forbid or [])
+    except UnsatisfiableError as e:
+        print(f"error: {e}", file=sys.stderr)
+        diagnosis = concretizer.explain(args.specs, forbidden=args.forbid or [])
+        print(diagnosis.explain(), file=sys.stderr)
+        return 1
+    for root in result.roots:
+        print(tree(root))
+        print()
+    built = sorted(s.name for s in result.built)
+    spliced = sorted(s.name for s in result.spliced)
+    print(f"to build: {built or 'nothing'}")
+    if spliced:
+        print(f"to splice (relink, no rebuild): {spliced}")
+    if args.time:
+        print(f"concretization time: {result.stats['total_time']:.3f}s")
+    return 0
+
+
+def cmd_install(args) -> int:
+    """`repro install`: concretize then build/extract/rewire into a store."""
+    repo = _load_repo(args.repo)
+    caches = [BuildCache(Path(args.cache))] if args.cache else []
+    concretizer = Concretizer(
+        repo,
+        reusable_specs=_reusable(args),
+        splicing=args.splice,
+    )
+    try:
+        result = concretizer.solve(args.specs, forbidden=args.forbid or [])
+    except UnsatisfiableError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    installer = Installer(Path(args.store), repo, caches=caches)
+    for root in result.roots:
+        report = installer.install(root)
+        print(f"{root.name}: {report.summary()}")
+        print(f"  prefix: {installer.database.prefix_of(root)}")
+    return 0
+
+
+def cmd_find(args) -> int:
+    """`repro find`: list installed specs (explicit ones starred)."""
+    from .installer.database import Database
+
+    db = Database(Path(args.store))
+    if not len(db):
+        print("no installed specs")
+        return 0
+    for record in db:
+        spec = record.spec
+        marker = " [spliced]" if spec.spliced else ""
+        explicit = "*" if record.explicit else " "
+        print(f"{explicit} {spec.dag_hash(7)}  {spec.short_str()}{marker}")
+    return 0
+
+
+def cmd_buildcache(args) -> int:
+    """`repro buildcache create|list`: push installed specs / show a cache."""
+    repo = _load_repo(args.repo)
+    cache = BuildCache(Path(args.cache))
+    if args.action == "list":
+        for spec in cache.all_specs():
+            print(f"{spec.dag_hash(7)}  {spec.short_str()}")
+        return 0
+    # create: push installed specs matching the given names
+    installer = Installer(Path(args.store), repo)
+    pushed = 0
+    for name in args.specs:
+        for record in installer.database.query(name):
+            installer.push_to_cache(cache, record.spec)
+            pushed += 1
+    cache.save_index()
+    print(f"pushed {pushed} spec(s); cache now holds {len(cache)}")
+    return 0
+
+
+def cmd_uninstall(args) -> int:
+    """`repro uninstall`: remove installs (refuses with dependents)."""
+    from .installer.database import Database
+
+    repo = _load_repo(args.repo)
+    installer = Installer(Path(args.store), repo)
+    matches = installer.database.query(args.spec)
+    if not matches:
+        print(f"error: {args.spec} is not installed", file=sys.stderr)
+        return 1
+    try:
+        for record in matches:
+            installer.uninstall(record.spec, force=args.force)
+            print(f"uninstalled {record.spec.short_str()}")
+    except InstallError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_gc(args) -> int:
+    """`repro gc`: drop installs unreachable from explicit roots."""
+    repo = _load_repo(args.repo)
+    installer = Installer(Path(args.store), repo)
+    removed = installer.gc()
+    if removed:
+        print(f"removed: {', '.join(removed)}")
+    else:
+        print("nothing to remove")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """`repro verify`: loader-check every installed binary."""
+    repo = _load_repo(args.repo)
+    installer = Installer(Path(args.store), repo)
+    problems = installer.verify()
+    if not problems:
+        print("store is healthy")
+        return 0
+    for name, issues in sorted(problems.items()):
+        print(f"{name}:")
+        for issue in issues:
+            print(f"  {issue}")
+    return 1
+
+
+def cmd_env(args) -> int:
+    """`repro env create|add|concretize|install|status`."""
+    from .environment import Environment, EnvironmentError
+
+    repo = _load_repo(args.repo)
+    path = Path(args.env)
+    if args.action == "create":
+        env = Environment(path, repo)
+        for spec in args.specs:
+            env.add(spec)
+        env.splicing = args.splice
+        env.write()
+        print(f"created environment at {path} with {len(env.roots)} root(s)")
+        return 0
+    try:
+        env = Environment.read(path, repo)
+    except EnvironmentError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    if args.action == "add":
+        for spec in args.specs:
+            env.add(spec)
+        env.write()
+        print(f"roots: {env.roots}")
+        return 0
+    if args.action == "concretize":
+        env.concretize(reusable_specs=_reusable(args))
+        env.write()
+        for root in env.concrete_roots:
+            print(tree(root))
+            print()
+        return 0
+    if args.action == "install":
+        if not env.concretized:
+            env.concretize(reusable_specs=_reusable(args))
+            env.write()
+        installer = Installer(Path(args.store), repo)
+        report = installer.install_all(env.concrete_roots, jobs=args.jobs)
+        print(report.summary())
+        return 0
+    if args.action == "status":
+        state = "concretized" if env.concretized else "abstract"
+        print(f"{len(env.roots)} root(s), {state}, splicing={'on' if env.splicing else 'off'}")
+        for root in env.roots:
+            print(f"  {root}")
+        return 0
+    raise SystemExit(f"unknown env action {args.action!r}")
+
+
+def cmd_diff(args) -> int:
+    """`repro diff`: concretize two specs and show what differs."""
+    repo = _load_repo(args.repo)
+    concretizer = Concretizer(repo, reusable_specs=_reusable(args))
+    try:
+        left = concretizer.solve([args.left]).roots[0]
+        right = concretizer.solve([args.right]).roots[0]
+    except UnsatisfiableError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(diff_specs(left, right).summary())
+    return 0
+
+
+def cmd_suggest_splices(args) -> int:
+    """`repro suggest-splices`: the automatic ABI-discovery report."""
+    repo = _load_repo(args.repo)
+    suggestions = discover_provider_splices(
+        repo, args.virtual, include_existing=args.all
+    )
+    if not suggestions:
+        print("no new ABI-compatible splices discovered")
+        return 0
+    for s in sorted(suggestions, key=lambda s: (s.splicer, s.target)):
+        print(f"{s.splicer}: {s.directive_source()}")
+        print(f"    # {s.reason}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="miniature Spack with splicing (SC'25 reproduction)",
+    )
+    parser.add_argument(
+        "--repo", default="radiuss", help="package repository (radiuss|mock)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_spec = sub.add_parser("spec", help="concretize specs and print the DAG")
+    p_spec.add_argument("specs", nargs="+")
+    p_spec.add_argument("--splice", action="store_true", help="enable splicing")
+    p_spec.add_argument("--forbid", action="append", help="forbid a package")
+    p_spec.add_argument("--cache", help="buildcache directory to reuse from")
+    p_spec.add_argument("--store", help="install store to reuse from")
+    p_spec.add_argument("--time", action="store_true", help="print solve time")
+    p_spec.set_defaults(func=cmd_spec)
+
+    p_install = sub.add_parser("install", help="concretize and install")
+    p_install.add_argument("specs", nargs="+")
+    p_install.add_argument("--store", required=True, help="install store root")
+    p_install.add_argument("--cache", help="buildcache to extract from")
+    p_install.add_argument("--splice", action="store_true")
+    p_install.add_argument("--forbid", action="append")
+    p_install.set_defaults(func=cmd_install)
+
+    p_find = sub.add_parser("find", help="list installed specs")
+    p_find.add_argument("--store", required=True)
+    p_find.set_defaults(func=cmd_find)
+
+    p_cache = sub.add_parser("buildcache", help="manage a binary cache")
+    p_cache.add_argument("action", choices=["create", "list"])
+    p_cache.add_argument("specs", nargs="*")
+    p_cache.add_argument("--cache", required=True)
+    p_cache.add_argument("--store", help="store to read binaries from")
+    p_cache.set_defaults(func=cmd_buildcache)
+
+    p_uninstall = sub.add_parser("uninstall", help="remove an installed spec")
+    p_uninstall.add_argument("spec", help="package name to uninstall")
+    p_uninstall.add_argument("--store", required=True)
+    p_uninstall.add_argument("--force", action="store_true",
+                             help="remove even with installed dependents")
+    p_uninstall.set_defaults(func=cmd_uninstall)
+
+    p_gc = sub.add_parser("gc", help="remove installs unreachable from roots")
+    p_gc.add_argument("--store", required=True)
+    p_gc.set_defaults(func=cmd_gc)
+
+    p_verify = sub.add_parser("verify", help="integrity-check the store")
+    p_verify.add_argument("--store", required=True)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_env = sub.add_parser("env", help="manage environments")
+    p_env.add_argument("action",
+                       choices=["create", "add", "concretize", "install", "status"])
+    p_env.add_argument("--env", required=True, help="environment directory")
+    p_env.add_argument("specs", nargs="*")
+    p_env.add_argument("--splice", action="store_true")
+    p_env.add_argument("--cache")
+    p_env.add_argument("--store", help="install store (for env install)")
+    p_env.add_argument("--jobs", type=int, default=1)
+    p_env.set_defaults(func=cmd_env)
+
+    p_diff = sub.add_parser("diff", help="compare two concretized specs")
+    p_diff.add_argument("left")
+    p_diff.add_argument("right")
+    p_diff.add_argument("--cache")
+    p_diff.add_argument("--store")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_suggest = sub.add_parser(
+        "suggest-splices", help="automatic ABI discovery report"
+    )
+    p_suggest.add_argument("--virtual", default=None)
+    p_suggest.add_argument(
+        "--all", action="store_true", help="include already-declared splices"
+    )
+    p_suggest.set_defaults(func=cmd_suggest_splices)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""The concretizer: dependency resolution with reuse and splicing."""
+
+from .concretizer import Concretizer, ConcretizationResult, UnsatisfiableError
+from .encode import Encoder, EncodingError
+from .reuse import ReuseEncoder, OLD_ENCODING, NEW_ENCODING
+from .cansplice import CanSpliceCompiler
+from .extract import ModelExtractor, ExtractionError
+from .explain import Diagnosis, Constraint, explain_unsat
+
+__all__ = [
+    "Concretizer",
+    "ConcretizationResult",
+    "UnsatisfiableError",
+    "Encoder",
+    "EncodingError",
+    "ReuseEncoder",
+    "OLD_ENCODING",
+    "NEW_ENCODING",
+    "CanSpliceCompiler",
+    "ModelExtractor",
+    "ExtractionError",
+    "Diagnosis",
+    "Constraint",
+    "explain_unsat",
+]

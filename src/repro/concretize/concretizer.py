@@ -1,0 +1,239 @@
+"""The concretizer façade: solve abstract specs into concrete ones.
+
+Configuration axes mirror the paper's experiments (Section 6.1.4):
+
+* ``encoding`` — ``"old"`` (direct ``imposed_constraint`` facts) or
+  ``"new"`` (``hash_attr`` indirection, Figure 3);
+* ``splicing`` — load Figure 4's rules (requires the new encoding);
+* the set of reusable specs (a buildcache and/or an install DB).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..asp.api import Control, Model
+from ..asp.parser import parse_program
+from ..asp.syntax import Program
+from ..package.repository import Repository
+from ..spec import Spec, parse_one
+from .cansplice import CanSpliceCompiler
+from .encode import Encoder, EncodingError
+from .extract import ModelExtractor
+from .reuse import ReuseEncoder, NEW_ENCODING, OLD_ENCODING
+
+__all__ = ["Concretizer", "ConcretizationResult", "UnsatisfiableError"]
+
+LOGIC_DIR = Path(__file__).parent / "logic"
+
+_logic_cache: Dict[str, Program] = {}
+
+
+def _load_logic(name: str) -> Program:
+    """Parse a logic program once per process."""
+    program = _logic_cache.get(name)
+    if program is None:
+        program = parse_program((LOGIC_DIR / name).read_text(encoding="utf-8"))
+        _logic_cache[name] = program
+    return program
+
+
+class UnsatisfiableError(RuntimeError):
+    """No concretization satisfies the request."""
+
+
+class ConcretizationResult:
+    """Concrete specs plus provenance/metrics for one solve."""
+
+    def __init__(
+        self,
+        roots: List[Spec],
+        by_name: Dict[str, Spec],
+        model: Model,
+        stats: Dict[str, float],
+    ):
+        self.roots = roots
+        self.by_name = by_name
+        self.model = model
+        self.stats = stats
+
+    @property
+    def specs(self) -> List[Spec]:
+        return self.roots
+
+    @property
+    def reused(self) -> List[Spec]:
+        """Specs reused from the cache/DB (unspliced)."""
+        return [
+            s for s in self.by_name.values() if not s.spliced and self._has_hash(s)
+        ]
+
+    @property
+    def spliced(self) -> List[Spec]:
+        """Specs whose binaries will be rewired rather than rebuilt."""
+        return [s for s in self.by_name.values() if s.spliced]
+
+    @property
+    def built(self) -> List[Spec]:
+        """Specs that must be built from source."""
+        built_names = {
+            str(a.args[0].value) for a in self.model.by_predicate("build")
+        }
+        return [s for name, s in self.by_name.items() if name in built_names]
+
+    def _has_hash(self, spec: Spec) -> bool:
+        for atom in self.model.by_predicate("attr"):
+            if (
+                getattr(atom.args[0], "value", None) == "hash"
+                and atom.args[1].args[0].value == spec.name
+            ):
+                return True
+        return False
+
+    @property
+    def solve_time(self) -> float:
+        return self.stats.get("total_time", 0.0)
+
+    def __repr__(self):
+        return (
+            f"<ConcretizationResult roots={[s.name for s in self.roots]} "
+            f"built={len(self.built)} spliced={len(self.spliced)}>"
+        )
+
+
+class Concretizer:
+    """Dependency resolver over a repository and a set of reusable specs."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        reusable_specs: Iterable[Spec] = (),
+        encoding: str = NEW_ENCODING,
+        splicing: bool = False,
+        default_os: str = "centos8",
+        default_target: str = "skylake",
+    ):
+        if splicing and encoding != NEW_ENCODING:
+            raise ValueError(
+                "splicing requires the new (hash_attr) reuse encoding"
+            )
+        self.repo = repo
+        self.encoding = encoding
+        self.splicing = splicing
+        self.default_os = default_os
+        self.default_target = default_target
+        self.reusable_specs: List[Spec] = list(reusable_specs)
+        #: hash → concrete node (every node of every reusable DAG)
+        self._by_hash: Dict[str, Spec] = {}
+        for spec in self.reusable_specs:
+            for node in spec.traverse():
+                self._by_hash.setdefault(node.dag_hash(), node)
+
+    # ------------------------------------------------------------------
+    def lookup(self, hash_: str) -> Spec:
+        return self._by_hash[hash_]
+
+    def _resolve_hash_constraints(self, roots: Sequence[Spec], control) -> None:
+        """Resolve ``name/abc123`` hash-prefix requests against the
+        reusable-spec set and force the matching installed hash."""
+        from ..asp.syntax import Atom, String
+        from .encode import node_term
+
+        for root in roots:
+            for node in root.traverse():
+                prefix = node.abstract_hash
+                if prefix is None:
+                    continue
+                matches = sorted(
+                    h
+                    for h, spec in self._by_hash.items()
+                    if h.startswith(prefix)
+                    and (node.name is None or spec.name == node.name)
+                )
+                if not matches:
+                    raise UnsatisfiableError(
+                        f"no installed spec matches {node.name or ''}/{prefix}"
+                    )
+                if len(matches) > 1:
+                    raise UnsatisfiableError(
+                        f"hash prefix /{prefix} is ambiguous: "
+                        f"{', '.join(m[:10] for m in matches)}"
+                    )
+                name = node.name or self._by_hash[matches[0]].name
+                control.add_fact(
+                    Atom(
+                        "attr",
+                        (String("hash"), node_term(name), String(matches[0])),
+                    )
+                )
+
+    def explain(
+        self,
+        specs: Sequence[Union[str, Spec]],
+        forbidden: Sequence[str] = (),
+    ):
+        """Diagnose why a request is unsatisfiable (see
+        :func:`repro.concretize.explain.explain_unsat`)."""
+        from .explain import explain_unsat
+
+        return explain_unsat(self, specs, forbidden)
+
+    def solve(
+        self,
+        specs: Sequence[Union[str, Spec]],
+        forbidden: Sequence[str] = (),
+    ) -> ConcretizationResult:
+        """Concretize the requested abstract specs jointly.
+
+        Raises :class:`UnsatisfiableError` when no valid configuration
+        exists (e.g. conflicting constraints, or a forbidden package
+        that cannot be avoided).
+        """
+        t_start = time.perf_counter()
+        roots = [parse_one(s) if isinstance(s, str) else s for s in specs]
+
+        control = Control()
+        encoder = Encoder(self.repo)
+        encoder.encode_repository()
+        encoder.encode_request(
+            roots,
+            forbidden=forbidden,
+            default_os=self.default_os,
+            default_target=self.default_target,
+        )
+
+        self._resolve_hash_constraints(roots, control)
+
+        if self.splicing:
+            compiler = CanSpliceCompiler(self.repo, encoder)
+            for rule in compiler.compile_all():
+                control.add_rule(rule)
+
+        encoder.into_program(control.program)
+
+        reuse = ReuseEncoder(self.encoding)
+        for fact in reuse.encode_specs(self.reusable_specs):
+            control.add_fact(fact)
+
+        control.program.extend(_load_logic("concretize.lp"))
+        if self.encoding == NEW_ENCODING:
+            control.program.extend(_load_logic("reuse_new.lp"))
+        if self.splicing:
+            control.program.extend(_load_logic("splice.lp"))
+
+        result = control.solve()
+        if not result.satisfiable:
+            raise UnsatisfiableError(
+                f"no concretization for {[str(r) for r in roots]}"
+            )
+
+        extractor = ModelExtractor(result.model, self.lookup)
+        by_name = extractor.extract()
+        concrete_roots = [by_name[r.name] for r in roots]
+        total = time.perf_counter() - t_start
+        stats = dict(result.stats)
+        stats["total_time"] = total
+        stats["reusable_nodes"] = reuse.node_count
+        return ConcretizationResult(concrete_roots, by_name, result.model, stats)

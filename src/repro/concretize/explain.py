@@ -1,0 +1,181 @@
+"""UNSAT diagnosis: which request constraints make a solve impossible?
+
+The ASP core reports bare unsatisfiability; users need to know *why*.
+This module implements relaxation-based diagnosis (the practical
+strategy Spack's error machinery also follows): re-solve with subsets
+of the user's constraints removed and report
+
+* a **culprit set** — a minimal-ish set of request constraints whose
+  removal restores satisfiability (deletion-filter minimization), or
+* the verdict that the request is unsatisfiable even unconstrained
+  (something in the package repository itself, e.g. a ``conflicts``
+  with no escape or an unbuildable package).
+
+Each candidate constraint is one *clause* of the request: a root's
+version pin, one variant setting, one ``^dep`` constraint (as a whole),
+one ``%build`` dep, or one forbidden package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..spec import Spec, parse_one, DEPTYPE_BUILD
+
+__all__ = ["Diagnosis", "Constraint", "explain_unsat"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One removable clause of the user's request."""
+
+    root_index: int
+    kind: str  # "version" | "variant" | "dep" | "builddep" | "forbidden" | "hash"
+    description: str
+
+    def __str__(self) -> str:
+        return self.description
+
+
+@dataclass
+class Diagnosis:
+    """The outcome of an UNSAT diagnosis."""
+
+    satisfiable_when_relaxed: bool
+    culprits: List[Constraint] = field(default_factory=list)
+
+    def explain(self) -> str:
+        if not self.satisfiable_when_relaxed:
+            return (
+                "the request is unsatisfiable even without your "
+                "constraints: the package definitions themselves forbid "
+                "it (a conflict, an unbuildable package, or no usable "
+                "versions)"
+            )
+        if not self.culprits:
+            return "the request is satisfiable (no diagnosis needed)"
+        lines = ["the request becomes satisfiable after removing:"]
+        for culprit in self.culprits:
+            lines.append(f"  - {culprit.description}")
+        return "\n".join(lines)
+
+
+def _decompose(roots: Sequence[Spec], forbidden: Sequence[str]) -> List[Constraint]:
+    constraints: List[Constraint] = []
+    for i, root in enumerate(roots):
+        if not root.versions.is_any:
+            constraints.append(
+                Constraint(i, "version", f"{root.name}@{root.versions}")
+            )
+        for _, variant in root.variants.items():
+            constraints.append(
+                Constraint(i, "variant", f"{root.name} {variant}")
+            )
+        if root.abstract_hash:
+            constraints.append(
+                Constraint(i, "hash", f"{root.name}/{root.abstract_hash}")
+            )
+        for edge in root.edges():
+            sigil = "%" if edge.deptypes == frozenset([DEPTYPE_BUILD]) else "^"
+            kind = "builddep" if sigil == "%" else "dep"
+            constraints.append(
+                Constraint(
+                    i, kind, f"{root.name} {sigil}{edge.spec.format(deps=False)}"
+                )
+            )
+    for name in forbidden:
+        constraints.append(Constraint(-1, "forbidden", f"forbidden: {name}"))
+    return constraints
+
+
+def _rebuild_request(
+    roots: Sequence[Spec],
+    forbidden: Sequence[str],
+    removed: set,
+    constraints: List[Constraint],
+) -> Tuple[List[Spec], List[str]]:
+    """The request with the ``removed`` constraint subset stripped."""
+    removed_set = {constraints[i] for i in removed}
+    new_roots: List[Spec] = []
+    for i, root in enumerate(roots):
+        spec = Spec(root.name)
+        mine = {c for c in removed_set if c.root_index == i}
+        kinds_gone = {(c.kind, c.description) for c in mine}
+
+        def keep(kind: str, description: str) -> bool:
+            return (kind, description) not in kinds_gone
+
+        if not root.versions.is_any and keep("version", f"{root.name}@{root.versions}"):
+            from ..spec import VersionList
+
+            spec.versions = VersionList(list(root.versions.constraints))
+        for _, variant in root.variants.items():
+            if keep("variant", f"{root.name} {variant}"):
+                spec.variants.set(variant.name, variant.value)
+        if root.abstract_hash and keep("hash", f"{root.name}/{root.abstract_hash}"):
+            spec.abstract_hash = root.abstract_hash
+        spec.os = root.os
+        spec.target = root.target
+        for edge in root.edges():
+            sigil = "%" if edge.deptypes == frozenset([DEPTYPE_BUILD]) else "^"
+            kind = "builddep" if sigil == "%" else "dep"
+            if keep(kind, f"{root.name} {sigil}{edge.spec.format(deps=False)}"):
+                spec.add_dependency(edge.spec.copy(), tuple(edge.deptypes))
+        new_roots.append(spec)
+    new_forbidden = [
+        name
+        for name in forbidden
+        if Constraint(-1, "forbidden", f"forbidden: {name}") not in removed_set
+    ]
+    return new_roots, new_forbidden
+
+
+def explain_unsat(
+    concretizer,
+    specs: Sequence,
+    forbidden: Sequence[str] = (),
+    max_solves: int = 40,
+) -> Diagnosis:
+    """Diagnose an unsatisfiable request by constraint relaxation.
+
+    Deletion-filter: start from "all constraints removed" (must be SAT,
+    else the repo itself is at fault), then add constraints back one at
+    a time; each one that flips the request back to UNSAT is a culprit
+    and stays removed.  O(#constraints) solves, capped by
+    ``max_solves``.
+    """
+    from .concretizer import UnsatisfiableError
+
+    roots = [parse_one(s) if isinstance(s, str) else s for s in specs]
+    constraints = _decompose(roots, forbidden)
+
+    def solvable(removed: set) -> bool:
+        relaxed_roots, relaxed_forbidden = _rebuild_request(
+            roots, forbidden, removed, constraints
+        )
+        try:
+            concretizer.solve(relaxed_roots, forbidden=relaxed_forbidden)
+            return True
+        except UnsatisfiableError:
+            return False
+
+    solves = 0
+    all_removed = set(range(len(constraints)))
+    if not solvable(all_removed):
+        return Diagnosis(satisfiable_when_relaxed=False)
+    solves += 1
+
+    # add constraints back; keep the ones that re-break the request out
+    removed = set(all_removed)
+    culprits: List[Constraint] = []
+    for index in range(len(constraints)):
+        if solves >= max_solves:
+            break
+        trial = removed - {index}
+        solves += 1
+        if solvable(trial):
+            removed = trial  # harmless constraint: restore it
+        else:
+            culprits.append(constraints[index])  # culprit: keep removed
+    return Diagnosis(satisfiable_when_relaxed=True, culprits=culprits)

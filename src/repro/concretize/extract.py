@@ -1,0 +1,212 @@
+"""Extract concrete Specs (with splices and build provenance) from the
+optimal stable model.
+
+The model describes one node per package name with attributes::
+
+    attr("node", node(P))
+    attr("version", node(P), V)
+    attr("variant", node(P), Var, Val)
+    attr("node_os", node(P), O) / attr("node_target", node(P), T)
+    attr("depends_on", node(P), node(D), Type)
+    attr("hash", node(P), H)                  -- reused
+    attr("splice", node(P), C, CH, node(S))   -- dependency C (hash CH)
+                                                 of reused P replaced by S
+
+Reconstruction is bottom-up: built nodes become fresh concrete Specs;
+reused nodes resolve through the buildcache lookup, and any node whose
+cached DAG contains a spliced dependency is rebuilt with
+:meth:`Spec.splice` — which installs ``build_spec`` provenance pointers
+exactly as Section 4.1 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..asp.api import Model
+from ..asp.syntax import Atom, Function, String
+from ..spec import Spec, VariantMap, VersionList, DEPTYPE_BUILD, DEPTYPE_LINK_RUN
+
+__all__ = ["ModelExtractor", "ExtractionError", "NodeData"]
+
+
+class ExtractionError(RuntimeError):
+    """Raised when the model cannot be turned into concrete specs."""
+
+
+def _string(term) -> str:
+    if isinstance(term, String):
+        return term.value
+    raise ExtractionError(f"expected a string term, got {term!r}")
+
+
+def _node_name(term) -> str:
+    if isinstance(term, Function) and term.name == "node" and len(term.args) == 1:
+        return _string(term.args[0])
+    raise ExtractionError(f"expected node(...), got {term!r}")
+
+
+class NodeData:
+    """Accumulated model attributes for one package node."""
+
+    __slots__ = (
+        "name",
+        "version",
+        "variants",
+        "os",
+        "target",
+        "hash",
+        "link_deps",
+        "build_deps",
+        "splices",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.version: Optional[str] = None
+        self.variants: Dict[str, str] = {}
+        self.os: Optional[str] = None
+        self.target: Optional[str] = None
+        self.hash: Optional[str] = None
+        self.link_deps: Set[str] = set()
+        self.build_deps: Set[str] = set()
+        #: (replaced_child_name, replaced_child_hash, splicing_node_name)
+        self.splices: List[Tuple[str, str, str]] = []
+
+
+class ModelExtractor:
+    """Builds concrete Spec DAGs from a solve model."""
+
+    def __init__(self, model: Model, cache_lookup: Callable[[str], Spec]):
+        self.model = model
+        self.cache_lookup = cache_lookup
+        self.nodes: Dict[str, NodeData] = {}
+        self._specs: Dict[str, Spec] = {}
+        self._parse()
+
+    # ------------------------------------------------------------------
+    def _node(self, name: str) -> NodeData:
+        data = self.nodes.get(name)
+        if data is None:
+            data = NodeData(name)
+            self.nodes[name] = data
+        return data
+
+    def _parse(self) -> None:
+        for atom in self.model.by_predicate("attr"):
+            kind = _string(atom.args[0])
+            if kind == "node":
+                self._node(_node_name(atom.args[1]))
+            elif kind == "version":
+                self._node(_node_name(atom.args[1])).version = _string(atom.args[2])
+            elif kind == "variant":
+                data = self._node(_node_name(atom.args[1]))
+                data.variants[_string(atom.args[2])] = _string(atom.args[3])
+            elif kind == "node_os":
+                self._node(_node_name(atom.args[1])).os = _string(atom.args[2])
+            elif kind == "node_target":
+                self._node(_node_name(atom.args[1])).target = _string(atom.args[2])
+            elif kind == "hash":
+                self._node(_node_name(atom.args[1])).hash = _string(atom.args[2])
+            elif kind == "depends_on":
+                parent = self._node(_node_name(atom.args[1]))
+                child = _node_name(atom.args[2])
+                deptype = _string(atom.args[3])
+                if deptype == DEPTYPE_BUILD:
+                    parent.build_deps.add(child)
+                else:
+                    parent.link_deps.add(child)
+            elif kind == "splice":
+                parent = self._node(_node_name(atom.args[1]))
+                parent.splices.append(
+                    (
+                        _string(atom.args[2]),
+                        _string(atom.args[3]),
+                        _node_name(atom.args[4]),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def extract(self) -> Dict[str, Spec]:
+        """Concrete spec per node name, splices applied."""
+        for name in self._topo_order():
+            self._specs[name] = self._build_spec(self.nodes[name])
+        return dict(self._specs)
+
+    def _topo_order(self) -> List[str]:
+        order: List[str] = []
+        state: Dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            mark = state.get(name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                raise ExtractionError(f"dependency cycle through {name!r}")
+            state[name] = 1
+            data = self.nodes.get(name)
+            if data is not None:
+                for child in sorted(data.link_deps | data.build_deps):
+                    visit(child)
+            state[name] = 2
+            order.append(name)
+
+        for name in sorted(self.nodes):
+            visit(name)
+        return order
+
+    # ------------------------------------------------------------------
+    def _build_spec(self, data: NodeData) -> Spec:
+        if data.hash is not None:
+            return self._reused_spec(data)
+        return self._fresh_spec(data)
+
+    def _fresh_spec(self, data: NodeData) -> Spec:
+        if data.version is None:
+            raise ExtractionError(f"node {data.name} has no version in the model")
+        spec = Spec(
+            data.name,
+            VersionList.from_string(f"={data.version}"),
+            VariantMap(dict(data.variants)),
+            data.os,
+            data.target,
+        )
+        for child in sorted(data.link_deps):
+            spec.add_dependency(self._specs[child], (DEPTYPE_LINK_RUN,))
+        for child in sorted(data.build_deps - data.link_deps):
+            spec.add_dependency(self._specs[child], (DEPTYPE_BUILD,))
+        spec._mark_concrete()
+        return spec
+
+    def _reused_spec(self, data: NodeData) -> Spec:
+        try:
+            cached = self.cache_lookup(data.hash)
+        except KeyError:
+            raise ExtractionError(
+                f"model reuses unknown hash {data.hash} for {data.name}"
+            ) from None
+        # Splice marks anywhere in this cached DAG apply here: a deep
+        # splice changes every node between the root and the splice
+        # point (Figure 2), which Spec.splice handles transitively.
+        subdag_names = {n.name for n in cached.traverse()}
+        relevant: Dict[str, Tuple[str, str]] = {}
+        for node_data in self.nodes.values():
+            for child_name, child_hash, splicing in node_data.splices:
+                if node_data.name in subdag_names and child_name in subdag_names:
+                    existing = relevant.get(child_name)
+                    if existing is not None and existing != (child_hash, splicing):
+                        raise ExtractionError(
+                            f"conflicting splices for {child_name} under {data.name}"
+                        )
+                    relevant[child_name] = (child_hash, splicing)
+        spec = cached
+        for child_name, (child_hash, splicing) in sorted(relevant.items()):
+            replacement = self._specs.get(splicing)
+            if replacement is None:
+                raise ExtractionError(
+                    f"splice replacement {splicing} not yet extracted"
+                )
+            if child_name not in {n.name for n in spec.traverse()}:
+                continue  # already replaced by an earlier splice
+            spec = spec.splice(replacement, transitive=True, replace=child_name)
+        return spec

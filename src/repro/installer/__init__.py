@@ -1,0 +1,18 @@
+"""Installer subsystem: simulated builds, the install database, and the
+install/extract/rewire pipeline."""
+
+from .builder import Builder, BuildError, prefix_name
+from .database import Database, InstallRecord, DatabaseError
+from .installer import Installer, InstallReport, InstallError
+
+__all__ = [
+    "Builder",
+    "BuildError",
+    "prefix_name",
+    "Database",
+    "InstallRecord",
+    "DatabaseError",
+    "Installer",
+    "InstallReport",
+    "InstallError",
+]

@@ -1,0 +1,119 @@
+"""Simulated source builds: produce MockBinary artifacts in a prefix.
+
+A "build" of a concrete spec creates, per library the package declares,
+a :class:`~repro.binary.mockelf.MockBinary` whose dynamic section links
+against the spec's link-run dependencies (NEEDED sonames + RPATHs to
+their install prefixes) and whose ABI surface (symbols, type layouts)
+comes from the package class — so the layouts a binary was *compiled
+against* travel with it, exactly the property Section 2.1's MPI_Comm
+example needs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from ..binary.mockelf import MockBinary
+from ..package.repository import Repository
+from ..spec import Spec, DEPTYPE_LINK_RUN
+
+__all__ = ["Builder", "BuildError", "prefix_name"]
+
+
+class BuildError(RuntimeError):
+    """Raised when a spec cannot be built (not concrete, unknown pkg,
+    or marked not buildable)."""
+
+
+def prefix_name(spec: Spec) -> str:
+    """Directory name for a spec's install prefix."""
+    return f"{spec.name}-{spec.version}-{spec.dag_hash(16)}"
+
+
+class Builder:
+    """Builds concrete specs into install prefixes."""
+
+    def __init__(self, repo: Repository, time_scale: float = 0.0):
+        self.repo = repo
+        #: cumulative simulated build cost (seconds of "compilation")
+        self.simulated_build_time = 0.0
+        self.build_count = 0
+        #: wall-clock seconds slept per simulated build second; 0 means
+        #: builds are instantaneous (tests of parallel installs raise it
+        #: to make speedups observable)
+        self.time_scale = time_scale
+
+    def build(
+        self,
+        spec: Spec,
+        prefix: Path,
+        dep_prefix: Callable[[Spec], str],
+    ) -> List[Path]:
+        """Build ``spec`` into ``prefix``; returns the artifact paths.
+
+        ``dep_prefix`` resolves each link-run dependency node to its
+        install prefix (the installer passes its database lookup).
+        """
+        if not spec.concrete:
+            raise BuildError(f"cannot build abstract spec {spec}")
+        pkg_cls = self.repo.get(spec.name)
+        if not pkg_cls.buildable:
+            raise BuildError(f"package {spec.name} is not buildable")
+
+        prefix = Path(prefix)
+        lib_dir = prefix / "lib"
+        bin_dir = prefix / "bin"
+        lib_dir.mkdir(parents=True, exist_ok=True)
+
+        link_deps = spec.dependencies(DEPTYPE_LINK_RUN)
+        needed = [f"lib{d.name}.so" for d in link_deps]
+        rpaths = [str(Path(dep_prefix(d)) / "lib") for d in link_deps]
+
+        # Imported ABI surface: symbols and layouts of every dependency
+        undefined: List[str] = []
+        layouts: Dict[str, str] = {}
+        for dep in link_deps:
+            dep_cls = self.repo.get(dep.name)
+            dep_symbols = dep_cls.exported_symbols(dep)
+            if dep_symbols:
+                undefined.append(dep_symbols[0])
+            layouts.update(dep_cls.exported_type_layouts(dep))
+        layouts.update(pkg_cls.exported_type_layouts(spec))
+
+        artifacts: List[Path] = []
+        common = dict(
+            needed=list(needed),
+            rpaths=list(rpaths),
+            undefined_symbols=list(undefined),
+            type_layouts=dict(layouts),
+            path_blob=[str(prefix)] + [str(p) for p in rpaths],
+            built_from=spec.dag_hash(),
+        )
+        for library in pkg_cls.libraries():
+            binary = MockBinary(
+                soname=library,
+                defined_symbols=list(pkg_cls.exported_symbols(spec)),
+                **{k: (v.copy() if hasattr(v, "copy") else v) for k, v in common.items()},
+            )
+            path = lib_dir / library
+            binary.write(path)
+            artifacts.append(path)
+        for executable in pkg_cls.binaries():
+            bin_dir.mkdir(parents=True, exist_ok=True)
+            binary = MockBinary(
+                soname=executable,
+                defined_symbols=["main"],
+                **{k: (v.copy() if hasattr(v, "copy") else v) for k, v in common.items()},
+            )
+            path = bin_dir / executable
+            binary.write(path)
+            artifacts.append(path)
+
+        if self.time_scale > 0:
+            import time
+
+            time.sleep(pkg_cls.build_time * self.time_scale)
+        self.simulated_build_time += pkg_cls.build_time
+        self.build_count += 1
+        return artifacts

@@ -1,0 +1,143 @@
+"""The install database: which concrete specs are installed where.
+
+A JSON-backed record per installed spec: the full spec document (so the
+DAG, including splice provenance, survives restarts), its install
+prefix, and whether it was installed explicitly or as a dependency.
+Build specs referenced by spliced records are stored alongside so
+provenance is never dangling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from ..spec import Spec
+
+__all__ = ["Database", "InstallRecord", "DatabaseError"]
+
+
+class DatabaseError(RuntimeError):
+    """Raised on corrupt databases or conflicting installs."""
+
+
+class InstallRecord:
+    """One installed spec."""
+
+    __slots__ = ("spec", "prefix", "explicit")
+
+    def __init__(self, spec: Spec, prefix: str, explicit: bool = False):
+        self.spec = spec
+        self.prefix = prefix
+        self.explicit = explicit
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "prefix": self.prefix,
+            "explicit": self.explicit,
+        }
+
+
+class Database:
+    """Hash-indexed registry of installed specs."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.path = self.root / "db.json"
+        self._records: Dict[str, InstallRecord] = {}
+        #: build-spec documents referenced by spliced installs
+        self._build_specs: Dict[str, Spec] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def add(self, spec: Spec, prefix: str, explicit: bool = False) -> InstallRecord:
+        h = spec.dag_hash()
+        existing = self._records.get(h)
+        if existing is not None:
+            if existing.prefix != prefix:
+                raise DatabaseError(
+                    f"{spec.name}/{h} already installed at {existing.prefix}"
+                )
+            if explicit:
+                existing.explicit = True
+            return existing
+        record = InstallRecord(spec, prefix, explicit)
+        self._records[h] = record
+        if spec.build_spec is not None:
+            self._build_specs[spec.build_spec.dag_hash()] = spec.build_spec
+        return record
+
+    def remove(self, hash_: str) -> None:
+        self._records.pop(hash_, None)
+
+    # ------------------------------------------------------------------
+    def get(self, hash_: str) -> Optional[InstallRecord]:
+        return self._records.get(hash_)
+
+    def prefix_of(self, spec: Spec) -> str:
+        record = self._records.get(spec.dag_hash())
+        if record is None:
+            if spec.external and spec.external_prefix:
+                return spec.external_prefix
+            raise DatabaseError(f"{spec.name}/{spec.dag_hash(7)} is not installed")
+        return record.prefix
+
+    def is_installed(self, spec: Spec) -> bool:
+        return spec.dag_hash() in self._records or spec.external
+
+    def query(self, name: Optional[str] = None) -> List[InstallRecord]:
+        records = sorted(
+            self._records.values(), key=lambda r: (r.spec.name or "", r.spec.dag_hash())
+        )
+        if name is None:
+            return records
+        return [r for r in records if r.spec.name == name]
+
+    def all_specs(self) -> List[Spec]:
+        return [r.spec for r in self.query()]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[InstallRecord]:
+        return iter(self.query())
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        build_specs = {}
+        for record in self._records.values():
+            for node in record.spec.traverse():
+                if node.build_spec is not None:
+                    bs = node.build_spec
+                    build_specs[bs.dag_hash()] = bs.to_dict()
+        payload = {
+            "version": 1,
+            "records": {h: r.to_dict() for h, r in self._records.items()},
+            "build_specs": build_specs,
+        }
+        self.path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except json.JSONDecodeError as e:
+            raise DatabaseError(f"corrupt database {self.path}: {e}") from e
+        if payload.get("version") != 1:
+            raise DatabaseError(f"unsupported database version in {self.path}")
+        self._build_specs = {
+            h: Spec.from_dict(doc) for h, doc in payload.get("build_specs", {}).items()
+        }
+        for h, rec in payload["records"].items():
+            spec = Spec.from_dict(rec["spec"], build_spec_lookup=self._lookup_build)
+            self._records[h] = InstallRecord(
+                spec, rec["prefix"], rec.get("explicit", False)
+            )
+
+    def _lookup_build(self, hash_: str) -> Optional[Spec]:
+        return self._build_specs.get(hash_)

@@ -1,0 +1,416 @@
+"""The installer: turn concrete specs into an installed software store.
+
+For every node of a concretized DAG (dependencies first) the installer
+picks one of four paths:
+
+1. **already installed** — hash present in the database: skip;
+2. **external** — register the vendor-provided prefix (e.g. cray-mpich);
+3. **spliced** — the node carries a build spec (Section 4): install the
+   build spec's binary (from the cache), then *rewire* it against the
+   spliced dependencies (Section 4.2) — no compilation;
+4. **cached** — payload in a buildcache: extract + relocate;
+5. **source build** — simulate the build with :class:`Builder`.
+
+The report distinguishes these paths so the benchmarks can count
+"builds avoided by splicing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..binary.abi import AbiReport, check_abi_compatibility
+from ..binary.mockelf import MockBinary, BinaryFormatError
+from ..binary.rewire import plan_rewire, rewire_binary, RewireError
+from ..buildcache.cache import BuildCache
+from ..package.repository import Repository
+from ..spec import Spec, DEPTYPE_LINK_RUN
+from .builder import Builder, BuildError, prefix_name
+from .database import Database
+
+__all__ = ["Installer", "InstallReport", "InstallError"]
+
+
+class InstallError(RuntimeError):
+    """Raised when a spec cannot be installed by any path."""
+
+
+@dataclass
+class InstallReport:
+    """What the installer did, per path."""
+
+    installed: List[Spec] = field(default_factory=list)
+    built: List[str] = field(default_factory=list)
+    extracted: List[str] = field(default_factory=list)
+    rewired: List[str] = field(default_factory=list)
+    externals: List[str] = field(default_factory=list)
+    already: List[str] = field(default_factory=list)
+    simulated_build_time: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"built={len(self.built)} extracted={len(self.extracted)} "
+            f"rewired={len(self.rewired)} external={len(self.externals)} "
+            f"cached-locally={len(self.already)}"
+        )
+
+
+class Installer:
+    """Installs concrete specs into a store directory."""
+
+    def __init__(
+        self,
+        store_root: Path,
+        repo: Repository,
+        caches: Sequence[BuildCache] = (),
+        verify_abi: bool = True,
+    ):
+        self.store_root = Path(store_root)
+        self.repo = repo
+        self.caches = list(caches)
+        self.verify_abi = verify_abi
+        self.database = Database(self.store_root)
+        self.builder = Builder(repo)
+
+    # ------------------------------------------------------------------
+    def prefix_for(self, spec: Spec) -> Path:
+        return self.store_root / prefix_name(spec)
+
+    def _dep_prefix(self, spec: Spec) -> str:
+        return self.database.prefix_of(spec)
+
+    # ------------------------------------------------------------------
+    def install(self, spec: Spec, explicit: bool = True, jobs: int = 1) -> InstallReport:
+        """Install a concrete spec and its dependencies (deps first).
+
+        ``jobs > 1`` builds independent DAG nodes concurrently (the
+        ``spack install -j`` analogue, :mod:`repro.installer.parallel`).
+        """
+        if not spec.concrete:
+            raise InstallError(f"cannot install abstract spec {spec}")
+        if jobs > 1:
+            return self._install_parallel([spec], jobs)
+        report = InstallReport()
+        for node in spec.traverse(order="post"):
+            self._install_node(node, node is spec and explicit, report)
+        self.database.save()
+        report.simulated_build_time = self.builder.simulated_build_time
+        return report
+
+    def install_all(self, specs: Sequence[Spec], jobs: int = 1) -> InstallReport:
+        if jobs > 1:
+            return self._install_parallel(specs, jobs)
+        report = InstallReport()
+        for spec in specs:
+            for node in spec.traverse(order="post"):
+                self._install_node(node, node is spec, report)
+        self.database.save()
+        report.simulated_build_time = self.builder.simulated_build_time
+        return report
+
+    def _install_parallel(self, specs: Sequence[Spec], jobs: int) -> InstallReport:
+        from .parallel import run_parallel_install
+
+        report = InstallReport()
+        plan = run_parallel_install(self, specs, jobs, report=report)
+        if plan.failed:
+            failures = "; ".join(f"{k}: {v}" for k, v in plan.failed.items())
+            raise InstallError(
+                f"parallel install failed for {failures} "
+                f"(skipped dependents: {sorted(plan.skipped)})"
+            )
+        report.simulated_build_time = self.builder.simulated_build_time
+        return report
+
+    # ------------------------------------------------------------------
+    def _install_node_locked(self, node: Spec, explicit: bool, report, lock) -> None:
+        """Thread-safe node install: database reads/writes serialize
+        under ``lock``; the slow work (build / extract / rewire) runs
+        outside it.  Dependencies must already be installed."""
+        h = node.dag_hash()
+        with lock:
+            if self.database.get(h) is not None:
+                report.already.append(node.name)
+                if explicit:
+                    self.database.add(node, self.database.prefix_of(node), True)
+                return
+            if node.external:
+                if not node.external_prefix:
+                    raise InstallError(f"external {node.name} has no prefix")
+                self.database.add(node, node.external_prefix, explicit)
+                report.externals.append(node.name)
+                report.installed.append(node)
+                return
+        prefix = self.prefix_for(node)
+        if node.spliced:
+            self._install_spliced(node, prefix, report)
+        elif self._try_extract(node, prefix, report):
+            pass
+        else:
+            self._build(node, prefix, report)
+        with lock:
+            self.database.add(node, str(prefix), explicit)
+            report.installed.append(node)
+
+    def _install_node(self, node: Spec, explicit: bool, report: InstallReport) -> None:
+        if self.database.get(node.dag_hash()) is not None:
+            report.already.append(node.name)
+            if explicit:
+                self.database.add(node, self.database.prefix_of(node), True)
+            return
+        if node.external:
+            if not node.external_prefix:
+                raise InstallError(f"external {node.name} has no prefix")
+            self.database.add(node, node.external_prefix, explicit)
+            report.externals.append(node.name)
+            report.installed.append(node)
+            return
+
+        prefix = self.prefix_for(node)
+        if node.spliced:
+            self._install_spliced(node, prefix, report)
+        elif self._try_extract(node, prefix, report):
+            pass
+        else:
+            self._build(node, prefix, report)
+        self.database.add(node, str(prefix), explicit)
+        report.installed.append(node)
+
+    def _try_extract(self, node: Spec, prefix: Path, report: InstallReport) -> bool:
+        h = node.dag_hash()
+        for cache in self.caches:
+            if h in cache and cache.has_payload(h):
+                # dependency references in the cached binary point at the
+                # build machine's prefixes; rewrite them to local ones
+                meta = cache.meta(h)
+                prefix_map = {}
+                for dep_hash, old_prefix in meta.get("dep_prefixes", {}).items():
+                    record = self.database.get(dep_hash)
+                    if record is not None and old_prefix:
+                        prefix_map[old_prefix] = record.prefix
+                cache.extract(h, prefix, extra_prefix_map=prefix_map)
+                report.extracted.append(node.name)
+                return True
+        return False
+
+    def push_to_cache(self, cache: BuildCache, spec: Spec) -> None:
+        """Push an installed spec DAG (deps included) to a buildcache,
+        recording build-machine prefixes for later relocation."""
+        for node in spec.traverse(order="post"):
+            if node.external:
+                continue
+            dep_prefixes = {
+                d.spec.dag_hash(): self.database.prefix_of(d.spec)
+                for d in node.edges(DEPTYPE_LINK_RUN)
+            }
+            cache.push(
+                node,
+                Path(self.database.prefix_of(node)),
+                dep_prefixes=dep_prefixes,
+            )
+        cache.save_index()
+
+    def _build(self, node: Spec, prefix: Path, report: InstallReport) -> None:
+        try:
+            self.builder.build(node, prefix, self._dep_prefix)
+        except BuildError as e:
+            raise InstallError(str(e)) from e
+        report.built.append(node.name)
+
+    # ------------------------------------------------------------------
+    def _install_spliced(self, node: Spec, prefix: Path, report: InstallReport) -> None:
+        """Install a spliced spec: fetch its build spec's binaries and
+        rewire them against the spliced dependencies."""
+        build_spec = node.build_spec
+        source_prefix, old_prefixes = self._locate_build_spec(build_spec)
+
+        def old_prefix_of(dep: Spec) -> str:
+            recorded = old_prefixes.get(dep.dag_hash())
+            if recorded:
+                return recorded
+            record = self.database.get(dep.dag_hash())
+            if record is not None:
+                return record.prefix
+            if dep.external and dep.external_prefix:
+                return dep.external_prefix
+            raise InstallError(
+                f"cannot determine the original prefix of {dep.name} "
+                f"(build spec dependency of {node.name})"
+            )
+
+        plan = plan_rewire(node, self._dep_prefix, old_prefix_of=old_prefix_of)
+
+        prefix.mkdir(parents=True, exist_ok=True)
+        checker = self._abi_checker() if self.verify_abi else None
+        for source in sorted(Path(source_prefix).rglob("*")):
+            if not source.is_file():
+                continue
+            rel = source.relative_to(source_prefix)
+            target = prefix / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            data = source.read_bytes()
+            try:
+                binary = MockBinary.from_bytes(data)
+            except BinaryFormatError:
+                target.write_bytes(data)
+                continue
+            # first relocate build-prefix references, then rewire deps
+            from ..binary.relocate import relocate_binary
+
+            binary = relocate_binary(
+                binary, {str(source_prefix): str(prefix)}
+            ).binary
+            patched = rewire_binary(binary, plan, check_abi=checker)
+            patched.write(target)
+        report.rewired.append(node.name)
+
+    # ------------------------------------------------------------------
+    # uninstall and garbage collection
+    # ------------------------------------------------------------------
+    def uninstall(self, spec: Spec, force: bool = False) -> None:
+        """Remove an installed spec (prefix + database record).
+
+        Refuses when other installed specs still depend on it, unless
+        ``force`` — the dependents would be left with dangling RPATHs.
+        """
+        h = spec.dag_hash()
+        record = self.database.get(h)
+        if record is None:
+            raise InstallError(f"{spec.name}/{h[:7]} is not installed")
+        if not force:
+            dependents = [
+                r.spec.name
+                for r in self.database.query()
+                if r.spec.dag_hash() != h
+                and any(
+                    e.spec.dag_hash() == h for e in r.spec.edges()
+                )
+            ]
+            if dependents:
+                raise InstallError(
+                    f"cannot uninstall {spec.name}: required by "
+                    f"{', '.join(sorted(dependents))} (use force=True)"
+                )
+        import shutil
+
+        if not record.spec.external:
+            shutil.rmtree(record.prefix, ignore_errors=True)
+        self.database.remove(h)
+        self.database.save()
+
+    def gc(self) -> List[str]:
+        """Garbage-collect: remove every installed spec not reachable
+        from an explicitly-installed root (``spack gc``).  Returns the
+        names of removed specs, dependents-first."""
+        keep: set = set()
+        for record in self.database.query():
+            if record.explicit:
+                for node in record.spec.traverse():
+                    keep.add(node.dag_hash())
+        # also keep build specs of spliced installs: their binaries may
+        # be referenced by staging or future rewires? No — build specs
+        # are provenance, not installs; only installed hashes matter.
+        doomed = [
+            r.spec for r in self.database.query() if r.spec.dag_hash() not in keep
+        ]
+        # remove dependents before dependencies
+        removed: List[str] = []
+        remaining = {s.dag_hash() for s in doomed}
+        while remaining:
+            progressed = False
+            for spec in list(doomed):
+                h = spec.dag_hash()
+                if h not in remaining:
+                    continue
+                has_remaining_dependent = any(
+                    other.dag_hash() in remaining
+                    and any(e.spec.dag_hash() == h for e in other.edges())
+                    for other in doomed
+                )
+                if not has_remaining_dependent:
+                    self.uninstall(spec, force=True)
+                    removed.append(spec.name)
+                    remaining.discard(h)
+                    progressed = True
+            if not progressed:  # cycle cannot happen, but never hang
+                for spec in doomed:
+                    if spec.dag_hash() in remaining:
+                        self.uninstall(spec, force=True)
+                        removed.append(spec.name)
+                        remaining.discard(spec.dag_hash())
+        return removed
+
+    def verify(self) -> Dict[str, List[str]]:
+        """Integrity-check the store: every installed binary must load
+        (NEEDED resolution, symbols, layouts).  Returns {name: problems}
+        for broken installs — empty dict means a healthy store."""
+        from ..binary.loader import Loader
+        from ..binary.mockelf import BinaryFormatError, MockBinary
+
+        loader = Loader()
+        problems: Dict[str, List[str]] = {}
+        for record in self.database.query():
+            if record.spec.external:
+                continue
+            prefix = Path(record.prefix)
+            issues: List[str] = []
+            if not prefix.is_dir():
+                issues.append("install prefix missing")
+            else:
+                for path in sorted(prefix.rglob("*")):
+                    if not path.is_file():
+                        continue
+                    try:
+                        MockBinary.read(path)
+                    except (BinaryFormatError, OSError):
+                        continue
+                    result = loader.load(str(path))
+                    if not result.ok:
+                        issues.append(f"{path.name}: {result.explain()}")
+            if issues:
+                problems[record.spec.name] = issues
+        return problems
+
+    def _abi_checker(self) -> Callable[[Spec, Spec], AbiReport]:
+        def check(old: Spec, new: Spec) -> AbiReport:
+            old_cls = self.repo.get(old.name)
+            new_cls = self.repo.get(new.name)
+            old_bin = MockBinary(
+                soname=f"lib{old.name}.so",
+                defined_symbols=list(old_cls.exported_symbols(old)),
+                type_layouts=dict(old_cls.exported_type_layouts(old)),
+            )
+            new_bin = MockBinary(
+                soname=f"lib{new.name}.so",
+                defined_symbols=list(new_cls.exported_symbols(new)),
+                type_layouts=dict(new_cls.exported_type_layouts(new)),
+            )
+            return check_abi_compatibility(new_bin, old_bin)
+
+        return check
+
+    def _locate_build_spec(self, build_spec: Spec) -> tuple:
+        """Find binaries for the build spec: installed locally, else in
+        a cache (staged without relocation, so its references still
+        point at the recorded build-machine prefixes).
+
+        Returns ``(source_prefix, old_dep_prefixes)`` where the mapping
+        gives each dependency's location at build time (by hash).
+        """
+        record = self.database.get(build_spec.dag_hash())
+        if record is not None:
+            return Path(record.prefix), {}
+        h = build_spec.dag_hash()
+        for cache in self.caches:
+            if h in cache and cache.has_payload(h):
+                meta = cache.meta(h)
+                staging = self.store_root / ".staging" / prefix_name(build_spec)
+                if not staging.exists():
+                    cache.extract(h, staging)
+                return staging, dict(meta.get("dep_prefixes", {}))
+        raise InstallError(
+            f"no binary for build spec {build_spec.name}/{h[:7]}: splicing "
+            "requires the original binary to relink"
+        )

@@ -1,0 +1,148 @@
+"""Parallel installation: build independent DAG nodes concurrently.
+
+The analogue of ``spack install -jN``: nodes of the (merged) dependency
+DAG are installed as soon as every dependency is in the database, with
+up to ``jobs`` simultaneous workers.  Correctness invariants:
+
+* a node never starts before all of its link-run AND build dependencies
+  finished (they may come from different roots' DAGs — dedup by hash);
+* the install database is only touched under a lock;
+* a failed node poisons its transitive dependents (they are skipped and
+  reported), but independent subtrees keep going — one broken package
+  does not abort the whole wave, matching Spack's ``--keep-going``
+  behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..spec import Spec
+
+__all__ = ["ParallelPlan", "run_parallel_install"]
+
+
+@dataclass
+class ParallelPlan:
+    """Outcome bookkeeping for one parallel install run."""
+
+    installed: List[str] = field(default_factory=list)
+    failed: Dict[str, str] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+    #: high-water mark of simultaneously running builds (observability)
+    max_concurrency: int = 0
+
+
+def run_parallel_install(
+    installer, specs: Sequence[Spec], jobs: int, report=None
+) -> ParallelPlan:
+    """Install the merged DAG of ``specs`` with ``jobs`` workers.
+
+    ``installer`` is a :class:`~repro.installer.installer.Installer`;
+    its per-node entry point is invoked under a scheduler that releases
+    a node once all its dependencies are installed.  Per-path counters
+    accumulate into ``report`` when given.
+    """
+    # ---- build the hash-level DAG (merged across roots) ---------------
+    nodes: Dict[str, Spec] = {}
+    dependents: Dict[str, Set[str]] = {}
+    remaining: Dict[str, int] = {}
+    explicit: Set[str] = set()
+    for spec in specs:
+        explicit.add(spec.dag_hash())
+        for node in spec.traverse():
+            h = node.dag_hash()
+            if h in nodes:
+                continue
+            nodes[h] = node
+            deps = {e.spec.dag_hash() for e in node.edges()}
+            remaining[h] = len(deps)
+            for dep in deps:
+                dependents.setdefault(dep, set()).add(h)
+    # dedupe edge counts for nodes discovered after their dependents
+    for h, node in nodes.items():
+        remaining[h] = len({e.spec.dag_hash() for e in node.edges()})
+
+    plan = ParallelPlan()
+    lock = threading.Lock()
+    running = 0
+    poisoned: Set[str] = set()
+
+    if report is None:
+        from .installer import InstallReport
+
+        report = InstallReport()
+
+    def ready_nodes() -> List[str]:
+        return [
+            h
+            for h, count in remaining.items()
+            if count == 0 and h not in poisoned
+        ]
+
+    def install_one(h: str) -> Optional[str]:
+        nonlocal running
+        node = nodes[h]
+        with lock:
+            running += 1
+            plan.max_concurrency = max(plan.max_concurrency, running)
+        try:
+            # the installer's node path is not thread-safe around the
+            # database; serialize the DB check/update, run the build
+            # (the slow part) outside the lock via the two-phase helper
+            installer._install_node_locked(node, h in explicit, report, lock)
+            return None
+        except Exception as exc:  # noqa: BLE001 — reported, not raised
+            return f"{type(exc).__name__}: {exc}"
+        finally:
+            with lock:
+                running -= 1
+
+    with ThreadPoolExecutor(max_workers=max(jobs, 1)) as pool:
+        futures = {}
+        submitted: Set[str] = set()
+
+        def submit_ready() -> None:
+            for h in ready_nodes():
+                if h not in submitted:
+                    submitted.add(h)
+                    futures[pool.submit(install_one, h)] = h
+
+        submit_ready()
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                h = futures.pop(future)
+                remaining.pop(h, None)
+                error = future.result()
+                node = nodes[h]
+                if error is None:
+                    plan.installed.append(node.name)
+                    for dep in dependents.get(h, ()):  # release dependents
+                        if dep in remaining:
+                            remaining[dep] -= 1
+                else:
+                    plan.failed[node.name] = error
+                    _poison(h, dependents, poisoned)
+            submit_ready()
+
+    for h in poisoned:
+        if h in nodes and nodes[h].name not in plan.failed:
+            plan.skipped.append(nodes[h].name)
+            remaining.pop(h, None)
+    with lock:
+        installer.database.save()
+    return plan
+
+
+def _poison(h: str, dependents: Dict[str, Set[str]], poisoned: Set[str]) -> None:
+    stack = list(dependents.get(h, ()))
+    while stack:
+        current = stack.pop()
+        if current in poisoned:
+            continue
+        poisoned.add(current)
+        stack.extend(dependents.get(current, ()))

@@ -1,0 +1,53 @@
+"""Packaging DSL: directives, the Package base class, and repositories."""
+
+from .directives import (
+    version,
+    variant,
+    depends_on,
+    provides,
+    conflicts,
+    requires,
+    can_splice,
+    maintainers,
+    license,
+    VersionDecl,
+    VariantDecl,
+    DependencyDecl,
+    ProvidesDecl,
+    ConflictDecl,
+    RequiresDecl,
+    CanSpliceDecl,
+    DirectiveError,
+)
+from .package import PackageBase, Package, DirectiveMeta, name_from_class
+from .repository import Repository, RepositoryError
+from .repo_dir import load_repository, dump_repository, RepoLayoutError
+
+__all__ = [
+    "version",
+    "variant",
+    "depends_on",
+    "provides",
+    "conflicts",
+    "requires",
+    "can_splice",
+    "maintainers",
+    "license",
+    "VersionDecl",
+    "VariantDecl",
+    "DependencyDecl",
+    "ProvidesDecl",
+    "ConflictDecl",
+    "RequiresDecl",
+    "CanSpliceDecl",
+    "DirectiveError",
+    "PackageBase",
+    "Package",
+    "DirectiveMeta",
+    "name_from_class",
+    "Repository",
+    "RepositoryError",
+    "load_repository",
+    "dump_repository",
+    "RepoLayoutError",
+]

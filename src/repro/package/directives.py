@@ -1,0 +1,258 @@
+"""Directives: the declarative vocabulary of package definitions.
+
+Directives are functions invoked in a package class body (Figure 1)::
+
+    class Example(Package):
+        version("1.1.0")
+        variant("bzip", default=True)
+        depends_on("bzip2", when="+bzip")
+        depends_on("zlib@1.2", when="@1.0.0")
+        provides("mpi")                      # for MPI implementations
+        conflicts("%gcc@:4", when="@2:")
+        can_splice("example@1.0.0", when="@1.1.0")
+
+Each call records a declaration object on the enclosing class (collected
+by :class:`~repro.package.package.DirectiveMeta`).  ``when`` arguments
+are anonymous spec constraints evaluated against the package's own node
+during concretization.
+
+``can_splice`` is the paper's addition (Section 5.2): the *replacing*
+package declares which built configurations (the ``target``) it can
+stand in for, guarded by constraints on itself (the ``when`` spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from ..spec import (
+    Spec,
+    Version,
+    parse_one,
+    DEPTYPE_BUILD,
+    DEPTYPE_LINK_RUN,
+)
+
+__all__ = [
+    "VersionDecl",
+    "VariantDecl",
+    "DependencyDecl",
+    "ProvidesDecl",
+    "ConflictDecl",
+    "RequiresDecl",
+    "CanSpliceDecl",
+    "DirectiveError",
+    "version",
+    "variant",
+    "depends_on",
+    "provides",
+    "conflicts",
+    "requires",
+    "can_splice",
+    "maintainers",
+    "license",
+]
+
+
+class DirectiveError(ValueError):
+    """Raised for malformed directive arguments."""
+
+
+#: module-level accumulator the metaclass drains when a class is created
+_COLLECTED: list = []
+
+
+def _collect(decl) -> None:
+    _COLLECTED.append(decl)
+
+
+def _drain() -> list:
+    global _COLLECTED
+    collected, _COLLECTED = _COLLECTED, []
+    return collected
+
+
+def _when_spec(when: Optional[Union[str, Spec]]) -> Optional[Spec]:
+    if when is None:
+        return None
+    if isinstance(when, Spec):
+        return when
+    return parse_one(when)
+
+
+def _target_spec(spec: Union[str, Spec]) -> Spec:
+    if isinstance(spec, Spec):
+        return spec
+    return parse_one(spec)
+
+
+# ---------------------------------------------------------------------------
+# declaration records
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class VersionDecl:
+    version: Version
+    when: Optional[Spec] = None
+    preferred: bool = False
+    deprecated: bool = False
+
+
+@dataclass(frozen=True)
+class VariantDecl:
+    name: str
+    default: Union[str, bool]
+    values: Optional[Tuple[str, ...]] = None
+    description: str = ""
+    when: Optional[Spec] = None
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self.default, bool)
+
+    def allowed_values(self) -> Tuple[str, ...]:
+        if self.is_bool:
+            return ("True", "False")
+        if self.values is None:
+            return (str(self.default),)
+        return tuple(str(v) for v in self.values)
+
+
+@dataclass(frozen=True)
+class DependencyDecl:
+    spec: Spec
+    when: Optional[Spec] = None
+    deptypes: Tuple[str, ...] = (DEPTYPE_LINK_RUN,)
+
+
+@dataclass(frozen=True)
+class ProvidesDecl:
+    virtual: Spec
+    when: Optional[Spec] = None
+
+
+@dataclass(frozen=True)
+class ConflictDecl:
+    spec: Spec
+    when: Optional[Spec] = None
+    msg: str = ""
+
+
+@dataclass(frozen=True)
+class RequiresDecl:
+    spec: Spec
+    when: Optional[Spec] = None
+
+
+@dataclass(frozen=True)
+class CanSpliceDecl:
+    """ABI-compatibility declaration: this package, when matching
+    ``when``, can replace built configurations matching ``target``."""
+
+    target: Spec
+    when: Optional[Spec] = None
+
+
+# ---------------------------------------------------------------------------
+# the directive functions
+# ---------------------------------------------------------------------------
+def version(
+    ver: Union[str, int, float],
+    when: Optional[Union[str, Spec]] = None,
+    preferred: bool = False,
+    deprecated: bool = False,
+) -> None:
+    """Declare an installable version of the package."""
+    _collect(
+        VersionDecl(Version(ver), _when_spec(when), preferred, deprecated)
+    )
+
+
+def variant(
+    name: str,
+    default: Union[str, bool] = False,
+    values: Optional[Sequence[str]] = None,
+    description: str = "",
+    when: Optional[Union[str, Spec]] = None,
+) -> None:
+    """Declare a compile-time option.
+
+    A bool ``default`` makes a boolean variant (``+name``/``~name``); a
+    string default with ``values`` makes a multi-valued variant
+    (``name=value``).
+    """
+    if not isinstance(default, bool) and values is not None:
+        if str(default) not in {str(v) for v in values}:
+            raise DirectiveError(
+                f"variant {name!r}: default {default!r} not among values {values!r}"
+            )
+    _collect(
+        VariantDecl(
+            name,
+            default,
+            tuple(str(v) for v in values) if values is not None else None,
+            description,
+            _when_spec(when),
+        )
+    )
+
+
+def depends_on(
+    spec: Union[str, Spec],
+    when: Optional[Union[str, Spec]] = None,
+    type: Union[str, Sequence[str]] = DEPTYPE_LINK_RUN,
+) -> None:
+    """Declare a dependency on (a constrained configuration of) another
+    package or virtual."""
+    if isinstance(type, str):
+        deptypes: Tuple[str, ...] = (type,)
+    else:
+        deptypes = tuple(type)
+    for dt in deptypes:
+        if dt not in (DEPTYPE_BUILD, DEPTYPE_LINK_RUN):
+            raise DirectiveError(f"unknown dependency type {dt!r}")
+    _collect(DependencyDecl(_target_spec(spec), _when_spec(when), deptypes))
+
+
+def provides(virtual: Union[str, Spec], when: Optional[Union[str, Spec]] = None) -> None:
+    """Declare that this package implements a virtual interface (e.g.
+    ``provides("mpi")`` on mpich)."""
+    _collect(ProvidesDecl(_target_spec(virtual), _when_spec(when)))
+
+
+def conflicts(
+    spec: Union[str, Spec],
+    when: Optional[Union[str, Spec]] = None,
+    msg: str = "",
+) -> None:
+    """Declare that configurations matching ``spec`` are invalid when the
+    package matches ``when``."""
+    _collect(ConflictDecl(_target_spec(spec), _when_spec(when), msg))
+
+
+def requires(spec: Union[str, Spec], when: Optional[Union[str, Spec]] = None) -> None:
+    """Declare that the package requires its own node to match ``spec``."""
+    _collect(RequiresDecl(_target_spec(spec), _when_spec(when)))
+
+
+def can_splice(
+    target: Union[str, Spec],
+    when: Optional[Union[str, Spec]] = None,
+) -> None:
+    """Declare ABI-compatibility (the paper's new directive).
+
+    ``target`` constrains the built spec this package can replace;
+    ``when`` constrains this package for the splice to be valid.  Both
+    support full spec syntax, and the two packages need not share a name.
+    """
+    _collect(CanSpliceDecl(_target_spec(target), _when_spec(when)))
+
+
+def maintainers(*names: str) -> None:
+    """Metadata-only directive (kept for DSL fidelity)."""
+    return None
+
+
+def license(name: str) -> None:
+    """Metadata-only directive (kept for DSL fidelity)."""
+    return None

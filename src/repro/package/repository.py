@@ -1,0 +1,106 @@
+"""Package repository: name → package class, plus the virtual-provider
+index the concretizer uses to resolve interfaces like ``mpi``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Type
+
+from ..spec import Spec
+from .package import PackageBase
+
+__all__ = ["Repository", "RepositoryError"]
+
+
+class RepositoryError(KeyError):
+    """Raised for unknown packages or duplicate registrations."""
+
+
+class Repository:
+    """A collection of package classes with virtual-provider indexing."""
+
+    def __init__(self, name: str = "builtin"):
+        self.name = name
+        self._packages: Dict[str, Type[PackageBase]] = {}
+        self._providers: Dict[str, List[str]] = {}
+        #: preferred provider order per virtual (earlier = preferred);
+        #: providers not listed sort after listed ones, alphabetically
+        self.provider_preferences: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, pkg_cls: Type[PackageBase]) -> Type[PackageBase]:
+        """Register a package class (usable as a class decorator)."""
+        name = pkg_cls.name
+        if not name:
+            raise RepositoryError("package class has no name")
+        if name in self._packages:
+            raise RepositoryError(f"duplicate package {name!r}")
+        self._packages[name] = pkg_cls
+        for decl in pkg_cls.provides_decls:
+            self._providers.setdefault(decl.virtual.name, []).append(name)
+        return pkg_cls
+
+    def extend(self, other: "Repository") -> None:
+        for pkg_cls in other:
+            self.add(pkg_cls)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Type[PackageBase]:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise RepositoryError(f"unknown package {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __iter__(self) -> Iterator[Type[PackageBase]]:
+        return iter(self._packages.values())
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def names(self) -> List[str]:
+        return sorted(self._packages)
+
+    # ------------------------------------------------------------------
+    # virtuals
+    # ------------------------------------------------------------------
+    def is_virtual(self, name: str) -> bool:
+        """A name is virtual if some package provides it and none *is* it."""
+        return name in self._providers and name not in self._packages
+
+    def providers(self, virtual: str) -> List[str]:
+        """Provider package names, preferred first, then alphabetical."""
+        preferences = self.provider_preferences.get(virtual, [])
+
+        def key(name: str):
+            try:
+                return (0, preferences.index(name))
+            except ValueError:
+                return (1, name)
+
+        return sorted(self._providers.get(virtual, []), key=key)
+
+    def provider_weight(self, virtual: str, provider: str) -> int:
+        """Solver preference weight: listed providers rank by position;
+        all unlisted providers share one flat weight (like Spack's
+        packages.yaml defaults) so the solver is free among them."""
+        preferences = self.provider_preferences.get(virtual, [])
+        try:
+            return preferences.index(provider)
+        except ValueError:
+            return len(preferences)
+
+    def virtual_names(self) -> List[str]:
+        return sorted(v for v in self._providers if v not in self._packages)
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "Repository":
+        new = Repository(self.name)
+        for pkg_cls in self:
+            new.add(pkg_cls)
+        return new
+
+    def __repr__(self):
+        return f"<Repository {self.name!r}: {len(self)} packages>"

@@ -1,0 +1,19 @@
+"""Package repositories: the paper's toy examples and the RADIUSS stack."""
+
+from .mock import make_mock_repo
+from .radiuss import (
+    make_radiuss_repo,
+    add_mpiabi_replicas,
+    RADIUSS_ROOTS,
+    MPI_DEPENDENT_ROOTS,
+    NON_MPI_ROOTS,
+)
+
+__all__ = [
+    "make_mock_repo",
+    "make_radiuss_repo",
+    "add_mpiabi_replicas",
+    "RADIUSS_ROOTS",
+    "MPI_DEPENDENT_ROOTS",
+    "NON_MPI_ROOTS",
+]

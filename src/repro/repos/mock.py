@@ -1,0 +1,139 @@
+"""The paper's toy package ecosystem (Figure 1 and Section 5 examples).
+
+Contains ``example`` (with its conditional zlib dependency, optional
+bzip support, an MPI dependency, and the two ``can_splice`` directives
+from Figure 1), ``example-ng``, zlib, bzip2, and two MPI providers with
+deliberately incompatible ``MPI_Comm`` layouts (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from ..package import (
+    Package,
+    Repository,
+    can_splice,
+    conflicts,
+    depends_on,
+    provides,
+    variant,
+    version,
+)
+
+__all__ = ["make_mock_repo"]
+
+
+def make_mock_repo() -> Repository:
+    """Build a fresh repository of the paper's example packages."""
+    repo = Repository("mock")
+
+    class Zlib(Package):
+        """Compression library; two ABI-compatible minor versions."""
+
+        version("1.3")
+        version("1.2.11")
+        version("1.2")
+        version("1.1")
+        version("1.0")
+        variant("optimize", default=True)
+        variant("pic", default=True)
+        variant("shared", default=True)
+        provides_symbols = ("deflate", "inflate", "crc32")
+        # zlib 1.3 keeps the 1.2 ABI: it may stand in for built 1.2.x
+        can_splice("zlib@1.2", when="@1.3")
+
+    class Bzip2(Package):
+        version("1.0.8")
+        version("1.0.6")
+        variant("debug", default=False)
+        variant("pic", default=True)
+        variant("shared", default=True)
+        provides_symbols = ("BZ2_bzCompress", "BZ2_bzDecompress")
+
+    class Mpich(Package):
+        """Reference MPI; MPI_Comm is a 32-bit integer (Section 2.1)."""
+
+        version("4.1")
+        version("3.4.3")
+        version("3.1")
+        variant("pmi", default="pmix", values=("pmix", "simple", "slurm"))
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank")
+        type_layouts = {"MPI_Comm": "int32"}
+
+    class Openmpi(Package):
+        """MPI with an incompatible MPI_Comm (opaque struct pointer)."""
+
+        version("4.1.5")
+        version("4.0.0")
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank")
+        type_layouts = {"MPI_Comm": "ptr-struct"}
+
+    class Mpiabi(Package):
+        """Mock MPI built to the MPICH ABI (Section 6.1.2), based on
+        MVAPICH; it can be spliced in for built mpich@3.4.3."""
+
+        version("1.0")
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank")
+        type_layouts = {"MPI_Comm": "int32"}
+        can_splice("mpich@3.4.3")
+
+    class Example(Package):
+        """The Figure-1 package, directive for directive."""
+
+        version("1.1.0")
+        version("1.0.0")
+        variant("bzip", default=True)
+        depends_on("bzip2", when="+bzip")
+        depends_on("zlib@1.2", when="@1.0.0")
+        depends_on("zlib@1.3", when="@1.1.0")
+        depends_on("mpi")
+        can_splice("example@1.0.0", when="@1.1.0")
+        can_splice("example-ng@2.3.2+compat", when="@1.1.0+bzip")
+
+    class ExampleNg(Package):
+        """Successor package example@1.1.0+bzip can replace."""
+
+        version("2.3.2")
+        version("2.0.0")
+        variant("compat", default=True)
+        depends_on("zlib@1.3")
+        depends_on("mpi")
+
+    class Tool(Package):
+        """A small consumer used by splice-mechanics tests (T in Fig 2)."""
+
+        version("1.0")
+        depends_on("example")
+        depends_on("zlib")
+
+    class CmakeMock(Package):
+        name = "cmake"
+        version("3.27")
+        version("3.20")
+
+    class App(Package):
+        """Top-level application exercising build dependencies."""
+
+        version("2.0")
+        version("1.0")
+        depends_on("example")
+        depends_on("cmake", type="build")
+        conflicts("@1.0 ^zlib@1.0")
+
+    for cls in (
+        Zlib,
+        Bzip2,
+        Mpich,
+        Openmpi,
+        Mpiabi,
+        Example,
+        ExampleNg,
+        Tool,
+        CmakeMock,
+        App,
+    ):
+        repo.add(cls)
+    repo.provider_preferences["mpi"] = ["mpich", "openmpi"]
+    return repo

@@ -1,0 +1,649 @@
+"""A synthetic RADIUSS software stack (Section 6.1.2).
+
+RADIUSS is LLNL's open-source HPC foundation: infrastructure (Flux,
+LvArray), portability (RAJA, CHAI, Umpire), data/viz (GLVis, Hatchet,
+VisIt), and simulation packages (Ascent, Sundials, ...).  This module
+recreates its *shape*: 32 root packages over a shared substrate (cmake,
+python, zlib, hdf5, BLAS, metis, ...), many with a virtual dependency
+on MPI, with versions/variants/conditional dependencies representative
+of the real package files.
+
+MPI providers: mpich (the reference), openmpi (ABI-incompatible
+MPI_Comm), mvapich2, the vendor-only cray-mpich (not buildable), and
+the paper's mock MPIABI package that declares
+``can_splice("mpich@3.4.3")``.  :func:`add_mpiabi_replicas` clones
+MPIABI N times for the Figure-7 scaling experiment.
+
+Simulated ``build_time`` values are rough real-world compile costs in
+seconds, so benchmark reports can state "hours of builds avoided".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..package import (
+    Package,
+    Repository,
+    can_splice,
+    depends_on,
+    provides,
+    variant,
+    version,
+)
+
+__all__ = [
+    "make_radiuss_repo",
+    "add_mpiabi_replicas",
+    "RADIUSS_ROOTS",
+    "MPI_DEPENDENT_ROOTS",
+    "NON_MPI_ROOTS",
+]
+
+#: the 32 RADIUSS root packages concretized in the paper's experiments
+RADIUSS_ROOTS: List[str] = [
+    "aluminum", "ascent", "axom", "blt", "caliper", "camp", "care",
+    "chai", "conduit", "flux-core", "flux-sched", "glvis", "hatchet",
+    "hypre", "lbann", "lvarray", "maestrowf", "merlin", "mfem",
+    "py-shroud", "raja", "samrai", "scr", "spot", "sundials", "umap",
+    "umpire", "unifyfs", "variorum", "visit", "xbraid", "zfp",
+]
+
+#: roots with a (possibly transitive) virtual dependency on MPI
+MPI_DEPENDENT_ROOTS: List[str] = [
+    "aluminum", "ascent", "axom", "conduit", "glvis", "hypre", "lbann",
+    "mfem", "samrai", "scr", "sundials", "unifyfs", "visit", "xbraid",
+]
+
+NON_MPI_ROOTS: List[str] = [r for r in RADIUSS_ROOTS if r not in MPI_DEPENDENT_ROOTS]
+
+
+def make_radiuss_repo() -> Repository:
+    """Build the RADIUSS-like repository (fresh classes per call)."""
+    repo = Repository("radiuss")
+
+    # ------------------------------------------------------------------
+    # substrate: build tools and common libraries
+    # ------------------------------------------------------------------
+    class Cmake(Package):
+        version("3.27.4")
+        version("3.23.1")
+        version("3.20.6")
+        build_time = 300
+
+    class Gmake(Package):
+        version("4.4")
+        version("4.3")
+        build_time = 60
+
+    class Gcc(Package):
+        """Compiler; requested with the % sigil (build dependency)."""
+
+        version("12.3.0")
+        version("11.4.0")
+        version("10.5.0")
+        build_time = 4000
+
+    class Llvm(Package):
+        version("16.0.6")
+        version("15.0.7")
+        build_time = 5000
+
+    class Python(Package):
+        version("3.11.4")
+        version("3.10.8")
+        version("3.9.15")
+        variant("shared", default=True)
+        build_time = 900
+
+    class Perl(Package):
+        version("5.38.0")
+        version("5.36.0")
+        build_time = 600
+
+    class Zlib(Package):
+        version("1.3")
+        version("1.2.13")
+        version("1.2.11")
+        variant("optimize", default=True)
+        variant("shared", default=True)
+        provides_symbols = ("deflate", "inflate", "crc32")
+        build_time = 30
+        can_splice("zlib@1.2", when="@1.3")
+
+    class Ncurses(Package):
+        version("6.4")
+        version("6.3")
+        build_time = 120
+
+    class Openssl(Package):
+        version("3.1.2")
+        version("1.1.1t")
+        depends_on("zlib")
+        depends_on("perl", type="build")
+        build_time = 400
+
+    class Libelf(Package):
+        version("0.8.13")
+        build_time = 60
+
+    class Lua(Package):
+        version("5.4.4")
+        version("5.3.6")
+        depends_on("ncurses")
+        build_time = 90
+
+    class Hwloc(Package):
+        version("2.9.1")
+        version("2.8.0")
+        build_time = 150
+
+    class Openblas(Package):
+        version("0.3.23")
+        version("0.3.21")
+        variant("threads", default="none", values=("none", "openmp", "pthreads"))
+        provides("blas")
+        provides("lapack")
+        provides_symbols = ("dgemm_", "dgesv_", "daxpy_")
+        build_time = 700
+
+    class Metis(Package):
+        version("5.1.0")
+        variant("int64", default=False)
+        depends_on("cmake", type="build")
+        build_time = 100
+
+    class Hdf5(Package):
+        version("1.14.1")
+        version("1.12.2")
+        version("1.10.9")
+        variant("mpi", default=True)
+        variant("shared", default=True)
+        variant("cxx", default=False)
+        depends_on("zlib")
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 800
+
+    class Parmetis(Package):
+        version("4.0.3")
+        depends_on("metis")
+        depends_on("mpi")
+        depends_on("cmake", type="build")
+        build_time = 150
+
+    class PyYaml(Package):
+        version("6.0")
+        version("5.4.1")
+        depends_on("python")
+        build_time = 20
+
+    class PyNumpy(Package):
+        version("1.25.1")
+        version("1.24.3")
+        depends_on("python")
+        depends_on("blas")
+        build_time = 300
+
+    class PyPandas(Package):
+        version("2.0.3")
+        version("1.5.3")
+        depends_on("python")
+        depends_on("py-numpy")
+        build_time = 500
+
+    # ------------------------------------------------------------------
+    # MPI implementations
+    # ------------------------------------------------------------------
+    class Mpich(Package):
+        """The reference implementation; MPI_Comm is a 32-bit int."""
+
+        version("4.1.1")
+        version("3.4.3")
+        version("3.1")
+        variant("pmi", default="pmix", values=("pmix", "simple", "slurm"))
+        variant("fortran", default=True)
+        depends_on("hwloc")
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                            "MPI_Allreduce", "MPI_Bcast")
+        type_layouts = {"MPI_Comm": "int32", "MPI_Datatype": "int32"}
+        build_time = 1200
+
+    class Openmpi(Package):
+        """ABI-incompatible with mpich: MPI_Comm is a struct pointer."""
+
+        version("4.1.5")
+        version("4.0.7")
+        variant("fortran", default=True)
+        depends_on("hwloc")
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                            "MPI_Allreduce", "MPI_Bcast")
+        type_layouts = {"MPI_Comm": "ptr-struct", "MPI_Datatype": "ptr-struct"}
+        build_time = 1400
+
+    class Mvapich2(Package):
+        """MVAPICH follows the MPICH ABI."""
+
+        version("2.3.7")
+        depends_on("hwloc")
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                            "MPI_Allreduce", "MPI_Bcast")
+        type_layouts = {"MPI_Comm": "int32", "MPI_Datatype": "int32"}
+        can_splice("mpich@3.4.3")
+        build_time = 1300
+
+    class CrayMpich(Package):
+        """Vendor MPI: only exists as a binary on HPE Cray systems, but
+        conforms to the MPICH ABI (the paper's motivating deploy case)."""
+
+        version("8.1.25")
+        buildable = False
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                            "MPI_Allreduce", "MPI_Bcast")
+        type_layouts = {"MPI_Comm": "int32", "MPI_Datatype": "int32"}
+        can_splice("mpich@3.4.3")
+        can_splice("mpich@4.1")
+
+    class Mpiabi(Package):
+        """The paper's mock splice candidate, based on MVAPICH, with a
+        single version and the ability to splice into mpich@3.4.3."""
+
+        version("1.0")
+        depends_on("hwloc")
+        provides("mpi")
+        provides_symbols = ("MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                            "MPI_Allreduce", "MPI_Bcast")
+        type_layouts = {"MPI_Comm": "int32", "MPI_Datatype": "int32"}
+        can_splice("mpich@3.4.3")
+        build_time = 1300
+
+    # ------------------------------------------------------------------
+    # RADIUSS portability layer
+    # ------------------------------------------------------------------
+    class Blt(Package):
+        version("0.5.3")
+        version("0.5.2")
+        build_time = 10
+
+    class Camp(Package):
+        version("2023.06.0")
+        version("2022.10.1")
+        depends_on("blt", type="build")
+        depends_on("cmake", type="build")
+        build_time = 120
+
+    class Raja(Package):
+        version("2023.06.0")
+        version("2022.10.5")
+        variant("openmp", default=True)
+        variant("shared", default=True)
+        depends_on("camp")
+        depends_on("blt", type="build")
+        depends_on("cmake", type="build")
+        build_time = 400
+
+    class Umpire(Package):
+        version("2023.06.0")
+        version("2022.10.0")
+        variant("openmp", default=True)
+        depends_on("camp")
+        depends_on("blt", type="build")
+        depends_on("cmake", type="build")
+        build_time = 350
+
+    class Chai(Package):
+        version("2023.06.0")
+        version("2022.10.0")
+        depends_on("raja")
+        depends_on("umpire")
+        depends_on("blt", type="build")
+        depends_on("cmake", type="build")
+        build_time = 300
+
+    class Care(Package):
+        version("0.10.0")
+        depends_on("chai")
+        depends_on("raja")
+        depends_on("umpire")
+        depends_on("blt", type="build")
+        depends_on("cmake", type="build")
+        build_time = 250
+
+    class Lvarray(Package):
+        version("0.2.2")
+        version("0.2.0")
+        depends_on("raja")
+        depends_on("umpire")
+        depends_on("camp")
+        depends_on("cmake", type="build")
+        build_time = 300
+
+    # ------------------------------------------------------------------
+    # data, meshing, and solvers
+    # ------------------------------------------------------------------
+    class Conduit(Package):
+        version("0.8.8")
+        version("0.8.6")
+        variant("mpi", default=True)
+        variant("hdf5", default=True)
+        depends_on("zlib")
+        depends_on("hdf5", when="+hdf5")
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 500
+
+    class Hypre(Package):
+        version("2.29.0")
+        version("2.26.0")
+        variant("shared", default=True)
+        depends_on("mpi")
+        depends_on("blas")
+        depends_on("lapack")
+        build_time = 600
+
+    class Mfem(Package):
+        version("4.5.2")
+        version("4.5.0")
+        variant("mpi", default=True)
+        variant("zlib", default=True)
+        depends_on("zlib", when="+zlib")
+        depends_on("hypre", when="+mpi")
+        depends_on("metis", when="+mpi")
+        depends_on("mpi", when="+mpi")
+        build_time = 900
+
+    class Sundials(Package):
+        version("6.6.0")
+        version("6.5.1")
+        variant("mpi", default=True)
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 500
+
+    class Samrai(Package):
+        version("4.2.1")
+        version("4.1.2")
+        depends_on("hdf5+mpi")
+        depends_on("mpi")
+        depends_on("zlib")
+        build_time = 800
+
+    class Xbraid(Package):
+        version("3.1.0")
+        version("3.0.0")
+        depends_on("mpi")
+        build_time = 120
+
+    class Zfp(Package):
+        version("1.0.0")
+        version("0.5.5")
+        variant("shared", default=True)
+        depends_on("cmake", type="build")
+        build_time = 90
+
+    # -- the SCR component family (real RADIUSS substructure) ----------
+    class Kvtree(Package):
+        version("1.3.0")
+        version("1.2.0")
+        variant("mpi", default=True)
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 80
+
+    class Axl(Package):
+        version("0.7.1")
+        variant("async_api", default="daemon", values=("daemon", "none"))
+        depends_on("kvtree")
+        depends_on("zlib")
+        depends_on("cmake", type="build")
+        build_time = 70
+
+    class Spath(Package):
+        version("0.2.0")
+        variant("mpi", default=True)
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 40
+
+    class Rankstr(Package):
+        version("0.1.0")
+        depends_on("mpi")
+        depends_on("cmake", type="build")
+        build_time = 40
+
+    class Shuffile(Package):
+        version("0.1.0")
+        depends_on("kvtree")
+        depends_on("mpi")
+        depends_on("cmake", type="build")
+        build_time = 40
+
+    class Er(Package):
+        version("0.2.0")
+        depends_on("kvtree")
+        depends_on("rankstr")
+        depends_on("shuffile")
+        depends_on("mpi")
+        depends_on("cmake", type="build")
+        build_time = 60
+
+    class Scr(Package):
+        version("3.0.1")
+        depends_on("axl")
+        depends_on("er")
+        depends_on("kvtree+mpi")
+        depends_on("rankstr")
+        depends_on("spath+mpi")
+        depends_on("mpi")
+        depends_on("zlib")
+        depends_on("cmake", type="build")
+        build_time = 300
+
+    class Umap(Package):
+        version("2.1.0")
+        depends_on("cmake", type="build")
+        build_time = 100
+
+    class Unifyfs(Package):
+        version("1.1")
+        version("1.0.1")
+        depends_on("mpi")
+        depends_on("openssl")
+        build_time = 350
+
+    class Variorum(Package):
+        version("0.6.0")
+        depends_on("hwloc")
+        depends_on("cmake", type="build")
+        build_time = 150
+
+    class Adiak(Package):
+        """Metadata collection interface used by Caliper."""
+
+        version("0.2.2")
+        variant("mpi", default=False)
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 60
+
+    class Gotcha(Package):
+        """Function-wrapping library used by Caliper."""
+
+        version("1.0.4")
+        version("1.0.3")
+        depends_on("cmake", type="build")
+        build_time = 50
+
+    class Caliper(Package):
+        version("2.9.1")
+        version("2.8.0")
+        variant("shared", default=True)
+        variant("adiak", default=True)
+        variant("gotcha", default=True)
+        depends_on("adiak", when="+adiak")
+        depends_on("gotcha", when="+gotcha")
+        depends_on("cmake", type="build")
+        depends_on("python", type="build")
+        build_time = 300
+
+    class Spot(Package):
+        version("1.0.0")
+        depends_on("caliper")
+        depends_on("python")
+        build_time = 60
+
+    class Aluminum(Package):
+        version("1.3.1")
+        version("1.2.3")
+        depends_on("mpi")
+        depends_on("hwloc")
+        depends_on("cmake", type="build")
+        build_time = 350
+
+    class Lbann(Package):
+        version("0.102")
+        depends_on("aluminum")
+        depends_on("conduit+mpi")
+        depends_on("mpi")
+        depends_on("blas")
+        depends_on("python", type="build")
+        depends_on("cmake", type="build")
+        build_time = 3000
+
+    class Ascent(Package):
+        version("0.9.1")
+        version("0.9.0")
+        variant("mpi", default=True)
+        depends_on("conduit+mpi", when="+mpi")
+        depends_on("conduit~mpi", when="~mpi")
+        depends_on("raja")
+        depends_on("mpi", when="+mpi")
+        depends_on("cmake", type="build")
+        build_time = 1200
+
+    class Axom(Package):
+        version("0.8.1")
+        version("0.7.0")
+        depends_on("conduit+mpi")
+        depends_on("raja")
+        depends_on("umpire")
+        depends_on("mfem+mpi")
+        depends_on("mpi")
+        depends_on("cmake", type="build")
+        build_time = 1500
+
+    class Glvis(Package):
+        version("4.2")
+        version("4.1")
+        depends_on("mfem+mpi")
+        depends_on("zlib")
+        build_time = 400
+
+    class Visit(Package):
+        version("3.3.3")
+        version("3.3.1")
+        variant("mpi", default=True)
+        depends_on("hdf5+mpi", when="+mpi")
+        depends_on("conduit+mpi", when="+mpi")
+        depends_on("mfem+mpi", when="+mpi")
+        depends_on("mpi", when="+mpi")
+        depends_on("zlib")
+        depends_on("python")
+        depends_on("cmake", type="build")
+        build_time = 7200
+
+    # ------------------------------------------------------------------
+    # workflow / tooling (python-based; the non-MPI control group)
+    # ------------------------------------------------------------------
+    class FluxCore(Package):
+        version("0.53.0")
+        version("0.49.0")
+        depends_on("zlib")
+        depends_on("lua")
+        depends_on("hwloc")
+        depends_on("python")
+        depends_on("ncurses")
+        build_time = 600
+
+    class FluxSched(Package):
+        version("0.27.0")
+        depends_on("flux-core")
+        depends_on("cmake", type="build")
+        build_time = 300
+
+    class Hatchet(Package):
+        version("1.3.1")
+        depends_on("python")
+        depends_on("py-numpy")
+        depends_on("py-pandas")
+        build_time = 60
+
+    class PyShroud(Package):
+        """Code-generator, pure python — the paper's no-splice control."""
+
+        version("0.12.2")
+        version("0.11.0")
+        depends_on("python")
+        depends_on("py-yaml")
+        build_time = 30
+
+    class Maestrowf(Package):
+        version("1.1.9")
+        depends_on("python")
+        depends_on("py-yaml")
+        build_time = 30
+
+    class Merlin(Package):
+        version("1.10.3")
+        depends_on("python")
+        depends_on("py-yaml")
+        depends_on("py-pandas")
+        build_time = 40
+
+    for cls in (
+        Cmake, Gmake, Gcc, Llvm, Python, Perl, Zlib, Ncurses, Openssl, Libelf, Lua,
+        Hwloc, Openblas, Metis, Hdf5, Parmetis, PyYaml, PyNumpy, PyPandas,
+        Mpich, Openmpi, Mvapich2, CrayMpich, Mpiabi,
+        Blt, Camp, Raja, Umpire, Chai, Care, Lvarray,
+        Conduit, Hypre, Mfem, Sundials, Samrai, Xbraid, Zfp,
+        Kvtree, Axl, Spath, Rankstr, Shuffile, Er, Scr, Umap,
+        Adiak, Gotcha,
+        Unifyfs, Variorum, Caliper, Spot, Aluminum, Lbann, Ascent, Axom,
+        Glvis, Visit, FluxCore, FluxSched, Hatchet, PyShroud, Maestrowf,
+        Merlin,
+    ):
+        repo.add(cls)
+
+    repo.provider_preferences["mpi"] = ["mpich", "mvapich2", "openmpi"]
+    repo.provider_preferences["blas"] = ["openblas"]
+    repo.provider_preferences["lapack"] = ["openblas"]
+    return repo
+
+
+def add_mpiabi_replicas(repo: Repository, count: int) -> List[str]:
+    """Add ``count`` copies of MPIABI differing only in name (Section
+    6.4's scaling workload).  Returns the replica package names."""
+    names: List[str] = []
+    for i in range(count):
+        name = f"mpiabi{i}"
+
+        class Replica(Package):
+            version("1.0")
+            provides("mpi")
+            provides_symbols = (
+                "MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                "MPI_Allreduce", "MPI_Bcast",
+            )
+            type_layouts = {"MPI_Comm": "int32", "MPI_Datatype": "int32"}
+            can_splice("mpich@3.4.3")
+            build_time = 1300
+
+        Replica.name = name
+        Replica.__name__ = f"Mpiabi{i}"
+        repo.add(Replica)
+        names.append(name)
+    return names

@@ -1,0 +1,137 @@
+"""Spec diffing: what changed between two concrete specs?
+
+The analogue of ``spack diff``: compares two spec DAGs node by node and
+reports version/variant/arch changes, added/removed nodes, and splice
+provenance differences — the tool you reach for when asking "why does
+this installation hash differently from that one?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .spec import Spec
+
+__all__ = ["SpecDiff", "NodeChange", "diff_specs"]
+
+
+@dataclass
+class NodeChange:
+    """Changes between two same-named nodes."""
+
+    name: str
+    version: Optional[Tuple[str, str]] = None
+    variants: Dict[str, Tuple[Optional[str], Optional[str]]] = field(
+        default_factory=dict
+    )
+    os: Optional[Tuple[str, str]] = None
+    target: Optional[Tuple[str, str]] = None
+    #: (old dep set, new dep set) when the link-run children differ
+    dependencies: Optional[Tuple[tuple, tuple]] = None
+    #: became/ceased being spliced, or changed build spec
+    splice: Optional[Tuple[Optional[str], Optional[str]]] = None
+
+    @property
+    def empty(self) -> bool:
+        """True when the two nodes are indistinguishable."""
+        return not any(
+            (self.version, self.variants, self.os, self.target,
+             self.dependencies, self.splice)
+        )
+
+
+@dataclass
+class SpecDiff:
+    """The full difference report between two specs."""
+
+    left: Spec
+    right: Spec
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: List[NodeChange] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        """True when the DAGs match node-for-node."""
+        return not (self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        """Human-readable +/-/~ report (the `repro diff` output)."""
+        if self.identical:
+            return "specs are identical"
+        lines: List[str] = []
+        for name in self.removed:
+            lines.append(f"- {name}")
+        for name in self.added:
+            lines.append(f"+ {name}")
+        for change in self.changed:
+            lines.append(f"~ {change.name}")
+            if change.version:
+                lines.append(
+                    f"    version: {change.version[0]} -> {change.version[1]}"
+                )
+            for variant, (old, new) in sorted(change.variants.items()):
+                lines.append(f"    {variant}: {old} -> {new}")
+            if change.os:
+                lines.append(f"    os: {change.os[0]} -> {change.os[1]}")
+            if change.target:
+                lines.append(
+                    f"    target: {change.target[0]} -> {change.target[1]}"
+                )
+            if change.dependencies:
+                old, new = change.dependencies
+                lines.append(
+                    f"    deps: {', '.join(old) or '(none)'} -> "
+                    f"{', '.join(new) or '(none)'}"
+                )
+            if change.splice:
+                old, new = change.splice
+                lines.append(
+                    f"    build spec: {old or '(not spliced)'} -> "
+                    f"{new or '(not spliced)'}"
+                )
+        return "\n".join(lines)
+
+
+def diff_specs(left: Spec, right: Spec) -> SpecDiff:
+    """Compare two spec DAGs node-by-node (matched by package name)."""
+    result = SpecDiff(left, right)
+    left_nodes = {n.name: n for n in left.traverse()}
+    right_nodes = {n.name: n for n in right.traverse()}
+    result.removed = sorted(set(left_nodes) - set(right_nodes))
+    result.added = sorted(set(right_nodes) - set(left_nodes))
+    for name in sorted(set(left_nodes) & set(right_nodes)):
+        change = _diff_node(left_nodes[name], right_nodes[name])
+        if not change.empty:
+            result.changed.append(change)
+    return result
+
+
+def _diff_node(old: Spec, new: Spec) -> NodeChange:
+    change = NodeChange(name=old.name)
+    old_version = str(old.versions)
+    new_version = str(new.versions)
+    if old_version != new_version:
+        change.version = (old_version.lstrip("="), new_version.lstrip("="))
+    variant_names = {v.name for _, v in old.variants.items()} | {
+        v.name for _, v in new.variants.items()
+    }
+    for name in variant_names:
+        old_value = old.variants.get(name)
+        new_value = new.variants.get(name)
+        if old_value != new_value:
+            change.variants[name] = (old_value, new_value)
+    if old.os != new.os:
+        change.os = (old.os, new.os)
+    if old.target != new.target:
+        change.target = (old.target, new.target)
+    old_deps = tuple(sorted(e.spec.name for e in old.edges()))
+    new_deps = tuple(sorted(e.spec.name for e in new.edges()))
+    if old_deps != new_deps:
+        change.dependencies = (old_deps, new_deps)
+    old_build = old.build_spec.dag_hash(7) if old.build_spec else None
+    new_build = new.build_spec.dag_hash(7) if new.build_spec else None
+    if old_build != new_build:
+        change.splice = (old_build, new_build)
+    return change

@@ -1,0 +1,174 @@
+"""Variants: compile-time options attached to spec nodes.
+
+A variant is a named build option.  Spack distinguishes boolean variants
+(``+bzip`` / ``~bzip``) from valued variants (``pmi=pmix``,
+``target=icelake``).  A :class:`VariantMap` holds the variant settings of a
+single spec node and supports the same constraint-lattice operations as
+versions: ``satisfies`` (every setting here is at least as constrained as
+the other side requires), ``intersects`` and ``constrain``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple, Union
+
+__all__ = ["Variant", "VariantMap", "VariantError", "normalize_value"]
+
+
+class VariantError(ValueError):
+    """Raised for conflicting or malformed variant settings."""
+
+
+def normalize_value(value) -> str:
+    """Canonicalize a variant value to its string form.
+
+    Booleans map to ``"True"``/``"False"`` to match the ASP encoding used
+    in the paper (e.g. ``attr("variant", node("example"), "bzip", "True")``).
+    """
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    return str(value)
+
+
+class Variant:
+    """A single variant setting ``name=value`` on a spec node."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Union[str, bool]):
+        if not name or not name[0].isalpha():
+            raise VariantError(f"invalid variant name: {name!r}")
+        self.name = name
+        self.value = normalize_value(value)
+
+    @property
+    def is_bool(self) -> bool:
+        """True for +name/~name variants (value True/False)."""
+        return self.value in ("True", "False")
+
+    def satisfies(self, other: "Variant") -> bool:
+        """Same variant pinned to the same value."""
+        return self.name == other.name and self.value == other.value
+
+    def copy(self) -> "Variant":
+        """An independent copy."""
+        return Variant(self.name, self.value)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Variant)
+            and self.name == other.name
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.value))
+
+    def __str__(self) -> str:
+        if self.value == "True":
+            return f"+{self.name}"
+        if self.value == "False":
+            return f"~{self.name}"
+        return f"{self.name}={self.value}"
+
+    def __repr__(self) -> str:
+        return f"Variant({self.name!r}, {self.value!r})"
+
+
+class VariantMap:
+    """The set of variant settings on one spec node, keyed by name."""
+
+    __slots__ = ("_variants",)
+
+    def __init__(self, variants: Dict[str, Union[str, bool]] | None = None):
+        self._variants: Dict[str, Variant] = {}
+        if variants:
+            for name, value in variants.items():
+                self.set(name, value)
+
+    # -- mutation -----------------------------------------------------------
+    def set(self, name: str, value: Union[str, bool]) -> None:
+        """Pin ``name`` to ``value`` (overwrites any prior setting)."""
+        self._variants[name] = Variant(name, value)
+
+    def constrain(self, other: "VariantMap") -> bool:
+        """Tighten this map with ``other``'s settings.
+
+        Returns True if anything changed.  Raises :class:`VariantError`
+        when the two maps pin the same variant to different values.
+        """
+        changed = False
+        for name, variant in other.items():
+            mine = self._variants.get(name)
+            if mine is None:
+                self._variants[name] = variant.copy()
+                changed = True
+            elif mine.value != variant.value:
+                raise VariantError(
+                    f"conflicting values for variant {name!r}: "
+                    f"{mine.value!r} vs {variant.value!r}"
+                )
+        return changed
+
+    # -- queries --------------------------------------------------------------
+    def satisfies(self, other: "VariantMap") -> bool:
+        """True when every setting required by ``other`` is matched here."""
+        for name, variant in other.items():
+            mine = self._variants.get(name)
+            if mine is None or mine.value != variant.value:
+                return False
+        return True
+
+    def intersects(self, other: "VariantMap") -> bool:
+        """True when no variant is pinned to different values in the two."""
+        for name, variant in other.items():
+            mine = self._variants.get(name)
+            if mine is not None and mine.value != variant.value:
+                return False
+        return True
+
+    def get(self, name: str, default=None):
+        variant = self._variants.get(name)
+        return variant.value if variant is not None else default
+
+    def copy(self) -> "VariantMap":
+        new = VariantMap()
+        new._variants = {k: v.copy() for k, v in self._variants.items()}
+        return new
+
+    # -- iteration / dunder ---------------------------------------------------
+    def items(self) -> Iterator[Tuple[str, Variant]]:
+        return iter(sorted(self._variants.items()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variants
+
+    def __getitem__(self, name: str) -> str:
+        return self._variants[name].value
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._variants))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VariantMap) and dict(self._variants) == dict(
+            other._variants
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((v.name, v.value) for v in self._variants.values())))
+
+    def __str__(self) -> str:
+        if not self._variants:
+            return ""
+        bools = [v for _, v in self.items() if v.is_bool]
+        valued = [v for _, v in self.items() if not v.is_bool]
+        text = "".join(str(v) for v in bools)
+        if valued:
+            text += (" " if text else "") + " ".join(str(v) for v in valued)
+        return text
+
+    def __repr__(self) -> str:
+        return f"VariantMap({{{', '.join(f'{v.name!r}: {v.value!r}' for _, v in self.items())}}})"

@@ -1,0 +1,457 @@
+"""Version model for the mini-Spack spec language.
+
+Spack versions are dotted sequences of numeric and alphabetic components
+(``1.2.0``, ``2021.06``, ``1.2rc1``, ``develop``).  This module implements:
+
+* :class:`Version` — a single concrete version with Spack-style total
+  ordering (numeric components compare numerically, alphabetic components
+  compare lexically, and "infinity versions" like ``develop``/``main`` sort
+  above everything numeric).
+* :class:`VersionRange` — a closed range ``lo:hi`` where either side may be
+  open.
+* :class:`VersionList` — an ordered disjunction of versions and ranges, as
+  written ``1.2,1.4:1.6``.
+
+The key operations are the constraint-lattice ones used by specs:
+``satisfies`` (subset), ``intersects`` (non-empty overlap),
+``intersection`` and ``union``.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterable, Optional, Tuple, Union
+
+__all__ = [
+    "Version",
+    "VersionRange",
+    "VersionList",
+    "VersionError",
+    "ver",
+    "any_version",
+]
+
+
+class VersionError(ValueError):
+    """Raised for malformed version strings or invalid version operations."""
+
+
+#: Named versions that sort above every numeric version, in increasing
+#: order of "infinity-ness".  ``develop`` is the most bleeding-edge.
+INFINITY_VERSIONS = ("stable", "trunk", "head", "master", "main", "develop")
+
+_SEGMENT_RE = re.compile(r"(\d+|[a-zA-Z]+)")
+_VALID_VERSION_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+def _parse_components(string: str) -> Tuple:
+    """Split a version string into a tuple of comparable components.
+
+    Numeric runs become ints; alphabetic runs stay strings.  Separators
+    (``.``, ``-``, ``_``) are dropped.  An infinity version becomes a
+    single ``(kind, rank)`` marker tuple that compares above ints.
+    """
+    if string in INFINITY_VERSIONS:
+        return (_Infinity(INFINITY_VERSIONS.index(string)),)
+    parts = []
+    for match in _SEGMENT_RE.finditer(string):
+        text = match.group(0)
+        parts.append(int(text) if text.isdigit() else text)
+    if not parts:
+        raise VersionError(f"invalid version string: {string!r}")
+    return tuple(parts)
+
+
+@total_ordering
+class _Infinity:
+    """Marker component for named development versions (sorts above ints)."""
+
+    __slots__ = ("rank",)
+
+    def __init__(self, rank: int):
+        self.rank = rank
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Infinity) and self.rank == other.rank
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, _Infinity):
+            return self.rank < other.rank
+        return False  # infinity is greater than any int/str component
+
+    def __hash__(self) -> int:
+        return hash(("__infinity__", self.rank))
+
+    def __repr__(self) -> str:
+        return f"_Infinity({INFINITY_VERSIONS[self.rank]})"
+
+
+def _cmp_component(a, b) -> int:
+    """Three-way compare of single version components.
+
+    Ordering rules (mirroring Spack):
+    * int vs int: numeric
+    * str vs str: lexicographic
+    * int vs str: the *string* is a prerelease-ish suffix and sorts BELOW
+      the int (so ``1.0 > 1.0rc1`` works at the padded-component level —
+      see ``Version.__lt__``).
+    * infinity beats everything.
+    """
+    a_inf, b_inf = isinstance(a, _Infinity), isinstance(b, _Infinity)
+    if a_inf or b_inf:
+        if a_inf and b_inf:
+            return (a.rank > b.rank) - (a.rank < b.rank)
+        return 1 if a_inf else -1
+    a_int, b_int = isinstance(a, int), isinstance(b, int)
+    if a_int and b_int:
+        return (a > b) - (a < b)
+    if not a_int and not b_int:
+        return (a > b) - (a < b)
+    # mixed: ints sort above strings ("1.2" > "1.b")
+    return 1 if a_int else -1
+
+
+@total_ordering
+class Version:
+    """A single concrete version, e.g. ``Version("1.14.5")``.
+
+    Versions are immutable and hashable; ordering follows Spack's rules.
+    A version also acts as a degenerate range for ``satisfies`` checks:
+    ``Version("1.2").satisfies(VersionRange("1", "2"))`` is true.
+    """
+
+    __slots__ = ("string", "components")
+
+    def __init__(self, string: Union[str, int, float, "Version"]):
+        if isinstance(string, Version):
+            string = string.string
+        string = str(string)
+        if not string or not _VALID_VERSION_RE.match(string):
+            raise VersionError(f"invalid version string: {string!r}")
+        self.string = string
+        self.components = _parse_components(string)
+
+    # -- comparisons ------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Version) and self.components == other.components
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        a, b = self.components, other.components
+        for x, y in zip(a, b):
+            c = _cmp_component(x, y)
+            if c:
+                return c < 0
+        if len(a) == len(b):
+            return False
+        # Shorter is smaller unless the extra components start with a
+        # string (prerelease suffix): 1.0 < 1.0.1 but 1.0rc1 < 1.0.
+        longer, flip = (b, False) if len(a) < len(b) else (a, True)
+        extra = longer[min(len(a), len(b))]
+        extra_is_prerelease = isinstance(extra, str)
+        result = not extra_is_prerelease  # shorter < longer-with-numeric-extra
+        return result if not flip else not result
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __str__(self) -> str:
+        return self.string
+
+    def __repr__(self) -> str:
+        return f"Version({self.string!r})"
+
+    # -- range-like protocol ----------------------------------------------
+    @property
+    def lo(self) -> "Version":
+        return self
+
+    @property
+    def hi(self) -> "Version":
+        return self
+
+    def is_prefix_of(self, other: "Version") -> bool:
+        """True if ``other`` has this version's components as a prefix.
+
+        ``1.2`` is a prefix of ``1.2.3`` — used so that the single-version
+        constraint ``@1.2`` admits any ``1.2.x`` when written as a range
+        endpoint.
+        """
+        return other.components[: len(self.components)] == self.components
+
+    def up_to(self, index: int) -> "Version":
+        """The version formed by the first ``index`` dot-components."""
+        parts = self.string.replace("-", ".").replace("_", ".").split(".")
+        return Version(".".join(parts[:index]))
+
+    def satisfies(self, other: "VersionConstraint") -> bool:
+        if isinstance(other, Version):
+            return self == other
+        return other.contains(self)
+
+    def intersects(self, other: "VersionConstraint") -> bool:
+        if isinstance(other, Version):
+            return self == other
+        return other.contains(self)
+
+    def contains(self, other: "Version") -> bool:
+        return self == other
+
+
+class VersionRange:
+    """A closed version range ``lo:hi``; either bound may be ``None`` (open).
+
+    Range endpoints use *prefix* semantics on the high side: the range
+    ``:1.2`` includes ``1.2.99`` because ``1.2`` is a prefix of it — this
+    matches Spack, where ``hdf5@:1.12`` admits every 1.12 patch release.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[Union[str, Version]], hi: Optional[Union[str, Version]]):
+        self.lo = Version(lo) if lo is not None and not isinstance(lo, Version) else lo
+        self.hi = Version(hi) if hi is not None and not isinstance(hi, Version) else hi
+        if self.lo is not None and self.hi is not None:
+            if self.hi < self.lo and not self.hi.is_prefix_of(self.lo):
+                raise VersionError(f"empty version range: {self}")
+
+    # -- membership ---------------------------------------------------------
+    def contains(self, version: Version) -> bool:
+        if self.lo is not None:
+            if version < self.lo and not self.lo.is_prefix_of(version):
+                return False
+        if self.hi is not None:
+            if version > self.hi and not self.hi.is_prefix_of(version):
+                return False
+        return True
+
+    # -- lattice ops ---------------------------------------------------------
+    def intersects(self, other: "VersionConstraint") -> bool:
+        if isinstance(other, Version):
+            return self.contains(other)
+        if isinstance(other, VersionList):
+            return other.intersects(self)
+        lo = self._max_lo(self.lo, other.lo)
+        hi = self._min_hi(self.hi, other.hi)
+        if lo is None or hi is None:
+            return True
+        return lo <= hi or hi.is_prefix_of(lo)
+
+    def satisfies(self, other: "VersionConstraint") -> bool:
+        """True if every version in ``self`` is in ``other`` (subset)."""
+        if isinstance(other, Version):
+            # A non-degenerate range can only satisfy a single version if
+            # it is exactly that version on both ends.
+            return self.lo == other and self.hi == other
+        if isinstance(other, VersionList):
+            return any(self.satisfies(c) for c in other.constraints)
+        lo_ok = other.lo is None or (
+            self.lo is not None
+            and (self.lo >= other.lo or other.lo.is_prefix_of(self.lo))
+        )
+        hi_ok = other.hi is None or (
+            self.hi is not None
+            and (self.hi <= other.hi or other.hi.is_prefix_of(self.hi))
+        )
+        return lo_ok and hi_ok
+
+    def intersection(self, other: "VersionRange") -> Optional["VersionRange"]:
+        lo = self._max_lo(self.lo, other.lo)
+        hi = self._min_hi(self.hi, other.hi)
+        try:
+            return VersionRange(lo, hi)
+        except VersionError:
+            return None
+
+    @staticmethod
+    def _max_lo(a: Optional[Version], b: Optional[Version]) -> Optional[Version]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+
+    @staticmethod
+    def _min_hi(a: Optional[Version], b: Optional[Version]) -> Optional[Version]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    # -- dunder ---------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, VersionRange)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __str__(self) -> str:
+        if self.lo is not None and self.lo == self.hi:
+            return str(self.lo)  # prefix-closed single range, e.g. "@1.14"
+        lo = str(self.lo) if self.lo is not None else ""
+        hi = str(self.hi) if self.hi is not None else ""
+        return f"{lo}:{hi}"
+
+    def __repr__(self) -> str:
+        return f"VersionRange({self.lo!r}, {self.hi!r})"
+
+
+VersionConstraint = Union[Version, VersionRange, "VersionList"]
+
+
+class VersionList:
+    """An ordered disjunction of versions and ranges: ``1.2,1.4:1.6``.
+
+    The empty constraint string parses to the "any version" list, which
+    contains every version.  Constraints are kept sorted by their low
+    endpoint for canonical printing and stable hashing.
+    """
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Iterable[Union[Version, VersionRange]] = ()):
+        self.constraints = sorted(constraints, key=_constraint_sort_key)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_string(cls, string: str) -> "VersionList":
+        """Parse the text after an ``@`` sigil, e.g. ``1.2,1.4:1.6``."""
+        string = string.strip()
+        if not string or string == ":":
+            return cls([VersionRange(None, None)])
+        constraints: list = []
+        for chunk in string.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                raise VersionError(f"empty constraint in version list: {string!r}")
+            if ":" in chunk:
+                lo_s, _, hi_s = chunk.partition(":")
+                lo = lo_s.strip() or None
+                hi = hi_s.strip() or None
+                constraints.append(VersionRange(lo, hi))
+            elif chunk.startswith("="):
+                # @=1.14 pins the exact version
+                constraints.append(Version(chunk[1:]))
+            else:
+                # Bare @1.14 is the prefix-closed range 1.14:1.14, which
+                # admits 1.14.5 etc. — Spack semantics (the paper's
+                # depends_on("zlib@1.2") concretizes to zlib@1.2.11).
+                v = Version(chunk)
+                constraints.append(VersionRange(v, v))
+        return cls(constraints)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def is_any(self) -> bool:
+        return self.constraints == [VersionRange(None, None)]
+
+    @property
+    def concrete(self) -> Optional[Version]:
+        """The single Version if this list pins exactly one, else None."""
+        if len(self.constraints) == 1 and isinstance(self.constraints[0], Version):
+            return self.constraints[0]
+        return None
+
+    def contains(self, version: Version) -> bool:
+        return any(c.contains(version) for c in self.constraints)
+
+    def intersects(self, other: VersionConstraint) -> bool:
+        if isinstance(other, (Version, VersionRange)):
+            other = VersionList([other])
+        return any(
+            a.intersects(b) for a in self.constraints for b in other.constraints
+        )
+
+    def satisfies(self, other: VersionConstraint) -> bool:
+        """Subset check: every member constraint fits inside ``other``."""
+        if isinstance(other, (Version, VersionRange)):
+            other = VersionList([other])
+        if other.is_any:
+            return True
+        return all(
+            any(a.satisfies(b) for b in other.constraints) for a in self.constraints
+        )
+
+    def intersection(self, other: "VersionList") -> "VersionList":
+        """The (possibly empty) list of pairwise intersections."""
+        out: list = []
+        for a in self.constraints:
+            for b in other.constraints:
+                piece = _intersect_pair(a, b)
+                if piece is not None and piece not in out:
+                    out.append(piece)
+        return VersionList(out)
+
+    def union(self, other: "VersionList") -> "VersionList":
+        merged = list(self.constraints)
+        for c in other.constraints:
+            if c not in merged:
+                merged.append(c)
+        return VersionList(merged)
+
+    # -- dunder -------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VersionList) and self.constraints == other.constraints
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.constraints))
+
+    def __bool__(self) -> bool:
+        return bool(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __str__(self) -> str:
+        if self.is_any:
+            return ":"
+        # exact versions get the "=" marker so text round-trips (a bare
+        # version string parses as a prefix-closed range)
+        return ",".join(
+            f"={c}" if isinstance(c, Version) else str(c)
+            for c in self.constraints
+        )
+
+    def __repr__(self) -> str:
+        return f"VersionList({self.constraints!r})"
+
+
+def _constraint_sort_key(c: Union[Version, VersionRange]):
+    lo = c.lo if c.lo is not None else Version("0")
+    # Degenerate flag orders a single version before a range at the same lo.
+    return (lo, isinstance(c, VersionRange))
+
+
+def _intersect_pair(a, b):
+    """Intersect two Version-or-VersionRange constraints; None if empty."""
+    if isinstance(a, Version) and isinstance(b, Version):
+        return a if a == b else None
+    if isinstance(a, Version):
+        return a if b.contains(a) else None
+    if isinstance(b, Version):
+        return b if a.contains(b) else None
+    return a.intersection(b)
+
+
+def ver(spec: Union[str, int, float]) -> VersionConstraint:
+    """Parse a version expression into the narrowest type that holds it.
+
+    ``ver("1.2")`` → Version; ``ver("1.2:1.6")`` → VersionRange wrapped in a
+    VersionList; ``ver("1.2,1.4")`` → VersionList.
+    """
+    text = str(spec).strip()
+    if "," in text or ":" in text:
+        return VersionList.from_string(text)
+    return Version(text)
+
+
+def any_version() -> VersionList:
+    """The constraint satisfied by every version (``@:``)."""
+    return VersionList([VersionRange(None, None)])

@@ -1,0 +1,75 @@
+"""Control façade tests: file loading, incremental input, stats."""
+
+import pytest
+
+from repro.asp import Control, Model
+from repro.asp.syntax import Atom, Rule, Literal, String
+
+
+class TestInput:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "prog.lp"
+        path.write_text("a. b :- a.")
+        ctl = Control()
+        ctl.load(path)
+        result = ctl.solve()
+        assert len(result.model) == 2
+
+    def test_mixed_text_and_programmatic(self):
+        ctl = Control()
+        ctl.add_fact(Atom("p", (String("x"),)))
+        ctl.add("q(Y) :- p(Y).")
+        ctl.add_rule(Rule(Atom("r"), [Literal(Atom("q", (String("x"),)))]))
+        result = ctl.solve()
+        assert result.model.holds(Atom("r"))
+
+    def test_non_ground_fact_rejected(self):
+        from repro.asp.syntax import Variable
+
+        ctl = Control()
+        with pytest.raises(ValueError):
+            ctl.add_fact(Atom("p", (Variable("X"),)))
+
+    def test_ground_explicit_then_solve(self):
+        ctl = Control()
+        ctl.add("a.")
+        ctl.ground()
+        assert ctl.ground_stats["rules"] >= 1
+        assert ctl.solve().satisfiable
+
+
+class TestModelHelpers:
+    def test_by_predicate_caching(self):
+        model = Model({Atom("p", (String("a"),)), Atom("q")})
+        assert len(model.by_predicate("p")) == 1
+        assert model.by_predicate("missing") == []
+
+    def test_holds(self):
+        model = Model({Atom("q")})
+        assert model.holds(Atom("q"))
+        assert not model.holds(Atom("p"))
+
+    def test_iteration(self):
+        atoms = {Atom("a"), Atom("b")}
+        assert set(Model(atoms)) == atoms
+
+
+class TestStats:
+    def test_timing_keys(self):
+        ctl = Control()
+        ctl.add("{ a }. :- not a.")
+        result = ctl.solve()
+        for key in ("ground_time", "translate_time", "solve_time",
+                    "models_seen", "loop_formulas", "sat_vars"):
+            assert key in result.stats
+
+    def test_optimization_converges_logarithmically(self):
+        # 64 choices with weight gradient 0..63: binary descent visits
+        # O(log) improving models, not one per weight step
+        picks = " ; ".join(f"p({i})" for i in range(64))
+        ctl = Control()
+        ctl.add(f"1 {{ {picks} }} 1.")
+        ctl.add("#minimize { X, X : p(X) }.")
+        result = ctl.solve()
+        assert result.cost[0] == 0
+        assert result.stats["models_seen"] <= 10

@@ -1,0 +1,127 @@
+"""Arithmetic terms, intervals, and assignment binding in the engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asp import Control
+from repro.asp.parser import AspSyntaxError, parse_program, parse_term
+from repro.asp.syntax import Arith, Integer, Interval, Variable
+
+
+def model_of(text):
+    ctl = Control()
+    ctl.add(text)
+    result = ctl.solve()
+    assert result.satisfiable
+    return {repr(a) for a in result.model}
+
+
+class TestParsing:
+    def test_constant_folding(self):
+        assert parse_term("2 + 3 * 4") == Integer(14)
+
+    def test_precedence(self):
+        assert parse_term("(2 + 3) * 4") == Integer(20)
+
+    def test_integer_division_truncates(self):
+        assert parse_term("7 / 2") == Integer(3)
+
+    def test_unary_minus(self):
+        assert parse_term("-3") == Integer(-3)
+        assert parse_term("- 3") == Integer(-3)
+        assert parse_term("2 - -3") == Integer(5)
+
+    def test_variable_expression_stays_symbolic(self):
+        term = parse_term("X + 1")
+        assert isinstance(term, Arith)
+        assert set(term.variables()) == {"X"}
+
+    def test_interval_term(self):
+        term = parse_term("1..5")
+        assert isinstance(term, Interval)
+        assert [t.value for t in term.expand()] == [1, 2, 3, 4, 5]
+
+    def test_substitute_reduces(self):
+        term = parse_term("X * 2 + 1")
+        assert term.substitute({"X": Integer(5)}) == Integer(11)
+
+
+class TestIntervalFacts:
+    def test_fact_expansion(self):
+        program = parse_program("p(1..3).")
+        assert len(program.rules) == 3
+
+    def test_multi_interval_cartesian(self):
+        program = parse_program("edge(1..2, 5..6).")
+        assert len(program.rules) == 4
+
+    def test_interval_with_other_args(self):
+        model = model_of('q("x", 1..2).')
+        assert model == {'q("x",1)', 'q("x",2)'}
+
+    def test_empty_interval(self):
+        program = parse_program("p(3..2).")
+        assert len(program.rules) == 0
+
+
+class TestGroundingArithmetic:
+    def test_head_arithmetic(self):
+        model = model_of("n(1..3). succ(X, X + 1) :- n(X).")
+        assert "succ(3,4)" in model
+
+    def test_comparison_arithmetic(self):
+        model = model_of("n(1..5). mid(X) :- n(X), X * 2 > 4, X < 5.")
+        mids = {m for m in model if m.startswith("mid")}
+        assert mids == {"mid(3)", "mid(4)"}
+
+    def test_assignment_binding(self):
+        model = model_of("n(2). n(3). double(Y) :- n(X), Y = X + X.")
+        assert {m for m in model if m.startswith("double")} == {
+            "double(4)",
+            "double(6)",
+        }
+
+    def test_reversed_assignment(self):
+        model = model_of("n(2). r(Y) :- n(X), X * 10 = Y.")
+        assert "r(20)" in model
+
+    def test_chained_assignments(self):
+        model = model_of("n(1). c(Z) :- n(X), Y = X + 1, Z = Y * 3.")
+        assert "c(6)" in model
+
+    def test_division_by_zero_raises(self):
+        from repro.asp.grounder import Grounder
+
+        program = parse_program("n(0). bad(Y) :- n(X), Y = 1 / X.")
+        with pytest.raises(ZeroDivisionError):
+            Grounder(program).ground()
+
+    def test_recursion_with_arithmetic(self):
+        model = model_of(
+            "count(0). count(X + 1) :- count(X), X < 4."
+        )
+        counts = {m for m in model if m.startswith("count")}
+        assert counts == {f"count({i})" for i in range(5)}
+
+    def test_weights_with_arithmetic(self):
+        ctl = Control()
+        ctl.add(
+            """
+            1 { pick(1) ; pick(2) } 1.
+            #minimize { X * 10, X : pick(X) }.
+            """
+        )
+        result = ctl.solve()
+        assert result.cost[0] == 10
+
+
+@given(st.integers(-20, 20), st.integers(-20, 20), st.integers(1, 10))
+def test_hypothesis_arith_matches_python(a, b, c):
+    term = parse_term(f"X + {b} * {c}").substitute({"X": Integer(a)})
+    assert term == Integer(a + b * c)
+
+
+@given(st.integers(0, 12), st.integers(0, 12))
+def test_hypothesis_interval_size(lo, hi):
+    term = Interval(Integer(lo), Integer(hi))
+    assert len(term.expand()) == max(0, hi - lo + 1)

@@ -1,0 +1,137 @@
+"""Grounder tests: instantiation, joins, comparisons, negation handling."""
+
+import pytest
+
+from repro.asp.grounder import Grounder, GroundingError, ground
+from repro.asp.parser import parse_program
+
+
+def ground_text(text):
+    return ground(parse_program(text))
+
+
+def rule_strs(gp):
+    return sorted(repr(r) for r in gp.rules)
+
+
+class TestBasicGrounding:
+    def test_facts_pass_through(self):
+        gp = ground_text("a. b(1).")
+        assert len(gp.rules) == 2
+
+    def test_single_variable(self):
+        gp = ground_text("p(1). p(2). q(X) :- p(X).")
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "q"}
+        assert heads == {"q(1)", "q(2)"}
+
+    def test_join_two_literals(self):
+        gp = ground_text("e(1,2). e(2,3). path(X,Z) :- e(X,Y), e(Y,Z).")
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "path"}
+        assert heads == {"path(1,3)"}
+
+    def test_recursion(self):
+        gp = ground_text(
+            "e(1,2). e(2,3). e(3,4). "
+            "r(X,Y) :- e(X,Y). r(X,Z) :- r(X,Y), e(Y,Z)."
+        )
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "r"}
+        assert "r(1,4)" in heads
+
+    def test_nested_function_matching(self):
+        gp = ground_text(
+            'pkg(version_declared("1.0")). chosen(V) :- pkg(version_declared(V)).'
+        )
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "chosen"}
+        assert heads == {'chosen("1.0")'}
+
+    def test_unused_rule_grounds_to_nothing(self):
+        gp = ground_text("a. q(X) :- missing(X).")
+        assert all(r.head is None or r.head.predicate != "q" for r in gp.rules)
+
+
+class TestComparisons:
+    def test_filtering(self):
+        gp = ground_text("n(1). n(2). n(3). big(X) :- n(X), X > 1.")
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "big"}
+        assert heads == {"big(2)", "big(3)"}
+
+    def test_inequality_join(self):
+        gp = ground_text("n(1). n(2). pair(X,Y) :- n(X), n(Y), X != Y.")
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "pair"}
+        assert heads == {"pair(1,2)", "pair(2,1)"}
+
+    def test_string_ordering(self):
+        gp = ground_text('s("a"). s("b"). lt(X,Y) :- s(X), s(Y), X < Y.')
+        heads = {repr(r.head) for r in gp.rules if r.head and r.head.predicate == "lt"}
+        assert heads == {'lt("a","b")'}
+
+    def test_unsafe_comparison_raises(self):
+        with pytest.raises(GroundingError):
+            ground_text("p(X) :- X > 1.")
+
+
+class TestNegation:
+    def test_impossible_negative_dropped(self):
+        # `not missing` is certainly true → removed from the ground body
+        gp = ground_text("a. b :- a, not missing.")
+        b_rules = [r for r in gp.rules if r.head and r.head.predicate == "b"]
+        assert b_rules and not b_rules[0].neg
+
+    def test_possible_negative_kept(self):
+        gp = ground_text("{ a }. b :- not a.")
+        b_rules = [r for r in gp.rules if r.head and r.head.predicate == "b"]
+        assert b_rules and len(b_rules[0].neg) == 1
+
+    def test_negation_with_variables(self):
+        gp = ground_text("p(1). p(2). { q(1) }. r(X) :- p(X), not q(X).")
+        r_rules = [r for r in gp.rules if r.head and r.head.predicate == "r"]
+        by_head = {repr(r.head): r for r in r_rules}
+        assert len(by_head["r(1)"].neg) == 1  # q(1) possible
+        assert len(by_head["r(2)"].neg) == 0  # q(2) impossible
+
+
+class TestChoices:
+    def test_elements_instantiated_from_conditions(self):
+        gp = ground_text("opt(1). opt(2). { pick(X) : opt(X) } 1.")
+        choice = gp.choices[0]
+        atoms = {repr(e.atom) for e in choice.elements}
+        assert atoms == {"pick(1)", "pick(2)"}
+        assert choice.upper == 1
+
+    def test_choice_body_instantiation(self):
+        gp = ground_text("n(1). n(2). v(10). { pick(X, V) : v(V) } 1 :- n(X).")
+        assert len(gp.choices) == 2
+
+    def test_choice_head_atoms_are_possible(self):
+        gp = ground_text("{ a }. b :- a.")
+        b_rules = [r for r in gp.rules if r.head and r.head.predicate == "b"]
+        assert len(b_rules) == 1
+
+    def test_empty_choice_with_lower_bound_kept(self):
+        gp = ground_text("trigger. 1 { pick(X) : opt(X) } 1 :- trigger.")
+        assert len(gp.choices) == 1
+        assert not gp.choices[0].elements
+
+
+class TestMinimizeGrounding:
+    def test_elements_per_binding(self):
+        gp = ground_text("p(1). p(2). #minimize { 1, X : p(X) }.")
+        assert len(gp.minimizes) == 2
+
+    def test_variable_weight_bound(self):
+        gp = ground_text('vw("a", 3). #minimize { W, P : vw(P, W) }.')
+        assert gp.minimizes[0].weight == 3
+
+    def test_non_integer_weight_rejected(self):
+        with pytest.raises(GroundingError):
+            ground_text('vw("a", "heavy"). #minimize { W, P : vw(P, W) }.')
+
+
+class TestSafety:
+    def test_unsafe_head_variable(self):
+        with pytest.raises(GroundingError):
+            ground_text("a. p(X) :- a.")
+
+    def test_unsafe_negative_variable(self):
+        with pytest.raises(GroundingError):
+            ground_text("a. p :- a, not q(X).")

@@ -1,0 +1,117 @@
+"""Optimizer edge cases: PB budget circuit, weights, degenerate inputs."""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.grounder import Grounder
+from repro.asp.optimize import Optimizer, _PBBudget
+from repro.asp.parser import parse_program
+from repro.asp.translate import Translator
+
+
+def solve(text):
+    ctl = Control()
+    ctl.add(text)
+    return ctl.solve()
+
+
+class TestPBBudget:
+    def _translator(self, n):
+        text = " ".join(f"{{ x{i} }}." for i in range(n))
+        return Translator(Grounder(parse_program(text)).ground())
+
+    def test_trivial_bound_needs_no_assumption(self):
+        t = self._translator(2)
+        terms = [(1, t.atom_var[a]) for a in list(t.atom_var)[:2]]
+        budget = _PBBudget(t, terms)
+        assert budget.root(2) is None, "sum can never exceed 2"
+        assert budget.root(99) is None
+
+    def test_zero_bound_forces_all_false(self):
+        t = self._translator(3)
+        choice_vars = [
+            var for atom, var in t.atom_var.items() if var != t._true_var
+        ]
+        budget = _PBBudget(t, [(1, v) for v in choice_vars])
+        root = budget.root(0)
+        assert t.solver.solve([root])
+        model = t.solver.model()
+        assert all(model[v] != 1 for v in choice_vars)
+
+    def test_negative_weights_rejected(self):
+        t = self._translator(1)
+        var = next(iter(t.var_atom))
+        with pytest.raises(ValueError):
+            _PBBudget(t, [(-3, var)])
+
+    def test_zero_weights_dropped(self):
+        t = self._translator(2)
+        choice_vars = [
+            var for atom, var in t.atom_var.items() if var != t._true_var
+        ]
+        budget = _PBBudget(t, [(0, choice_vars[0]), (2, choice_vars[1])])
+        assert len(budget.terms) == 1
+
+    def test_weighted_bound_respected(self):
+        t = self._translator(3)
+        choice_vars = sorted(
+            var for atom, var in t.atom_var.items() if var != t._true_var
+        )
+        weights = list(zip((5, 3, 2), choice_vars))
+        budget = _PBBudget(t, weights)
+        root = budget.root(5)
+        assert t.solver.solve([root])
+        model = t.solver.model()
+        total = sum(w for w, v in weights if model[v] == 1)
+        assert total <= 5
+
+    def test_node_sharing_across_bounds(self):
+        t = self._translator(6)
+        choice_vars = [
+            var for atom, var in t.atom_var.items() if var != t._true_var
+        ]
+        budget = _PBBudget(t, [(1, v) for v in choice_vars])
+        budget.root(5)
+        count_after_first = len(budget._nodes)
+        budget.root(4)
+        assert len(budget._nodes) < 2 * count_after_first, "nodes shared"
+
+
+class TestOptimizerEdges:
+    def test_unsat_program(self):
+        result = solve("a. :- a. #minimize { 1 : a }.")
+        assert not result.satisfiable
+
+    def test_no_objectives_is_plain_solve(self):
+        result = solve("{ a }. :- not a.")
+        assert result.satisfiable and result.cost == {}
+
+    def test_objective_over_unsatisfiable_atom(self):
+        # the minimized atom can never hold → the objective grounds
+        # away entirely (clingo behaves the same: no cost line)
+        result = solve("a. #minimize { 7 : missing }.")
+        assert result.satisfiable
+        assert result.cost.get(0, 0) == 0
+
+    def test_equal_priorities_merge(self):
+        result = solve(
+            """
+            1 { p(1) ; p(2) } 1.
+            #minimize { 3@5 : p(1) }.
+            #minimize { 1@5 : p(2) }.
+            """
+        )
+        assert result.cost[5] == 1
+
+    def test_large_uniform_weights(self):
+        # the concretizer's build objective shape: weight 100 per atom
+        picks = " ; ".join(f"b({i})" for i in range(8))
+        result = solve(
+            f"3 {{ {picks} }} 8.\n#minimize {{ 100, X : b(X) }}."
+        )
+        assert result.cost[0] == 300
+
+    def test_optimum_zero_short_circuits(self):
+        result = solve("{ a }. #minimize { 10 : a }.")
+        assert result.cost[0] == 0
+        assert result.stats["models_seen"] <= 3

@@ -1,0 +1,169 @@
+"""ASP text-dialect parser tests."""
+
+import pytest
+
+from repro.asp.parser import AspSyntaxError, parse_program, parse_term
+from repro.asp.syntax import (
+    Atom,
+    ChoiceHead,
+    Comparison,
+    Function,
+    Integer,
+    Literal,
+    String,
+    Symbol,
+    Variable,
+)
+
+
+class TestTerms:
+    def test_integer(self):
+        assert parse_term("42") == Integer(42)
+
+    def test_negative_integer(self):
+        assert parse_term("-3") == Integer(-3)
+
+    def test_string(self):
+        assert parse_term('"hello world"') == String("hello world")
+
+    def test_string_escapes(self):
+        assert parse_term(r'"say \"hi\""') == String('say "hi"')
+
+    def test_symbol(self):
+        assert parse_term("mpich") == Symbol("mpich")
+
+    def test_variable(self):
+        assert parse_term("Package") == Variable("Package")
+
+    def test_function(self):
+        term = parse_term('node("example")')
+        assert isinstance(term, Function)
+        assert term.name == "node"
+        assert term.args == (String("example"),)
+
+    def test_nested_function(self):
+        term = parse_term('pkg_fact("x", version_declared("1.0", 3))')
+        inner = term.args[1]
+        assert isinstance(inner, Function)
+        assert inner.args == (String("1.0"), Integer(3))
+
+    def test_anonymous_variables_distinct(self):
+        program = parse_program("p(X) :- q(X, _), r(_, X).")
+        body_vars = set()
+        for element in program.rules[0].body:
+            body_vars.update(element.variables())
+        anons = [v for v in body_vars if v.startswith("_Anon")]
+        assert len(anons) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(AspSyntaxError):
+            parse_term("a b")
+
+
+class TestRules:
+    def test_fact(self):
+        program = parse_program('node("example").')
+        assert program.rules[0].is_fact
+
+    def test_rule_with_body(self):
+        program = parse_program("a :- b, not c.")
+        rule = program.rules[0]
+        assert rule.head == Atom("a")
+        pos = [e for e in rule.body if isinstance(e, Literal) and e.positive]
+        neg = [e for e in rule.body if isinstance(e, Literal) and not e.positive]
+        assert len(pos) == 1 and len(neg) == 1
+
+    def test_constraint(self):
+        program = parse_program(":- a, b.")
+        assert program.rules[0].is_constraint
+
+    def test_comparison_ops(self):
+        program = parse_program("a :- p(X, Y), X != Y, X < 3, Y >= 2.")
+        comparisons = [e for e in program.rules[0].body if isinstance(e, Comparison)]
+        assert {c.op for c in comparisons} == {"!=", "<", ">="}
+
+    def test_choice_bounds(self):
+        program = parse_program("1 { p(X) : q(X) } 1 :- r.")
+        head = program.rules[0].head
+        assert isinstance(head, ChoiceHead)
+        assert head.lower == 1 and head.upper == 1
+
+    def test_choice_upper_only(self):
+        program = parse_program("{ p(X) : q(X) } 1 :- r.")
+        head = program.rules[0].head
+        assert head.lower is None and head.upper == 1
+
+    def test_choice_no_bounds_no_body(self):
+        program = parse_program("{ s }.")
+        head = program.rules[0].head
+        assert isinstance(head, ChoiceHead) and not program.rules[0].body
+
+    def test_choice_multiple_elements(self):
+        program = parse_program("{ a ; b ; c : d } 2.")
+        assert len(program.rules[0].head.elements) == 3
+        assert program.rules[0].head.elements[2].condition
+
+    def test_choice_condition_conjunction(self):
+        program = parse_program("{ p(X) : q(X), not r(X) }.")
+        element = program.rules[0].head.elements[0]
+        assert len(element.condition) == 2
+
+    def test_comments_ignored(self):
+        program = parse_program("% comment line\na. % trailing\n% another\nb.")
+        assert len(program.rules) == 2
+
+    def test_multiline_rule(self):
+        program = parse_program("a :-\n    b,\n    c.")
+        assert len(program.rules[0].body) == 2
+
+
+class TestMinimize:
+    def test_basic(self):
+        program = parse_program("#minimize { 100, P : build(P) }.")
+        element = program.minimizes[0]
+        assert element.weight == Integer(100)
+        assert element.priority == 0
+        assert element.terms == (Variable("P"),)
+
+    def test_priority(self):
+        program = parse_program("#minimize { 1@50, P, V : attr(P, V) }.")
+        element = program.minimizes[0]
+        assert element.priority == 50
+        assert len(element.terms) == 2
+
+    def test_multiple_elements(self):
+        program = parse_program("#minimize { 1@2, X : a(X) ; 3@1, Y : b(Y) }.")
+        assert len(program.minimizes) == 2
+
+    def test_maximize_negates(self):
+        program = parse_program("#maximize { 5, X : a(X) }.")
+        assert program.minimizes[0].weight == Integer(-5)
+
+    def test_variable_weight(self):
+        program = parse_program("#minimize { W, P : vw(P, W) }.")
+        assert program.minimizes[0].weight == Variable("W")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a",            # missing period
+            "a :- .",       # empty body
+            "a :- b",       # missing period
+            "{ a ",          # unclosed brace
+            ":- not.",      # not without atom
+            "p($).",        # bad character
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(AspSyntaxError):
+            parse_program(bad)
+
+    def test_line_numbers_in_errors(self):
+        try:
+            parse_program("a.\nb.\nc :- $\n")
+        except AspSyntaxError as e:
+            assert "3" in str(e)
+        else:
+            pytest.fail("expected AspSyntaxError")

@@ -1,0 +1,179 @@
+"""CDCL SAT core: unit tests plus brute-force fuzzing."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.sat import FALSE, TRUE, UNASSIGNED, Solver, SolverError
+
+
+def make_solver(n):
+    s = Solver()
+    for _ in range(n):
+        s.new_var()
+    return s
+
+
+def brute_force_sat(n, clauses):
+    for bits in itertools.product([False, True], repeat=n):
+        if all(any((lit > 0) == bits[abs(lit) - 1] for lit in c) for c in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert make_solver(2).solve()
+
+    def test_unit_clause(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert s.solve()
+        assert s.value(1) == TRUE
+
+    def test_contradiction(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve()
+
+    def test_simple_implication_chain(self):
+        s = make_solver(3)
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve()
+        assert s.value(3) == TRUE
+
+    def test_tautology_ignored(self):
+        s = make_solver(1)
+        s.add_clause([1, -1])
+        assert s.solve()
+
+    def test_duplicate_literals_collapsed(self):
+        s = make_solver(2)
+        s.add_clause([1, 1, 2])
+        assert s.solve()
+
+    def test_out_of_range_literal(self):
+        s = make_solver(1)
+        with pytest.raises(SolverError):
+            s.add_clause([5])
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole
+        s = make_solver(2)
+        s.add_clause([1])
+        s.add_clause([2])
+        s.add_clause([-1, -2])
+        assert not s.solve()
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        s = make_solver(3)
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve()
+        model = s.model()
+        for c in clauses:
+            assert any((lit > 0) == (model[abs(lit)] == TRUE) for lit in c)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = make_solver(2)
+        s.add_clause([1, 2])
+        assert s.solve([-1])
+        assert s.value(2) == TRUE
+
+    def test_unsat_under_assumptions_recoverable(self):
+        s = make_solver(2)
+        s.add_clause([1, 2])
+        s.add_clause([-1, -2])
+        assert not s.solve([1, 2])
+        assert s.solve()  # formula itself still satisfiable
+        assert s.solve([1])
+        assert s.value(2) == FALSE
+
+    def test_conflicting_assumption_with_unit(self):
+        s = make_solver(1)
+        s.add_clause([1])
+        assert not s.solve([-1])
+        assert s.solve([1])
+
+
+class TestIncremental:
+    def test_add_clause_between_solves(self):
+        s = make_solver(2)
+        s.add_clause([1, 2])
+        assert s.solve()
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert not s.solve()
+
+    def test_stats_populated(self):
+        s = make_solver(3)
+        s.add_clause([1, 2, 3])
+        s.solve()
+        stats = s.stats()
+        assert stats["vars"] == 3
+        assert stats["clauses"] >= 1
+
+
+class TestFuzzVsBruteForce:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3sat(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            n = rng.randint(3, 9)
+            m = rng.randint(2, 40)
+            clauses = [
+                [rng.choice([-1, 1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+                for _ in range(m)
+            ]
+            s = make_solver(n)
+            ok = all(s.add_clause(c) for c in clauses)
+            got = ok and s.solve()
+            assert got == brute_force_sat(n, clauses)
+
+    def test_random_with_assumptions(self):
+        rng = random.Random(99)
+        for _ in range(40):
+            n = rng.randint(3, 7)
+            m = rng.randint(2, 20)
+            clauses = [
+                [rng.choice([-1, 1]) * rng.randint(1, n) for _ in range(rng.randint(1, 3))]
+                for _ in range(m)
+            ]
+            assumptions = [rng.choice([-1, 1]) * v for v in rng.sample(range(1, n + 1), 2)]
+            s = make_solver(n)
+            ok = all(s.add_clause(c) for c in clauses)
+            expected = brute_force_sat(
+                n, clauses + [[lit] for lit in assumptions]
+            )
+            got = ok and s.solve(assumptions)
+            assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_hypothesis_cnf(data):
+    n = data.draw(st.integers(2, 7))
+    clauses = data.draw(
+        st.lists(
+            st.lists(
+                st.integers(1, n).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    s = make_solver(n)
+    ok = all(s.add_clause(c) for c in clauses)
+    assert (ok and s.solve()) == brute_force_sat(n, clauses)

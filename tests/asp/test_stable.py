@@ -1,0 +1,195 @@
+"""Stable-model semantics: completion, loops, choices — vs brute force."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.asp.grounder import Grounder
+from repro.asp.parser import parse_program
+from repro.asp.stable import StableModelFinder
+from repro.asp.translate import Translator
+
+
+def solve_text(text):
+    program = parse_program(text)
+    translator = Translator(Grounder(program).ground())
+    finder = StableModelFinder(translator)
+    model = finder.solve()
+    if model is None:
+        return None, finder
+    return {repr(a) for a in model}, finder
+
+
+class TestDefiniteness:
+    def test_facts_only(self):
+        model, _ = solve_text("a. b.")
+        assert model == {"a", "b"}
+
+    def test_chaining(self):
+        model, _ = solve_text("a. b :- a. c :- b.")
+        assert model == {"a", "b", "c"}
+
+    def test_underivable_atom_false(self):
+        model, _ = solve_text("a. b :- c.")
+        assert model == {"a"}
+
+
+class TestNegation:
+    def test_naf_basic(self):
+        model, _ = solve_text("a :- not b.")
+        assert model == {"a"}
+
+    def test_even_negation_two_models(self):
+        # a :- not b. b :- not a. has two stable models {a}, {b}
+        model, _ = solve_text("a :- not b. b :- not a.")
+        assert model in ({"a"}, {"b"})
+
+    def test_odd_negation_loop_unsat(self):
+        # a :- not a. has no stable model
+        model, _ = solve_text("a :- not a.")
+        assert model is None
+
+    def test_constraint_filters(self):
+        model, _ = solve_text("a :- not b. b :- not a. :- a.")
+        assert model == {"b"}
+
+
+class TestPositiveLoops:
+    def test_mutual_support_unfounded(self):
+        # a and b only support each other → both false
+        model, _ = solve_text("a :- b. b :- a.")
+        assert model == set()
+
+    def test_loop_with_constraint_unsat(self):
+        model, _ = solve_text("a :- b. b :- a. :- not a.")
+        assert model is None
+
+    def test_loop_with_external_support(self):
+        model, finder = solve_text("a :- b. b :- a. { s }. a :- s. :- not b.")
+        assert model == {"a", "b", "s"}
+
+    def test_long_cycle(self):
+        model, _ = solve_text("a :- b. b :- c. c :- a. :- not c.")
+        assert model is None
+
+    def test_two_disjoint_loops(self):
+        model, _ = solve_text(
+            "a :- b. b :- a. c :- d. d :- c. { s }. c :- s. :- not d."
+        )
+        assert model == {"c", "d", "s"}
+
+
+class TestChoices:
+    def test_free_choice(self):
+        model, _ = solve_text("{ a }.")
+        assert model in (set(), {"a"})
+
+    def test_choice_forced_by_constraint(self):
+        model, _ = solve_text("{ a }. :- not a.")
+        assert model == {"a"}
+
+    def test_exactly_one(self):
+        model, _ = solve_text("opt(1). opt(2). 1 { pick(X) : opt(X) } 1.")
+        picks = {a for a in model if a.startswith("pick")}
+        assert len(picks) == 1
+
+    def test_at_most_one(self):
+        model, _ = solve_text("opt(1). opt(2). { pick(X) : opt(X) } 1.")
+        picks = {a for a in model if a.startswith("pick")}
+        assert len(picks) <= 1
+
+    def test_lower_bound_two(self):
+        model, _ = solve_text("opt(1). opt(2). opt(3). 2 { pick(X) : opt(X) }.")
+        picks = {a for a in model if a.startswith("pick")}
+        assert len(picks) >= 2
+
+    def test_unmeetable_lower_bound_blocks_body(self):
+        # body must be false if the bound cannot be met → UNSAT with fact body
+        model, _ = solve_text("t. 1 { pick(X) : opt(X) } 1 :- t.")
+        assert model is None
+
+    def test_choice_body_gate(self):
+        model, _ = solve_text("{ a } :- missing.")
+        assert model == set()
+
+    def test_choice_atom_needs_support(self):
+        # `pick` can only be true when the choice body holds
+        model, _ = solve_text("{ a } :- missing. :- not a.")
+        assert model is None
+
+    def test_conditional_element_gated(self):
+        # q(2) impossible → pick(2) not available
+        model, _ = solve_text("q(1). 1 { pick(X) : q(X) } 1. :- pick(2).")
+        assert model == {"q(1)", "pick(1)"}
+
+
+def brute_force_stable(atom_names, rules, choice_atoms, constraints):
+    """Reference implementation of stable models for propositional
+    normal programs + free choice atoms."""
+    models = []
+    for bits in itertools.product([0, 1], repeat=len(atom_names)):
+        m = {a for a, b in zip(atom_names, bits) if b}
+        violated = False
+        for head, pos, neg in rules:
+            if set(pos) <= m and not (set(neg) & m) and head not in m:
+                violated = True
+                break
+        for pos, neg in constraints:
+            if set(pos) <= m and not (set(neg) & m):
+                violated = True
+                break
+        if violated:
+            continue
+        derived = set()
+        changed = True
+        while changed:
+            changed = False
+            for head, pos, neg in rules:
+                if (
+                    head in m
+                    and head not in derived
+                    and set(pos) <= derived
+                    and not (set(neg) & m)
+                ):
+                    derived.add(head)
+                    changed = True
+            for c in choice_atoms:
+                if c in m and c not in derived:
+                    derived.add(c)
+                    changed = True
+        if derived == m:
+            models.append(frozenset(m))
+    return set(models)
+
+
+class TestFuzzVsBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs(self, seed):
+        rng = random.Random(seed)
+        names = ["a", "b", "c", "d", "e"]
+        for _ in range(25):
+            rules = []
+            lines = ["{ a }.", "{ b }."]
+            for _ in range(rng.randint(1, 7)):
+                head = rng.choice(names[2:])
+                pos = rng.sample(names, rng.randint(0, 2))
+                neg = rng.sample(names, rng.randint(0, 1))
+                body = pos + [f"not {x}" for x in neg]
+                lines.append(
+                    f"{head} :- {', '.join(body)}." if body else f"{head}."
+                )
+                rules.append((head, pos, neg))
+            constraints = []
+            if rng.random() < 0.6:
+                neg = [rng.choice(names)]
+                lines.append(f":- not {neg[0]}.")
+                constraints.append(([], neg))
+            expected = brute_force_stable(names, rules, {"a", "b"}, constraints)
+            model, _ = solve_text("\n".join(lines))
+            if model is None:
+                assert not expected, f"engine UNSAT but brute force found {expected}"
+            else:
+                assert frozenset(model) in expected, (
+                    f"model {model} not stable; expected one of {expected}"
+                )

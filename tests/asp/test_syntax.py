@@ -1,0 +1,114 @@
+"""AST-level tests: term ordering, substitution, comparisons."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asp.syntax import (
+    Atom,
+    Comparison,
+    Function,
+    Integer,
+    Literal,
+    Rule,
+    String,
+    Symbol,
+    Variable,
+    term_sort_key,
+)
+
+
+class TestTermBasics:
+    def test_ground_flags(self):
+        assert Integer(1).is_ground
+        assert String("x").is_ground
+        assert not Variable("X").is_ground
+        assert Function("f", [Integer(1)]).is_ground
+        assert not Function("f", [Variable("X")]).is_ground
+
+    def test_equality_across_kinds(self):
+        assert Integer(1) != String("1")
+        assert Symbol("a") != String("a")
+
+    def test_hash_consistency(self):
+        assert hash(Function("f", [Integer(1)])) == hash(
+            Function("f", [Integer(1)])
+        )
+
+    def test_substitute_binds_nested(self):
+        term = Function("node", [Variable("P")])
+        out = term.substitute({"P": String("zlib")})
+        assert out == Function("node", [String("zlib")])
+
+    def test_substitute_ground_is_identity(self):
+        term = Function("f", [Integer(1)])
+        assert term.substitute({"X": Integer(2)}) is term
+
+    def test_variables_enumeration(self):
+        atom = Atom("p", (Variable("X"), Function("f", [Variable("Y")])))
+        assert set(atom.variables()) == {"X", "Y"}
+
+
+class TestTermOrdering:
+    def test_integers_before_strings(self):
+        assert term_sort_key(Integer(99)) < term_sort_key(String("a"))
+
+    def test_strings_lexicographic(self):
+        assert term_sort_key(String("1.2")) < term_sort_key(String("1.3"))
+
+    def test_functions_after_atoms(self):
+        assert term_sort_key(String("z")) < term_sort_key(
+            Function("f", [Integer(0)])
+        )
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(TypeError):
+            term_sort_key(Variable("X"))
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,l,r,expected",
+        [
+            ("=", Integer(1), Integer(1), True),
+            ("!=", Integer(1), Integer(2), True),
+            ("<", Integer(1), Integer(2), True),
+            ("<=", Integer(2), Integer(2), True),
+            (">", String("b"), String("a"), True),
+            (">=", String("a"), String("b"), False),
+            ("<", Integer(5), String("a"), True),  # ints sort below strings
+        ],
+    )
+    def test_evaluation(self, op, l, r, expected):
+        assert Comparison(op, l, r).evaluate() is expected
+
+    def test_non_ground_evaluation_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("=", Variable("X"), Integer(1)).evaluate()
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("==", Integer(1), Integer(1))
+
+
+class TestRuleClassification:
+    def test_fact(self):
+        assert Rule(Atom("a")).is_fact
+
+    def test_non_ground_head_not_fact(self):
+        assert not Rule(Atom("p", (Variable("X"),))).is_fact
+
+    def test_constraint(self):
+        assert Rule(None, [Literal(Atom("a"))]).is_constraint
+
+    def test_rule_with_body_not_fact(self):
+        assert not Rule(Atom("a"), [Literal(Atom("b"))]).is_fact
+
+
+@given(st.integers(-50, 50), st.integers(-50, 50))
+def test_integer_order_matches_python(a, b):
+    assert (term_sort_key(Integer(a)) < term_sort_key(Integer(b))) == (a < b)
+
+
+@given(st.text("ab", max_size=4), st.text("ab", max_size=4))
+def test_string_order_matches_python(a, b):
+    assert (term_sort_key(String(a)) < term_sort_key(String(b))) == (a < b)

@@ -1,0 +1,137 @@
+"""Translator-level tests: cardinality encodings, completion, facts."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asp.grounder import Grounder
+from repro.asp.parser import parse_program
+from repro.asp.stable import StableModelFinder
+from repro.asp.translate import Translator
+
+
+def all_models(text, project=None):
+    """Enumerate ALL stable models via blocking clauses."""
+    translator = Translator(Grounder(parse_program(text)).ground())
+    finder = StableModelFinder(translator)
+    models = []
+    while True:
+        model = finder.solve()
+        if model is None:
+            break
+        names = frozenset(
+            repr(a) for a in model if project is None or a.predicate.startswith(project)
+        )
+        models.append(names)
+        block = []
+        for atom, var in translator.atom_var.items():
+            if var == translator._true_var:
+                continue
+            value = translator.solver.model()[var]
+            block.append(-var if value == 1 else var)
+        if not block or not translator.solver.add_clause(block):
+            break
+    return set(models)
+
+
+class TestCardinalityBounds:
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (13, 1), (6, 5)])
+    def test_at_most_k_exact_model_count(self, n, k):
+        atoms = " ; ".join(f"p({i})" for i in range(n))
+        models = all_models(f"{{ {atoms} }} {k}.", project="p")
+        expected = sum(
+            1
+            for r in range(k + 1)
+            for _ in itertools.combinations(range(n), r)
+        )
+        assert len(models) == expected
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 2), (5, 3), (5, 5)])
+    def test_at_least_k_exact_model_count(self, n, k):
+        atoms = " ; ".join(f"p({i})" for i in range(n))
+        models = all_models(f"{k} {{ {atoms} }}.", project="p")
+        expected = sum(
+            1
+            for r in range(k, n + 1)
+            for _ in itertools.combinations(range(n), r)
+        )
+        assert len(models) == expected
+
+    @pytest.mark.parametrize("n,lo,hi", [(4, 1, 2), (5, 2, 3), (6, 3, 3)])
+    def test_interval_bounds(self, n, lo, hi):
+        atoms = " ; ".join(f"p({i})" for i in range(n))
+        models = all_models(f"{lo} {{ {atoms} }} {hi}.", project="p")
+        expected = sum(
+            1
+            for r in range(lo, hi + 1)
+            for _ in itertools.combinations(range(n), r)
+        )
+        assert len(models) == expected
+
+    def test_gated_bound_only_when_body_holds(self):
+        # without t, no bound applies (and the choice cannot fire)
+        models = all_models("{ t }. 2 { p(1) ; p(2) ; p(3) } 2 :- t.")
+        with_t = [m for m in models if "t" in m]
+        without_t = [m for m in models if "t" not in m]
+        for m in with_t:
+            assert sum(1 for a in m if a.startswith("p(")) == 2
+        for m in without_t:
+            assert not any(a.startswith("p(") for a in m)
+
+
+class TestFactsAsConstants:
+    def test_facts_share_true_var(self):
+        translator = Translator(Grounder(parse_program("a. b. c :- a.")).ground())
+        from repro.asp.syntax import Atom
+
+        assert translator.atom_var[Atom("a")] == translator.atom_var[Atom("b")]
+
+    def test_fact_count_does_not_grow_vars(self):
+        small = Translator(Grounder(parse_program("f(1). { x }.")).ground())
+        big_text = " ".join(f"f({i})." for i in range(100)) + " { x }."
+        big = Translator(Grounder(parse_program(big_text)).ground())
+        assert big.solver.num_vars <= small.solver.num_vars + 1
+
+    def test_derived_certain_atoms_are_facts(self):
+        # g derived deterministically from facts → projected to a fact
+        translator = Translator(
+            Grounder(parse_program("f(1). f(2). g(X) :- f(X).")).ground()
+        )
+        from repro.asp.syntax import Atom, Integer
+
+        assert Atom("g", (Integer(1),)) in translator.facts
+
+    def test_choice_dependent_atoms_are_not_facts(self):
+        translator = Translator(
+            Grounder(parse_program("{ c }. g :- c.")).ground()
+        )
+        from repro.asp.syntax import Atom
+
+        assert Atom("g") not in translator.facts
+
+
+class TestCompletion:
+    def test_unsupported_atom_forced_false(self):
+        models = all_models("{ a }. b :- a, missing.")
+        assert all("b" not in m for m in models)
+
+    def test_multiple_supports_disjoin(self):
+        models = all_models("{ a }. { b }. c :- a. c :- b.")
+        for m in models:
+            assert ("c" in m) == ("a" in m or "b" in m)
+
+
+# hypothesis: random bounded choices count correctly
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.data())
+def test_hypothesis_choice_bounds(n, data):
+    lo = data.draw(st.integers(0, n))
+    hi = data.draw(st.integers(lo, n))
+    atoms = " ; ".join(f"p({i})" for i in range(n))
+    prefix = f"{lo} " if lo else ""
+    models = all_models(f"{prefix}{{ {atoms} }} {hi}.", project="p")
+    expected = sum(
+        1 for r in range(lo, hi + 1) for _ in itertools.combinations(range(n), r)
+    )
+    assert len(models) == expected

@@ -1,0 +1,80 @@
+"""ABI compatibility model tests (Section 2.1)."""
+
+from repro.binary.abi import abi_compatible, check_abi_compatibility
+from repro.binary.mockelf import MockBinary
+
+
+def lib(symbols, layouts=None, soname="libx.so"):
+    return MockBinary(
+        soname=soname,
+        defined_symbols=list(symbols),
+        type_layouts=dict(layouts or {}),
+    )
+
+
+MPICH = lib(
+    ["MPI_Init", "MPI_Send", "MPI_Recv"], {"MPI_Comm": "int32"}, "libmpich.so"
+)
+OPENMPI = lib(
+    ["MPI_Init", "MPI_Send", "MPI_Recv"], {"MPI_Comm": "ptr-struct"}, "libopenmpi.so"
+)
+MVAPICH = lib(
+    ["MPI_Init", "MPI_Send", "MPI_Recv", "MPIX_Extra"],
+    {"MPI_Comm": "int32"},
+    "libmvapich.so",
+)
+
+
+class TestSymbolChecks:
+    def test_identical_compatible(self):
+        assert abi_compatible(lib(["f", "g"]), lib(["f", "g"]))
+
+    def test_superset_compatible(self):
+        # replacement may export MORE (API superset, Section 2.1)
+        assert abi_compatible(lib(["f", "g", "h"]), lib(["f", "g"]))
+
+    def test_missing_symbol_incompatible(self):
+        report = check_abi_compatibility(lib(["f"]), lib(["f", "g"]))
+        assert not report.compatible
+        assert report.missing_symbols == ["g"]
+
+    def test_subset_direction_matters(self):
+        big, small = lib(["f", "g"]), lib(["f"])
+        assert abi_compatible(big, small)
+        assert not abi_compatible(small, big)
+
+
+class TestLayoutChecks:
+    def test_mpich_mvapich_compatible(self):
+        """The paper's positive case: MVAPICH follows the MPICH ABI."""
+        assert abi_compatible(MVAPICH, MPICH)
+
+    def test_mpich_openmpi_incompatible(self):
+        """The paper's negative case: MPI_Comm int32 vs struct pointer."""
+        report = check_abi_compatibility(OPENMPI, MPICH)
+        assert not report.compatible
+        assert report.layout_mismatches == {"MPI_Comm": ("int32", "ptr-struct")}
+
+    def test_symmetric_incompatibility(self):
+        assert not abi_compatible(MPICH, OPENMPI)
+
+    def test_disjoint_types_compatible(self):
+        a = lib(["f"], {"TypeA": "x"})
+        b = lib(["f"], {"TypeB": "y"})
+        assert abi_compatible(a, b)
+
+    def test_replacement_extra_types_ok(self):
+        replacement = lib(["f"], {"T": "x", "Extra": "z"})
+        original = lib(["f"], {"T": "x"})
+        assert abi_compatible(replacement, original)
+
+
+class TestReport:
+    def test_explain_compatible(self):
+        assert check_abi_compatibility(MVAPICH, MPICH).explain() == "ABI compatible"
+
+    def test_explain_lists_all_problems(self):
+        text = check_abi_compatibility(
+            lib(["f"], {"T": "a"}), lib(["f", "g"], {"T": "b"})
+        ).explain()
+        assert "g" in text and "T" in text

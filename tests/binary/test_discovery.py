@@ -1,0 +1,123 @@
+"""Automatic ABI discovery (future-work extension)."""
+
+import pytest
+
+from repro.binary.discovery import (
+    SpliceSuggestion,
+    apply_suggestions,
+    discover_binary_splices,
+    discover_provider_splices,
+)
+from repro.binary.mockelf import MockBinary
+from repro.concretize import Concretizer
+from repro.repos.radiuss import make_radiuss_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_radiuss_repo()
+
+
+class TestProviderDiscovery:
+    def test_finds_mpich_abi_family(self, repo):
+        suggestions = discover_provider_splices(
+            repo, "mpi", include_existing=True
+        )
+        pairs = {(s.splicer, s.target.split("@")[0]) for s in suggestions}
+        assert ("mvapich2", "mpich") in pairs
+        assert ("cray-mpich", "mpich") in pairs
+        assert ("mpiabi", "mpich") in pairs
+
+    def test_never_suggests_openmpi_for_mpich(self, repo):
+        suggestions = discover_provider_splices(
+            repo, "mpi", include_existing=True
+        )
+        for s in suggestions:
+            assert not (
+                s.splicer == "openmpi" and s.target.startswith("mpich")
+            ), "incompatible MPI_Comm layouts must block the suggestion"
+            assert not (
+                s.splicer == "mpich" and s.target.startswith("openmpi")
+            )
+
+    def test_existing_declarations_skipped_by_default(self, repo):
+        suggestions = discover_provider_splices(repo, "mpi")
+        # mvapich2 already declares can_splice("mpich@3.4.3") in the repo
+        assert not any(
+            s.splicer == "mvapich2" and s.target == "mpich@3.4.3"
+            for s in suggestions
+        )
+
+    def test_directive_source_rendering(self):
+        s = SpliceSuggestion("mvapich2", "mpich@3.4.3", None, "r")
+        assert s.directive_source() == 'can_splice("mpich@3.4.3")'
+        s2 = SpliceSuggestion("zlib", "zlib@1.2", "@1.3", "r")
+        assert s2.directive_source() == 'can_splice("zlib@1.2", when="@1.3")'
+
+
+class TestBinaryDiscovery:
+    def _binaries(self):
+        mpi_symbols = ["MPI_Init", "MPI_Send", "MPI_Recv"]
+        return {
+            "mpich@3.4.3": MockBinary(
+                "libmpich.so",
+                defined_symbols=mpi_symbols,
+                type_layouts={"MPI_Comm": "int32"},
+            ),
+            "newmpi@1.0": MockBinary(
+                "libnewmpi.so",
+                defined_symbols=mpi_symbols + ["MPIX_Extra"],
+                type_layouts={"MPI_Comm": "int32"},
+            ),
+            "openmpi@4.1": MockBinary(
+                "libopenmpi.so",
+                defined_symbols=mpi_symbols,
+                type_layouts={"MPI_Comm": "ptr-struct"},
+            ),
+        }
+
+    def test_superset_direction(self):
+        suggestions = discover_binary_splices(self._binaries())
+        pairs = {(s.splicer, s.target) for s in suggestions}
+        assert ("newmpi", "mpich@3.4.3") in pairs
+        # mpich lacks MPIX_Extra → cannot replace newmpi
+        assert ("mpich", "newmpi@1.0") not in pairs
+
+    def test_layout_conflicts_block(self):
+        suggestions = discover_binary_splices(self._binaries())
+        for s in suggestions:
+            assert "openmpi" not in (s.splicer,) or "mpich" not in s.target
+
+    def test_when_spec_pins_splicer_version(self):
+        suggestions = discover_binary_splices(self._binaries())
+        newmpi = [s for s in suggestions if s.splicer == "newmpi"][0]
+        assert newmpi.when == "@1.0"
+
+
+class TestApplySuggestions:
+    def test_applied_suggestions_enable_solver_splices(self, repo):
+        """The full future-work loop: discover → apply → the solver can
+        now synthesize a splice nobody wrote by hand."""
+        # strip mvapich2's hand-written declaration to simulate a
+        # maintainer who never wrote one
+        mvapich = repo.get("mvapich2")
+        mvapich.can_splice_decls = []
+
+        cached = Concretizer(repo).solve(["hypre ^mpich@3.4.3"]).roots[0]
+        before = Concretizer(repo, reusable_specs=[cached], splicing=True)
+        result = before.solve(["hypre ^mvapich2"])
+        assert "hypre" in {s.name for s in result.built}, "no directive yet"
+
+        suggestions = discover_provider_splices(repo, "mpi")
+        applied = apply_suggestions(repo, suggestions)
+        assert applied > 0
+
+        after = Concretizer(repo, reusable_specs=[cached], splicing=True)
+        result = after.solve(["hypre ^mvapich2"])
+        assert {s.name for s in result.spliced} == {"hypre"}
+
+    def test_apply_idempotent(self, repo):
+        suggestions = discover_provider_splices(repo, "mpi")
+        first = apply_suggestions(repo, suggestions)
+        second = apply_suggestions(repo, suggestions)
+        assert second == 0 and first >= 0

@@ -1,0 +1,118 @@
+"""Dynamic-loader simulation tests."""
+
+import pytest
+
+from repro.binary.loader import LoadError, Loader
+from repro.binary.mockelf import MockBinary
+
+
+@pytest.fixture()
+def store(tmp_path):
+    """Two prefixes: app depends on libz via RPATH."""
+    z_lib = tmp_path / "zlib" / "lib"
+    app_lib = tmp_path / "app" / "lib"
+    z_lib.mkdir(parents=True)
+    app_lib.mkdir(parents=True)
+    MockBinary(
+        soname="libz.so", defined_symbols=["deflate", "inflate"]
+    ).write(z_lib / "libz.so")
+    MockBinary(
+        soname="libapp.so",
+        needed=["libz.so"],
+        rpaths=[str(z_lib)],
+        defined_symbols=["app_main"],
+        undefined_symbols=["deflate"],
+    ).write(app_lib / "libapp.so")
+    return tmp_path
+
+
+class TestResolution:
+    def test_successful_load(self, store):
+        result = Loader().load(str(store / "app" / "lib" / "libapp.so"))
+        assert result.ok
+        assert set(result.resolved) == {"libapp.so", "libz.so"}
+
+    def test_missing_library(self, store):
+        (store / "zlib" / "lib" / "libz.so").unlink()
+        result = Loader().load(str(store / "app" / "lib" / "libapp.so"))
+        assert not result.ok
+        assert "libz.so" in result.missing_libraries
+
+    def test_missing_rpath_directory(self, tmp_path):
+        lib = tmp_path / "lib"
+        lib.mkdir()
+        MockBinary(
+            soname="libapp.so", needed=["libz.so"], rpaths=[str(tmp_path / "gone")]
+        ).write(lib / "libapp.so")
+        result = Loader().load(str(lib / "libapp.so"))
+        assert not result.ok
+
+    def test_rpath_order_first_wins(self, tmp_path):
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        for d in (first, second):
+            d.mkdir()
+            MockBinary(soname="libz.so").write(d / "libz.so")
+        lib = tmp_path / "lib"
+        lib.mkdir()
+        MockBinary(
+            soname="libapp.so",
+            needed=["libz.so"],
+            rpaths=[str(first), str(second)],
+        ).write(lib / "libapp.so")
+        result = Loader().load(str(lib / "libapp.so"))
+        assert result.resolved["libz.so"].startswith(str(first))
+
+    def test_padded_rpath_resolves(self, store):
+        """/x/./. style padded paths (from relocation) still resolve."""
+        app = store / "app" / "lib" / "libapp.so"
+        binary = MockBinary.read(app)
+        binary.rpaths = [binary.rpaths[0] + "/./."]
+        binary.write(app)
+        assert Loader().load(str(app)).ok
+
+    def test_transitive_needed_closure(self, tmp_path):
+        a = tmp_path / "a"
+        a.mkdir()
+        MockBinary(soname="libc1.so", defined_symbols=["f"]).write(a / "libc1.so")
+        MockBinary(
+            soname="libb1.so", needed=["libc1.so"], rpaths=[str(a)]
+        ).write(a / "libb1.so")
+        MockBinary(
+            soname="liba1.so", needed=["libb1.so"], rpaths=[str(a)]
+        ).write(a / "liba1.so")
+        result = Loader().load(str(a / "liba1.so"))
+        assert set(result.resolved) == {"liba1.so", "libb1.so", "libc1.so"}
+
+
+class TestSymbolsAndLayouts:
+    def test_unresolved_symbol(self, store):
+        app = store / "app" / "lib" / "libapp.so"
+        binary = MockBinary.read(app)
+        binary.undefined_symbols.append("missing_sym")
+        binary.write(app)
+        result = Loader().load(str(app))
+        assert not result.ok
+        assert any("missing_sym" in s for s in result.unresolved_symbols)
+
+    def test_layout_conflict_detected(self, store):
+        z = store / "zlib" / "lib" / "libz.so"
+        binary = MockBinary.read(z)
+        binary.type_layouts["MPI_Comm"] = "ptr-struct"
+        binary.write(z)
+        app = store / "app" / "lib" / "libapp.so"
+        app_binary = MockBinary.read(app)
+        app_binary.type_layouts["MPI_Comm"] = "int32"
+        app_binary.write(app)
+        result = Loader().load(str(app))
+        assert not result.ok
+        assert result.layout_conflicts
+
+    def test_load_or_raise(self, store):
+        (store / "zlib" / "lib" / "libz.so").unlink()
+        with pytest.raises(LoadError):
+            Loader().load_or_raise(str(store / "app" / "lib" / "libapp.so"))
+
+    def test_nonexistent_file(self, tmp_path):
+        result = Loader().load(str(tmp_path / "nope.so"))
+        assert not result.ok

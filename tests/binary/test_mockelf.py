@@ -1,0 +1,63 @@
+"""MockBinary container format tests."""
+
+import pytest
+
+from repro.binary.mockelf import MAGIC, BinaryFormatError, MockBinary
+
+
+@pytest.fixture()
+def binary():
+    return MockBinary(
+        soname="libhdf5.so",
+        needed=["libz.so", "libmpich.so"],
+        rpaths=["/store/zlib-1.2/lib", "/store/mpich-3.4/lib"],
+        defined_symbols=["H5Fopen", "H5Fclose"],
+        undefined_symbols=["deflate", "MPI_Init"],
+        type_layouts={"MPI_Comm": "int32"},
+        path_blob=["/store/hdf5-1.14"],
+        built_from="abc123",
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self, binary):
+        again = MockBinary.from_bytes(binary.to_bytes())
+        assert again.soname == binary.soname
+        assert again.needed == binary.needed
+        assert again.rpaths == binary.rpaths
+        assert again.type_layouts == binary.type_layouts
+        assert again.built_from == "abc123"
+
+    def test_magic_header(self, binary):
+        assert binary.to_bytes().startswith(MAGIC)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BinaryFormatError):
+            MockBinary.from_bytes(b"\x7fELF this is not ours")
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(BinaryFormatError):
+            MockBinary.from_bytes(MAGIC + b"{not json")
+
+    def test_file_round_trip(self, binary, tmp_path):
+        path = tmp_path / "libhdf5.so"
+        binary.write(path)
+        assert MockBinary.read(path).soname == "libhdf5.so"
+
+
+class TestQueries:
+    def test_references_prefix(self, binary):
+        assert binary.references_prefix("/store/zlib-1.2")
+        assert binary.references_prefix("/store/hdf5-1.14")
+        assert not binary.references_prefix("/opt/other")
+
+    def test_copy_independent(self, binary):
+        clone = binary.copy()
+        clone.needed.append("libextra.so")
+        clone.type_layouts["X"] = "y"
+        assert "libextra.so" not in binary.needed
+        assert "X" not in binary.type_layouts
+
+    def test_defaults(self):
+        b = MockBinary(soname="a.out")
+        assert b.needed == [] and b.rpaths == []

@@ -1,0 +1,92 @@
+"""Relocation tests: prefix rewriting, padding, patchelf-style lengthening."""
+
+import pytest
+
+from repro.binary.mockelf import MockBinary
+from repro.binary.relocate import pad_prefix, relocate_binary, relocate_text
+
+
+class TestPadPrefix:
+    def test_pads_to_exact_length(self):
+        padded = pad_prefix("/new", 12)
+        assert len(padded) == 12
+
+    def test_padded_path_is_same_directory(self):
+        import os.path
+
+        padded = pad_prefix("/a/b", 10)
+        assert os.path.normpath(padded) == os.path.normpath("/a/b")
+
+    def test_equal_length_unchanged(self):
+        assert pad_prefix("/abc", 4) == "/abc"
+
+    def test_longer_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            pad_prefix("/very/long/prefix", 5)
+
+
+class TestRelocateText:
+    def test_simple_replacement(self):
+        assert relocate_text("path=/old/lib", {"/old": "/new"}) == "path=/new/lib"
+
+    def test_longest_prefix_first(self):
+        out = relocate_text(
+            "/store/pkg/lib", {"/store": "/B", "/store/pkg": "/A"}
+        )
+        assert out == "/A/lib"
+
+    def test_multiple_occurrences(self):
+        out = relocate_text("/old:/old/lib", {"/old": "/new"})
+        assert out == "/new:/new/lib"
+
+
+class TestRelocateBinary:
+    def _binary(self):
+        return MockBinary(
+            soname="libapp.so",
+            rpaths=["/build/zlib-1.2/lib", "/build/mpich-3.4/lib"],
+            path_blob=["/build/app-1.0", "/build/zlib-1.2/lib"],
+        )
+
+    def test_rpaths_rewritten(self):
+        result = relocate_binary(
+            self._binary(),
+            {"/build/zlib-1.2": "/deploy/zlib-1.2", "/build/mpich-3.4": "/deploy/mpich-3.4"},
+            pad=False,
+        )
+        assert result.binary.rpaths == [
+            "/deploy/zlib-1.2/lib",
+            "/deploy/mpich-3.4/lib",
+        ]
+        assert result.replacements >= 2
+
+    def test_original_untouched(self):
+        binary = self._binary()
+        relocate_binary(binary, {"/build": "/deploy-much-longer"}, pad=False)
+        assert binary.rpaths[0].startswith("/build")
+
+    def test_shorter_prefix_padded(self):
+        result = relocate_binary(self._binary(), {"/build": "/b"}, pad=True)
+        assert result.padded > 0
+        assert result.lengthened == 0
+        # padded paths keep the original string length (binary patching)
+        assert len(result.binary.rpaths[0]) == len("/build/zlib-1.2/lib")
+
+    def test_longer_prefix_counts_lengthened(self):
+        result = relocate_binary(
+            self._binary(), {"/build": "/considerably/longer/deploy"}, pad=True
+        )
+        assert result.lengthened > 0
+
+    def test_irrelevant_prefix_noop(self):
+        result = relocate_binary(self._binary(), {"/nothing": "/x"})
+        assert result.replacements == 0
+        assert result.binary.rpaths == self._binary().rpaths
+
+    def test_roundtrip_relocation(self):
+        """relocating A→B then B→A restores the original paths."""
+        binary = self._binary()
+        there = relocate_binary(binary, {"/build": "/deploy"}, pad=False).binary
+        back = relocate_binary(there, {"/deploy": "/build"}, pad=False).binary
+        assert back.rpaths == binary.rpaths
+        assert back.path_blob == binary.path_blob

@@ -1,0 +1,68 @@
+"""Property-based relocation invariants."""
+
+import os.path
+
+from hypothesis import given, strategies as st
+
+from repro.binary.mockelf import MockBinary
+from repro.binary.relocate import pad_prefix, relocate_binary, relocate_text
+
+path_segments = st.lists(
+    st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True), min_size=1, max_size=4
+)
+prefixes = path_segments.map(lambda parts: "/" + "/".join(parts))
+
+
+@given(prefixes, st.integers(0, 20))
+def test_padded_prefix_names_same_directory(prefix, extra):
+    target_length = len(prefix) + extra
+    padded = pad_prefix(prefix, target_length)
+    assert len(padded) == target_length
+    assert os.path.normpath(padded) == os.path.normpath(prefix)
+
+
+@given(prefixes, prefixes)
+def test_relocate_then_back_is_identity(old, new):
+    if old in new or new in old:
+        return  # nested prefixes are not invertible in general
+    unrelated = "/0unrelated0/lib"  # digits keep it collision-free
+    if old in unrelated or new in unrelated:
+        return  # substring collisions are the known hazard of prefix
+        # patching; real stores use long hashed prefixes to avoid them
+    binary = MockBinary(
+        soname="libx.so",
+        rpaths=[f"{old}/lib", unrelated],
+        path_blob=[old, f"{old}/share"],
+    )
+    there = relocate_binary(binary, {old: new}, pad=False).binary
+    back = relocate_binary(there, {new: old}, pad=False).binary
+    assert back.rpaths == binary.rpaths
+    assert back.path_blob == binary.path_blob
+
+
+@given(prefixes, prefixes)
+def test_relocation_removes_all_old_references(old, new):
+    if old in new:
+        return
+    binary = MockBinary(
+        soname="libx.so",
+        rpaths=[f"{old}/lib"],
+        path_blob=[old, f"{old}/bin/tool"],
+    )
+    relocated = relocate_binary(binary, {old: new}, pad=False).binary
+    assert not relocated.references_prefix(old)
+    assert relocated.references_prefix(new)
+
+
+@given(prefixes, prefixes, st.text("abcxyz/", min_size=0, max_size=20))
+def test_relocate_text_unrelated_content_untouched(old, new, filler):
+    if old in filler or old in new:
+        return
+    assert relocate_text(filler, {old: new}) == filler
+
+
+@given(prefixes)
+def test_self_relocation_is_identity(prefix):
+    binary = MockBinary(soname="a", rpaths=[f"{prefix}/lib"])
+    result = relocate_binary(binary, {prefix: prefix}, pad=True)
+    assert result.binary.rpaths == binary.rpaths

@@ -1,0 +1,131 @@
+"""Rewiring tests (Section 4.2): relocation generalized to splices."""
+
+import pytest
+
+from repro.binary.abi import check_abi_compatibility
+from repro.binary.mockelf import MockBinary
+from repro.binary.rewire import RewireError, plan_rewire, rewire_binary
+from repro.spec import DEPTYPE_LINK_RUN, parse_one
+
+
+def concrete(text, deps=()):
+    spec = parse_one(text + " arch=centos8-skylake")
+    for dep in deps:
+        spec.add_dependency(dep, (DEPTYPE_LINK_RUN,))
+    spec._mark_concrete()
+    return spec
+
+
+@pytest.fixture()
+def spliced_pair():
+    mpich = concrete("mpich@=3.4.3")
+    mpiabi = concrete("mpiabi@=1.0")
+    app = concrete("app@=1.0", deps=[mpich])
+    spliced = app.splice(mpiabi, transitive=True, replace="mpich")
+    return app, spliced, mpich, mpiabi
+
+
+PREFIXES = {
+    "mpich": "/store/mpich-3.4.3",
+    "mpiabi": "/store/mpiabi-1.0",
+    "app": "/store/app-1.0",
+    "zlib": "/store/zlib-1.2",
+}
+
+
+def prefix_of(spec):
+    return PREFIXES[spec.name]
+
+
+class TestPlanRewire:
+    def test_cross_package_replacement_detected(self, spliced_pair):
+        app, spliced, mpich, mpiabi = spliced_pair
+        plan = plan_rewire(spliced, prefix_of)
+        assert [(o.name, n.name) for o, n in plan.replaced] == [("mpich", "mpiabi")]
+        assert plan.prefix_map == {"/store/mpich-3.4.3": "/store/mpiabi-1.0"}
+        assert plan.soname_map == {"libmpich.so": "libmpiabi.so"}
+
+    def test_same_name_replacement(self):
+        z_old = concrete("zlib@=1.2")
+        z_new = concrete("zlib@=1.3")
+        app = concrete("app@=1.0", deps=[z_old])
+        spliced = app.splice(z_new, transitive=True)
+        prefixes = {"zlib": "/s/zlib"}  # same name → need hash-aware map
+        plan = plan_rewire(
+            spliced,
+            prefix_of=lambda s: f"/s/zlib-{s.version}" if s.name == "zlib" else "/s/app",
+        )
+        assert plan.prefix_map == {"/s/zlib-1.2": "/s/zlib-1.3"}
+        assert plan.soname_map == {}, "same package keeps its soname"
+
+    def test_not_spliced_rejected(self):
+        app = concrete("app@=1.0", deps=[concrete("zlib@=1.2")])
+        with pytest.raises(RewireError):
+            plan_rewire(app, prefix_of)
+
+    def test_old_prefix_resolver_used_for_replaced(self, spliced_pair):
+        app, spliced, mpich, mpiabi = spliced_pair
+        plan = plan_rewire(
+            spliced,
+            prefix_of,
+            old_prefix_of=lambda s: f"/build-machine/{s.name}",
+        )
+        assert plan.prefix_map == {"/build-machine/mpich": "/store/mpiabi-1.0"}
+
+    def test_unreplaced_shared_dep_relocated(self):
+        z = concrete("zlib@=1.2")
+        mpich = concrete("mpich@=3.4.3")
+        mpiabi = concrete("mpiabi@=1.0")
+        app = concrete("app@=1.0", deps=[mpich, z])
+        spliced = app.splice(mpiabi, transitive=True, replace="mpich")
+        plan = plan_rewire(
+            spliced,
+            prefix_of,
+            old_prefix_of=lambda s: f"/build/{s.name}",
+        )
+        # zlib did not change, but its location did (build → local)
+        assert plan.prefix_map["/build/zlib"] == "/store/zlib-1.2"
+
+
+class TestRewireBinary:
+    def _app_binary(self):
+        return MockBinary(
+            soname="libapp.so",
+            needed=["libmpich.so"],
+            rpaths=["/store/mpich-3.4.3/lib"],
+            undefined_symbols=["MPI_Init"],
+            type_layouts={"MPI_Comm": "int32"},
+        )
+
+    def test_needed_and_rpaths_patched(self, spliced_pair):
+        _, spliced, *_ = spliced_pair
+        plan = plan_rewire(spliced, prefix_of)
+        patched = rewire_binary(self._app_binary(), plan)
+        assert patched.needed == ["libmpiabi.so"]
+        assert any("mpiabi" in p for p in patched.rpaths)
+
+    def test_abi_check_blocks_incompatible(self, spliced_pair):
+        _, spliced, *_ = spliced_pair
+        plan = plan_rewire(spliced, prefix_of)
+
+        def check(old, new):
+            return check_abi_compatibility(
+                MockBinary(soname="x", type_layouts={"MPI_Comm": "ptr-struct"}),
+                MockBinary(soname="y", type_layouts={"MPI_Comm": "int32"}),
+            )
+
+        with pytest.raises(RewireError):
+            rewire_binary(self._app_binary(), plan, check_abi=check)
+
+    def test_abi_check_passes_compatible(self, spliced_pair):
+        _, spliced, *_ = spliced_pair
+        plan = plan_rewire(spliced, prefix_of)
+
+        def check(old, new):
+            return check_abi_compatibility(
+                MockBinary(soname="x", defined_symbols=["MPI_Init"]),
+                MockBinary(soname="y", defined_symbols=["MPI_Init"]),
+            )
+
+        patched = rewire_binary(self._app_binary(), plan, check_abi=check)
+        assert patched.needed == ["libmpiabi.so"]

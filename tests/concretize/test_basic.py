@@ -1,0 +1,281 @@
+"""Concretizer fundamentals: versions, variants, deps, virtuals, conflicts."""
+
+import pytest
+
+from repro.concretize import Concretizer, EncodingError, UnsatisfiableError
+from repro.package import (
+    Package,
+    Repository,
+    conflicts,
+    depends_on,
+    provides,
+    requires,
+    variant,
+    version,
+)
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+@pytest.fixture()
+def concretizer(repo):
+    return Concretizer(repo)
+
+
+class TestVersionSelection:
+    def test_newest_by_default(self, concretizer):
+        root = concretizer.solve(["zlib"]).roots[0]
+        assert root.version.string == "1.3"
+
+    def test_user_pin(self, concretizer):
+        root = concretizer.solve(["zlib@=1.2"]).roots[0]
+        assert root.version.string == "1.2"
+
+    def test_prefix_constraint(self, concretizer):
+        root = concretizer.solve(["zlib@1.2"]).roots[0]
+        assert root.version.string == "1.2.11", "newest 1.2.x wins"
+
+    def test_range_constraint(self, concretizer):
+        root = concretizer.solve(["zlib@:1.1"]).roots[0]
+        assert root.version.string == "1.1"
+
+    def test_unknown_version_unsat(self, concretizer):
+        with pytest.raises(UnsatisfiableError):
+            concretizer.solve(["zlib@=9.9"])
+
+    def test_unknown_package_rejected(self, concretizer):
+        with pytest.raises(EncodingError):
+            concretizer.solve(["no-such-package"])
+
+
+class TestVariants:
+    def test_defaults_applied(self, concretizer):
+        root = concretizer.solve(["example"]).roots[0]
+        assert root.variants["bzip"] == "True"
+
+    def test_user_override(self, concretizer):
+        root = concretizer.solve(["example~bzip"]).roots[0]
+        assert root.variants["bzip"] == "False"
+
+    def test_multivalued_default(self, concretizer):
+        root = concretizer.solve(["mpich"]).roots[0]
+        assert root.variants["pmi"] == "pmix"
+
+    def test_multivalued_choice(self, concretizer):
+        root = concretizer.solve(["mpich pmi=slurm"]).roots[0]
+        assert root.variants["pmi"] == "slurm"
+
+    def test_invalid_value_unsat(self, concretizer):
+        with pytest.raises(UnsatisfiableError):
+            concretizer.solve(["mpich pmi=bogus"])
+
+    def test_all_nodes_fully_concrete(self, concretizer):
+        root = concretizer.solve(["app"]).roots[0]
+        root.validate_concrete()
+
+
+class TestDependencies:
+    def test_conditional_on_variant(self, concretizer):
+        with_bzip = concretizer.solve(["example+bzip"]).roots[0]
+        assert "bzip2" in with_bzip
+        without = concretizer.solve(["example~bzip"]).roots[0]
+        assert "bzip2" not in without
+
+    def test_conditional_on_version_paper_example(self, concretizer):
+        """Section 3.3's concretization: example@1.0.0 pulls zlib@1.2.x."""
+        old = concretizer.solve(["example@1.0.0"]).roots[0]
+        assert old["zlib"].version.string == "1.2.11"
+        new = concretizer.solve(["example@1.1.0"]).roots[0]
+        assert new["zlib"].version.string == "1.3"
+
+    def test_dependency_constraint_from_user(self, concretizer):
+        # forcing old zlib forces example down to 1.0.0 (its zlib@1.2 dep)
+        root = concretizer.solve(["tool ^zlib@1.2"]).roots[0]
+        assert root["zlib"].version.string == "1.2.11"
+        assert root["example"].version.string == "1.0.0"
+
+    def test_transitively_impossible_dep_constraint_unsat(self, concretizer):
+        # no example version accepts zlib@1.1, and tool needs example
+        with pytest.raises(UnsatisfiableError):
+            concretizer.solve(["tool ^zlib@1.1"])
+
+    def test_build_dependencies_present_for_builds(self, concretizer):
+        root = concretizer.solve(["app"]).roots[0]
+        from repro.spec import DEPTYPE_BUILD
+
+        edge = root.dependency_edge("cmake")
+        assert edge is not None and DEPTYPE_BUILD in edge.deptypes
+
+    def test_single_version_per_package_in_dag(self, concretizer):
+        # tool depends on zlib and example (which also needs zlib)
+        root = concretizer.solve(["tool"]).roots[0]
+        zlib_versions = {
+            node.version.string for node in root.traverse() if node.name == "zlib"
+        }
+        assert len(zlib_versions) == 1
+
+    def test_joint_concretization_shares_nodes(self, concretizer):
+        result = concretizer.solve(["example", "example-ng"])
+        a, b = result.roots
+        assert a["zlib"].dag_hash() == b["zlib"].dag_hash()
+
+
+class TestVirtuals:
+    def test_default_provider(self, concretizer):
+        root = concretizer.solve(["example"]).roots[0]
+        assert "mpich" in root
+
+    def test_explicit_provider(self, concretizer):
+        root = concretizer.solve(["example ^openmpi"]).roots[0]
+        assert "openmpi" in root and "mpich" not in root
+
+    def test_one_mpi_implementation_per_dag(self, concretizer):
+        result = concretizer.solve(["example ^openmpi", "example-ng"])
+        names = set()
+        for root in result.roots:
+            names.update(n.name for n in root.traverse())
+        assert not ({"mpich", "openmpi"} <= names), "one MPI per DAG"
+
+    def test_cannot_request_virtual_directly(self, concretizer):
+        with pytest.raises(EncodingError):
+            concretizer.solve(["mpi"])
+
+    def test_forbidden_provider(self, repo):
+        concretizer = Concretizer(repo)
+        result = concretizer.solve(["example"], forbidden=["mpich"])
+        assert "mpich" not in result.roots[0]
+
+
+class TestConflicts:
+    def test_conflict_blocks_combination(self, concretizer):
+        # app conflicts("@1.0 ^zlib@1.0")
+        with pytest.raises(UnsatisfiableError):
+            concretizer.solve(["app@1.0 ^zlib@=1.0 ^example@1.0.0"])
+
+    def test_conflict_avoided_by_other_choice(self, concretizer):
+        # zlib@1.0 is fine for app@2.0
+        root = concretizer.solve(["app@2.0"]).roots[0]
+        assert root.version.string == "2.0"
+
+
+class TestRequires:
+    def test_requires_enforced(self):
+        repo = Repository()
+
+        class Libfoo(Package):
+            version("2.0")
+            version("1.0")
+            variant("shared", default=False)
+            requires("+shared", when="@2:")
+
+        repo.add(Libfoo)
+        root = Concretizer(repo).solve(["libfoo@2.0"]).roots[0]
+        assert root.variants["shared"] == "True", "requires overrides default"
+
+    def test_requires_conflict_unsat(self):
+        repo = Repository()
+
+        class Libbar(Package):
+            version("2.0")
+            variant("shared", default=False)
+            requires("+shared")
+
+        repo.add(Libbar)
+        with pytest.raises(UnsatisfiableError):
+            Concretizer(repo).solve(["libbar~shared"])
+
+
+class TestArch:
+    def test_defaults(self, concretizer):
+        root = concretizer.solve(["zlib"]).roots[0]
+        assert root.os == "centos8" and root.target == "skylake"
+
+    def test_custom_defaults(self, repo):
+        concretizer = Concretizer(repo, default_os="sles15", default_target="zen3")
+        root = concretizer.solve(["zlib"]).roots[0]
+        assert root.os == "sles15" and root.target == "zen3"
+
+    def test_uniform_across_dag(self, concretizer):
+        root = concretizer.solve(["app"]).roots[0]
+        assert len({n.os for n in root.traverse()}) == 1
+        assert len({n.target for n in root.traverse()}) == 1
+
+
+class TestNotBuildable:
+    def test_not_buildable_without_binary_unsat(self):
+        repo = Repository()
+
+        class Vendor(Package):
+            version("1.0")
+            buildable = False
+
+        repo.add(Vendor)
+        with pytest.raises(UnsatisfiableError):
+            Concretizer(repo).solve(["vendor"])
+
+
+class TestConditionalProvides:
+    def _repo(self):
+        from repro.package import (
+            Package,
+            Repository,
+            depends_on,
+            provides,
+            variant,
+            version,
+        )
+
+        repo = Repository()
+
+        class Netlib(Package):
+            version("3.11")
+            provides("blas")
+
+        class Flexiblas(Package):
+            version("1.0")
+            variant("blas", default=False)
+            provides("blas", when="+blas")
+
+        class Consumer(Package):
+            version("1.0")
+            depends_on("blas")
+
+        for cls in (Netlib, Flexiblas, Consumer):
+            repo.add(cls)
+        return repo
+
+    def test_unconditional_provider_default(self):
+        result = Concretizer(self._repo()).solve(["consumer"])
+        assert "netlib" in result.roots[0]
+
+    def test_conditional_provider_when_enabled(self):
+        result = Concretizer(self._repo()).solve(["consumer ^flexiblas+blas"])
+        root = result.roots[0]
+        assert "flexiblas" in root and "netlib" not in root
+
+    def test_conditional_provider_disabled_unsat(self):
+        with pytest.raises(UnsatisfiableError):
+            Concretizer(self._repo()).solve(["consumer ^flexiblas~blas"])
+
+
+class TestCompilerRequests:
+    def test_percent_creates_build_edge(self):
+        from repro.repos.radiuss import make_radiuss_repo
+        from repro.spec import DEPTYPE_BUILD
+
+        repo = make_radiuss_repo()
+        root = Concretizer(repo).solve(["raja %gcc@12"]).roots[0]
+        edge = root.dependency_edge("gcc")
+        assert edge is not None and DEPTYPE_BUILD in edge.deptypes
+        assert root["gcc"].version.string == "12.3.0"
+
+    def test_compiler_choice_is_constrainable(self):
+        from repro.repos.radiuss import make_radiuss_repo
+
+        repo = make_radiuss_repo()
+        root = Concretizer(repo).solve(["zfp %llvm"]).roots[0]
+        assert "llvm" in root

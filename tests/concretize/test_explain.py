@@ -1,0 +1,81 @@
+"""UNSAT-diagnosis tests (Concretizer.explain)."""
+
+import pytest
+
+from repro.concretize import Concretizer, UnsatisfiableError
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return make_mock_repo()
+
+
+@pytest.fixture()
+def concretizer(repo):
+    return Concretizer(repo)
+
+
+class TestCulpritIdentification:
+    def test_bad_dep_constraint(self, concretizer):
+        with pytest.raises(UnsatisfiableError):
+            concretizer.solve(["tool ^zlib@1.1"])
+        diagnosis = concretizer.explain(["tool ^zlib@1.1"])
+        assert diagnosis.satisfiable_when_relaxed
+        assert [str(c) for c in diagnosis.culprits] == ["tool ^zlib@1.1"]
+        assert "zlib@1.1" in diagnosis.explain()
+
+    def test_conflicting_providers_across_roots(self, concretizer):
+        diagnosis = concretizer.explain(
+            ["example ^openmpi", "example-ng ^mpich"]
+        )
+        assert diagnosis.satisfiable_when_relaxed
+        descriptions = {str(c) for c in diagnosis.culprits}
+        # removing either provider pin fixes it; deletion-filter keeps one
+        assert len(diagnosis.culprits) == 1
+        assert descriptions & {"example ^openmpi", "example-ng ^mpich"}
+
+    def test_bad_version_pin(self, concretizer):
+        diagnosis = concretizer.explain(["zlib@=9.9"])
+        assert [c.kind for c in diagnosis.culprits] == ["version"]
+
+    def test_bad_variant_value(self, concretizer):
+        diagnosis = concretizer.explain(["mpich pmi=bogus"])
+        assert [c.kind for c in diagnosis.culprits] == ["variant"]
+
+    def test_forbidden_culprit(self, repo):
+        # forbidding zlib breaks example (zlib is unavoidable)
+        concretizer = Concretizer(repo)
+        diagnosis = concretizer.explain(["example"], forbidden=["zlib"])
+        assert [c.kind for c in diagnosis.culprits] == ["forbidden"]
+        assert "zlib" in str(diagnosis.culprits[0])
+
+    def test_multiple_culprits(self, concretizer):
+        diagnosis = concretizer.explain(["zlib@=9.9", "mpich pmi=bogus"])
+        kinds = sorted(c.kind for c in diagnosis.culprits)
+        assert kinds == ["variant", "version"]
+
+
+class TestRepoLevelUnsat:
+    def test_unbuildable_package(self):
+        from repro.package import Package, Repository, version
+
+        repo = Repository()
+
+        class Vendor(Package):
+            version("1.0")
+            buildable = False
+
+        repo.add(Vendor)
+        concretizer = Concretizer(repo)
+        diagnosis = concretizer.explain(["vendor"])
+        assert not diagnosis.satisfiable_when_relaxed
+        assert "package definitions" in diagnosis.explain()
+
+
+class TestSatisfiableRequest:
+    def test_no_culprits_for_sat_request(self, concretizer):
+        diagnosis = concretizer.explain(["zlib"])
+        assert diagnosis.satisfiable_when_relaxed
+        assert not diagnosis.culprits
+        assert "satisfiable" in diagnosis.explain()

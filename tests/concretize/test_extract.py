@@ -1,0 +1,112 @@
+"""Model-extraction tests: model atoms → concrete Spec DAGs."""
+
+import pytest
+
+from repro.asp.api import Model
+from repro.asp.parser import parse_term
+from repro.concretize import Concretizer, ModelExtractor, ExtractionError
+from repro.concretize.extract import NodeData
+from repro.repos.mock import make_mock_repo
+
+
+def atoms(*texts):
+    from repro.asp.syntax import Atom, Function
+
+    out = set()
+    for text in texts:
+        term = parse_term(text)
+        out.add(Atom(term.name, term.args))
+    return out
+
+
+BASE = [
+    'attr("node", node("app"))',
+    'attr("version", node("app"), "1.0")',
+    'attr("node_os", node("app"), "centos8")',
+    'attr("node_target", node("app"), "skylake")',
+    'attr("variant", node("app"), "opt", "True")',
+    'attr("node", node("zlib"))',
+    'attr("version", node("zlib"), "1.2")',
+    'attr("node_os", node("zlib"), "centos8")',
+    'attr("node_target", node("zlib"), "skylake")',
+    'attr("depends_on", node("app"), node("zlib"), "link-run")',
+]
+
+
+class TestFreshExtraction:
+    def test_basic_dag(self):
+        extractor = ModelExtractor(Model(atoms(*BASE)), lambda h: None)
+        specs = extractor.extract()
+        app = specs["app"]
+        assert app.version.string == "1.0"
+        assert app.variants["opt"] == "True"
+        assert app["zlib"].version.string == "1.2"
+        assert app.concrete
+
+    def test_build_dep_type_preserved(self):
+        extra = BASE + [
+            'attr("node", node("cmake"))',
+            'attr("version", node("cmake"), "3.27")',
+            'attr("node_os", node("cmake"), "centos8")',
+            'attr("node_target", node("cmake"), "skylake")',
+            'attr("depends_on", node("app"), node("cmake"), "build")',
+        ]
+        specs = ModelExtractor(Model(atoms(*extra)), lambda h: None).extract()
+        edge = specs["app"].dependency_edge("cmake")
+        assert edge.deptypes == frozenset(["build"])
+
+    def test_missing_version_rejected(self):
+        bad = [a for a in BASE if "version\", node(\"app\")" not in a]
+        with pytest.raises(ExtractionError):
+            ModelExtractor(Model(atoms(*bad)), lambda h: None).extract()
+
+    def test_unknown_hash_rejected(self):
+        extra = BASE + ['attr("hash", node("zlib"), "deadbeef")']
+
+        def lookup(h):
+            raise KeyError(h)
+
+        with pytest.raises(ExtractionError):
+            ModelExtractor(Model(atoms(*extra)), lookup).extract()
+
+    def test_cycle_detected(self):
+        cyclic = BASE + [
+            'attr("depends_on", node("zlib"), node("app"), "link-run")',
+        ]
+        with pytest.raises(ExtractionError):
+            ModelExtractor(Model(atoms(*cyclic)), lambda h: None).extract()
+
+
+class TestRoundTripThroughSolver:
+    """End-to-end: reuse + splice extraction against real solves."""
+
+    def test_reused_spec_identical_to_cache(self):
+        repo = make_mock_repo()
+        cached = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        result = Concretizer(repo, reusable_specs=[cached]).solve(
+            ["example@1.1.0"]
+        )
+        assert result.roots[0].dag_hash() == cached.dag_hash()
+
+    def test_spliced_extraction_structure(self):
+        repo = make_mock_repo()
+        cached = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        c = Concretizer(repo, reusable_specs=[cached], splicing=True)
+        root = c.solve(["example@1.1.0 ^mpiabi"]).roots[0]
+        # spliced root: same node attrs, new dep, provenance recorded
+        assert root.version.string == "1.1.0"
+        assert root.build_spec.dag_hash() == cached.dag_hash()
+        assert root["mpiabi"].concrete
+        assert root.dag_hash() != cached.dag_hash()
+
+    def test_mixed_built_and_reused(self):
+        repo = make_mock_repo()
+        cached = Concretizer(repo).solve(["zlib@=1.3"]).roots[0]
+        result = Concretizer(repo, reusable_specs=[cached]).solve(
+            ["example@1.1.0"]
+        )
+        root = result.roots[0]
+        assert root["zlib"].dag_hash() == cached.dag_hash()
+        assert root.concrete
+        built = {s.name for s in result.built}
+        assert "zlib" not in built and "example" in built

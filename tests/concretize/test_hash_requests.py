@@ -1,0 +1,83 @@
+"""The ``name/hash`` request syntax (install-by-hash)."""
+
+import pytest
+
+from repro.concretize import Concretizer, UnsatisfiableError
+from repro.repos.mock import make_mock_repo
+from repro.spec import parse_one
+
+
+@pytest.fixture()
+def setup():
+    repo = make_mock_repo()
+    old = Concretizer(repo).solve(["zlib@=1.2.11"]).roots[0]
+    new = Concretizer(repo).solve(["zlib@=1.3"]).roots[0]
+    return repo, old, new
+
+
+class TestParsing:
+    def test_hash_suffix(self):
+        spec = parse_one("zlib/abc123")
+        assert spec.name == "zlib"
+        assert spec.abstract_hash == "abc123"
+
+    def test_hash_with_other_constraints(self):
+        spec = parse_one("zlib/abc +opt")
+        assert spec.abstract_hash == "abc"
+        assert spec.variants["opt"] == "True"
+
+    def test_satisfies_hash_prefix(self, setup):
+        _, old, _ = setup
+        assert old.satisfies(f"zlib/{old.dag_hash(8)}")
+        assert not old.satisfies("zlib/ffffffff")
+
+    def test_constrain_merges_hash(self):
+        spec = parse_one("zlib")
+        spec.constrain("zlib/abc")
+        assert spec.abstract_hash == "abc"
+
+
+class TestResolution:
+    def test_hash_pins_installed_spec(self, setup):
+        repo, old, new = setup
+        c = Concretizer(repo, reusable_specs=[old, new])
+        result = c.solve([f"zlib/{old.dag_hash(7)}"])
+        assert result.roots[0].dag_hash() == old.dag_hash()
+        assert not result.built
+
+    def test_hash_overrides_version_preference(self, setup):
+        repo, old, new = setup
+        c = Concretizer(repo, reusable_specs=[old, new])
+        # without the hash, reuse prefers the newer cached zlib
+        free = c.solve(["zlib"])
+        assert free.roots[0].version.string == "1.3"
+        pinned = c.solve([f"zlib/{old.dag_hash(7)}"])
+        assert pinned.roots[0].version.string == "1.2.11"
+
+    def test_unknown_hash_unsat(self, setup):
+        repo, old, new = setup
+        c = Concretizer(repo, reusable_specs=[old, new])
+        with pytest.raises(UnsatisfiableError):
+            c.solve(["zlib/ffffff"])
+
+    def test_ambiguous_prefix_rejected(self, setup):
+        repo, old, new = setup
+        c = Concretizer(repo, reusable_specs=[old, new])
+        # the empty-ish one-char prefix matches both installed zlibs
+        shared = ""
+        for a, b in zip(old.dag_hash(), new.dag_hash()):
+            if a != b:
+                break
+            shared += a
+        prefix = (shared + old.dag_hash()[len(shared)])[: len(shared) + 1]
+        # a prefix of length 0 is not expressible; craft one char that
+        # matches both only if their hashes share the first char
+        if old.dag_hash()[0] == new.dag_hash()[0]:
+            with pytest.raises(UnsatisfiableError):
+                c.solve([f"zlib/{old.dag_hash()[0]}"])
+
+    def test_dependency_hash_constraint(self, setup):
+        repo, old, new = setup
+        c = Concretizer(repo, reusable_specs=[old, new])
+        result = c.solve([f"tool ^example@1.0.0 ^zlib/{old.dag_hash(7)}"])
+        assert result.roots[0]["zlib"].dag_hash() == old.dag_hash()

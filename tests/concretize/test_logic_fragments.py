@@ -1,0 +1,130 @@
+"""The paper's ASP fragments (Figures 3b and 4b), tested in isolation.
+
+These tests feed hand-written ``hash_attr``/``can_splice`` facts through
+the actual logic-program files and check the derived atoms — the
+ASP-level contract the concretizer builds on.
+"""
+
+import pytest
+
+from repro.asp.api import Control
+from repro.concretize.concretizer import LOGIC_DIR
+
+
+RECOVERY = (LOGIC_DIR / "reuse_new.lp").read_text()
+SPLICE = (LOGIC_DIR / "splice.lp").read_text()
+
+#: one reusable spec "app" (hash h-app) depending on mpich (hash h-mpich)
+REUSABLE = '''
+installed_hash("app", "h-app").
+hash_attr("h-app", "version", "app", "1.0").
+hash_attr("h-app", "variant", "app", "opt", "True").
+hash_attr("h-app", "node_os", "app", "centos8").
+hash_attr("h-app", "depends_on", "app", "mpich").
+hash_attr("h-app", "hash", "mpich", "h-mpich").
+installed_hash("mpich", "h-mpich").
+hash_attr("h-mpich", "version", "mpich", "3.4.3").
+'''
+
+
+def solve(text):
+    ctl = Control()
+    ctl.add(text)
+    result = ctl.solve()
+    assert result.satisfiable
+    return {repr(a) for a in result.model}
+
+
+class TestFigure3b:
+    """hash_attr → imposed_constraint recovery."""
+
+    def test_plain_attributes_pass_through(self):
+        model = solve(REUSABLE + RECOVERY)
+        assert 'imposed_constraint("h-app","version","app","1.0")' in model
+        assert (
+            'imposed_constraint("h-app","variant","app","opt","True")' in model
+        )
+        assert 'imposed_constraint("h-app","node_os","app","centos8")' in model
+
+    def test_hash_and_depends_on_recovered_without_candidates(self):
+        """No can_splice atoms → identical to the old encoding."""
+        model = solve(REUSABLE + RECOVERY)
+        assert 'imposed_constraint("h-app","hash","mpich","h-mpich")' in model
+        assert 'imposed_constraint("h-app","depends_on","app","mpich")' in model
+
+    def test_hash_withheld_with_candidate(self):
+        """A splice candidate gates the hash/depends_on imposition."""
+        text = (
+            REUSABLE
+            + RECOVERY
+            + 'attr("node", node("mpiabi")).\n'
+            + 'can_splice(node("mpiabi"), "mpich", "h-mpich").\n'
+        )
+        model = solve(text)
+        assert 'splice_candidate("mpich","h-mpich")' in model
+        assert 'imposed_constraint("h-app","hash","mpich","h-mpich")' not in model
+        assert (
+            'imposed_constraint("h-app","depends_on","app","mpich")' not in model
+        )
+        # non-gated attributes still pass through
+        assert 'imposed_constraint("h-app","version","app","1.0")' in model
+
+
+class TestFigure4b:
+    """The XOR: impose the original dependency or splice."""
+
+    BASE = (
+        REUSABLE
+        + RECOVERY
+        + SPLICE
+        + 'attr("node", node("mpiabi")).\n'
+        + 'can_splice(node("mpiabi"), "mpich", "h-mpich").\n'
+        + 'impose("h-app").\n'
+        + 'attr("hash", node("app"), "h-app").\n'
+    )
+
+    def test_exactly_one_branch_taken(self):
+        model = solve(self.BASE)
+        imposed = 'impose_original_dep("h-app","mpich","h-mpich")' in model
+        spliced = (
+            'splice_at("h-app","mpich","h-mpich",node("mpiabi"))' in model
+        )
+        assert imposed != spliced, "XOR: original or splice, never both/neither"
+
+    def test_forcing_splice_derives_new_dependency(self):
+        text = self.BASE + ':- impose_original_dep("h-app","mpich","h-mpich").\n'
+        model = solve(text)
+        assert 'splice_at("h-app","mpich","h-mpich",node("mpiabi"))' in model
+        assert (
+            'attr("depends_on",node("app"),node("mpiabi"),"link-run")' in model
+        )
+        assert (
+            'attr("splice",node("app"),"mpich","h-mpich",node("mpiabi"))'
+            in model
+        )
+        assert 'imposed_constraint("h-app","hash","mpich","h-mpich")' not in model
+
+    def test_forcing_original_recovers_old_imposition(self):
+        text = self.BASE + ':- splice_at("h-app","mpich","h-mpich",node("mpiabi")).\n'
+        model = solve(text)
+        assert 'imposed_constraint("h-app","hash","mpich","h-mpich")' in model
+        assert 'imposed_constraint("h-app","depends_on","app","mpich")' in model
+
+    def test_splice_minimized_away_when_free(self):
+        """The @10 penalty makes the solver keep the original dep when
+        nothing else forces a splice."""
+        model = solve(self.BASE)
+        assert 'impose_original_dep("h-app","mpich","h-mpich")' in model
+
+    def test_multiple_candidates_exactly_one_spliced(self):
+        text = (
+            self.BASE
+            + 'attr("node", node("mvapich2")).\n'
+            + 'can_splice(node("mvapich2"), "mpich", "h-mpich").\n'
+            + ':- impose_original_dep("h-app","mpich","h-mpich").\n'
+        )
+        model = solve(text)
+        chosen = [
+            a for a in model if a.startswith('splice_at(')
+        ]
+        assert len(chosen) == 1

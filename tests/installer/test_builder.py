@@ -1,0 +1,86 @@
+"""Simulated-build tests."""
+
+import pytest
+
+from repro.binary.mockelf import MockBinary
+from repro.concretize import Concretizer
+from repro.installer.builder import BuildError, Builder, prefix_name
+from repro.repos.mock import make_mock_repo
+from repro.repos.radiuss import make_radiuss_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+def build(repo, request, tmp_path):
+    spec = Concretizer(repo).solve([request]).roots[0]
+    builder = Builder(repo)
+    prefixes = {}
+    for node in spec.traverse(order="post"):
+        prefix = tmp_path / prefix_name(node)
+        builder.build(node, prefix, lambda d: str(prefixes[d.name]))
+        prefixes[node.name] = prefix
+    return spec, prefixes, builder
+
+
+class TestBuilder:
+    def test_artifacts_created(self, repo, tmp_path):
+        spec, prefixes, _ = build(repo, "example@1.1.0 ^mpich@3.4.3", tmp_path)
+        lib = prefixes["example"] / "lib" / "libexample.so"
+        assert lib.exists()
+
+    def test_needed_matches_link_deps(self, repo, tmp_path):
+        spec, prefixes, _ = build(repo, "example@1.1.0 ^mpich@3.4.3", tmp_path)
+        binary = MockBinary.read(prefixes["example"] / "lib" / "libexample.so")
+        assert sorted(binary.needed) == [
+            "libbzip2.so", "libmpich.so", "libzlib.so",
+        ]
+
+    def test_rpaths_point_at_dep_prefixes(self, repo, tmp_path):
+        spec, prefixes, _ = build(repo, "example@1.1.0 ^mpich@3.4.3", tmp_path)
+        binary = MockBinary.read(prefixes["example"] / "lib" / "libexample.so")
+        assert str(prefixes["zlib"] / "lib") in binary.rpaths
+
+    def test_type_layouts_travel_with_binary(self, repo, tmp_path):
+        """A binary records the layouts it was compiled against (2.1)."""
+        spec, prefixes, _ = build(repo, "example@1.1.0 ^mpich@3.4.3", tmp_path)
+        binary = MockBinary.read(prefixes["example"] / "lib" / "libexample.so")
+        assert binary.type_layouts["MPI_Comm"] == "int32"
+        spec2, prefixes2, _ = build(repo, "example-ng ^openmpi", tmp_path / "2")
+        binary2 = MockBinary.read(
+            prefixes2["example-ng"] / "lib" / "libexample-ng.so"
+        )
+        assert binary2.type_layouts["MPI_Comm"] == "ptr-struct"
+
+    def test_built_from_provenance(self, repo, tmp_path):
+        spec, prefixes, _ = build(repo, "zlib", tmp_path)
+        binary = MockBinary.read(prefixes["zlib"] / "lib" / "libzlib.so")
+        assert binary.built_from == spec.dag_hash()
+
+    def test_abstract_rejected(self, repo, tmp_path):
+        from repro.spec import parse_one
+
+        with pytest.raises(BuildError):
+            Builder(repo).build(parse_one("zlib"), tmp_path, lambda d: "")
+
+    def test_not_buildable_rejected(self, tmp_path):
+        repo = make_radiuss_repo()
+        from repro.buildcache import external_spec
+
+        vendor = external_spec(repo, "cray-mpich", "/opt")
+        with pytest.raises(BuildError):
+            Builder(repo).build(vendor, tmp_path, lambda d: "")
+
+    def test_build_accounting(self, repo, tmp_path):
+        _, _, builder = build(repo, "example@1.1.0 ^mpich@3.4.3", tmp_path)
+        assert builder.build_count == 4
+        assert builder.simulated_build_time > 0
+
+    def test_prefix_name_stable_and_unique(self, repo):
+        a = Concretizer(repo).solve(["zlib@=1.3"]).roots[0]
+        b = Concretizer(repo).solve(["zlib@=1.2.11"]).roots[0]
+        assert prefix_name(a) == prefix_name(a)
+        assert prefix_name(a) != prefix_name(b)
+        assert prefix_name(a).startswith("zlib-1.3-")

@@ -1,0 +1,105 @@
+"""Install database: records, queries, persistence, splice provenance."""
+
+import pytest
+
+from repro.concretize import Concretizer
+from repro.installer.database import Database, DatabaseError
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+@pytest.fixture()
+def spec(repo):
+    return Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+
+
+class TestRecords:
+    def test_add_and_lookup(self, spec, tmp_path):
+        db = Database(tmp_path)
+        db.add(spec, "/prefix/example", explicit=True)
+        record = db.get(spec.dag_hash())
+        assert record.prefix == "/prefix/example"
+        assert record.explicit
+
+    def test_prefix_of(self, spec, tmp_path):
+        db = Database(tmp_path)
+        db.add(spec, "/p")
+        assert db.prefix_of(spec) == "/p"
+
+    def test_missing_raises(self, spec, tmp_path):
+        with pytest.raises(DatabaseError):
+            Database(tmp_path).prefix_of(spec)
+
+    def test_conflicting_prefix_rejected(self, spec, tmp_path):
+        db = Database(tmp_path)
+        db.add(spec, "/a")
+        with pytest.raises(DatabaseError):
+            db.add(spec, "/b")
+
+    def test_re_add_same_prefix_upgrades_explicit(self, spec, tmp_path):
+        db = Database(tmp_path)
+        db.add(spec, "/a", explicit=False)
+        db.add(spec, "/a", explicit=True)
+        assert db.get(spec.dag_hash()).explicit
+
+    def test_query_by_name(self, spec, tmp_path):
+        db = Database(tmp_path)
+        for node in spec.traverse():
+            db.add(node, f"/p/{node.name}")
+        assert len(db.query("zlib")) == 1
+        assert len(db.query()) == 4
+        assert len(db) == 4
+
+    def test_remove(self, spec, tmp_path):
+        db = Database(tmp_path)
+        db.add(spec, "/a")
+        db.remove(spec.dag_hash())
+        assert db.get(spec.dag_hash()) is None
+
+    def test_external_prefix_fallback(self, repo, tmp_path):
+        from repro.buildcache import external_spec
+
+        vendor = external_spec(repo, "mpich", "/opt/vendor")
+        db = Database(tmp_path)
+        assert db.prefix_of(vendor) == "/opt/vendor"
+        assert db.is_installed(vendor)
+
+
+class TestPersistence:
+    def test_round_trip(self, spec, tmp_path):
+        db = Database(tmp_path)
+        for node in spec.traverse():
+            db.add(node, f"/p/{node.name}", explicit=node is spec)
+        db.save()
+        again = Database(tmp_path)
+        assert len(again) == 4
+        assert again.prefix_of(spec) == "/p/example"
+        assert again.get(spec.dag_hash()).explicit
+
+    def test_spliced_provenance_survives_reload(self, repo, spec, tmp_path):
+        mpiabi = Concretizer(repo).solve(["mpiabi"]).roots[0]
+        spliced = spec.splice(mpiabi, transitive=True, replace="mpich")
+        db = Database(tmp_path)
+        for node in spliced.traverse():
+            db.add(node, f"/p/{node.name}")
+        db.save()
+        again = Database(tmp_path)
+        reloaded = again.get(spliced.dag_hash()).spec
+        assert reloaded.spliced
+        assert reloaded.build_spec.dag_hash() == spec.dag_hash()
+        assert reloaded.dag_hash() == spliced.dag_hash()
+
+    def test_corrupt_db_raises(self, tmp_path):
+        (tmp_path / "db.json").write_text("{broken")
+        with pytest.raises(DatabaseError):
+            Database(tmp_path)
+
+    def test_reloaded_specs_fully_concrete(self, spec, tmp_path):
+        db = Database(tmp_path)
+        db.add(spec, "/p")
+        db.save()
+        Database(tmp_path).get(spec.dag_hash()).spec.validate_concrete()

@@ -1,0 +1,134 @@
+"""Failure-injection tests: corrupt artifacts, broken stores, bad input."""
+
+import json
+
+import pytest
+
+from repro.binary.loader import Loader
+from repro.binary.mockelf import MockBinary
+from repro.buildcache import BuildCache, BuildCacheError
+from repro.concretize import Concretizer
+from repro.installer import InstallError, Installer
+from repro.installer.database import Database, DatabaseError
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+@pytest.fixture()
+def pipeline(repo, tmp_path):
+    spec = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+    installer = Installer(tmp_path / "store", repo)
+    installer.install(spec)
+    cache = BuildCache(tmp_path / "cache")
+    installer.push_to_cache(cache, spec)
+    return spec, installer, cache
+
+
+class TestCorruptArtifacts:
+    def test_corrupt_binary_in_cache_copied_as_blob(self, pipeline, tmp_path):
+        """A non-mock file in the cache is treated as opaque data (like
+        headers or docs in a real package) — extraction must not crash."""
+        spec, installer, cache = pipeline
+        blob = cache.blobs / spec.dag_hash() / "files"
+        (blob / "share").mkdir(exist_ok=True)
+        (blob / "share" / "README").write_bytes(b"plain text, not a binary")
+        out = tmp_path / "out"
+        cache.extract(spec.dag_hash(), out)
+        assert (out / "share" / "README").read_bytes() == b"plain text, not a binary"
+
+    def test_truncated_binary_fails_load_not_install(self, pipeline, tmp_path):
+        spec, installer, cache = pipeline
+        prefix = installer.database.prefix_of(spec)
+        target = f"{prefix}/lib/libexample.so"
+        with open(target, "wb") as f:
+            f.write(b"\x7fMOCKELF\x01{truncated")
+        result = Loader().load(target)
+        assert not result.ok
+
+    def test_missing_dependency_binary_detected_at_load(self, pipeline):
+        spec, installer, cache = pipeline
+        import shutil
+
+        zlib_prefix = installer.database.prefix_of(spec["zlib"])
+        shutil.rmtree(zlib_prefix)
+        prefix = installer.database.prefix_of(spec)
+        result = Loader().load(f"{prefix}/lib/libexample.so")
+        assert not result.ok
+        assert "libzlib.so" in result.missing_libraries
+
+
+class TestBrokenMetadata:
+    def test_missing_cache_meta(self, pipeline, tmp_path):
+        spec, installer, cache = pipeline
+        (cache.blobs / spec.dag_hash() / "meta.json").unlink()
+        with pytest.raises(BuildCacheError):
+            cache.extract(spec.dag_hash(), tmp_path / "x")
+
+    def test_corrupt_cache_index(self, pipeline, tmp_path):
+        cache_dir = tmp_path / "cache"
+        (cache_dir / "index.json").write_text("{oops")
+        with pytest.raises(BuildCacheError):
+            BuildCache(cache_dir)
+
+    def test_database_version_mismatch(self, tmp_path):
+        (tmp_path / "db.json").write_text(json.dumps({"version": 99}))
+        with pytest.raises(DatabaseError):
+            Database(tmp_path)
+
+    def test_dangling_spec_document(self, tmp_path):
+        from repro.spec import Spec, SpecError
+
+        with pytest.raises(SpecError):
+            Spec.from_dict(
+                {
+                    "root": "r",
+                    "nodes": [
+                        {
+                            "name": "a",
+                            "versions": "=1.0",
+                            "variants": {},
+                            "os": "centos8",
+                            "target": "skylake",
+                            "hash": "r",
+                            "dependencies": [
+                                {
+                                    "name": "ghost",
+                                    "hash": "missing",
+                                    "deptypes": ["link-run"],
+                                    "virtual": None,
+                                }
+                            ],
+                        }
+                    ],
+                }
+            )
+
+
+class TestInstallerRobustness:
+    def test_splice_without_any_source_binary(self, repo, tmp_path):
+        spec = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        mpiabi = Concretizer(repo).solve(["mpiabi"]).roots[0]
+        spliced = spec.splice(mpiabi, transitive=True, replace="mpich")
+        bare = Installer(tmp_path / "bare", repo)
+        with pytest.raises(InstallError) as excinfo:
+            bare.install(spliced)
+        assert "splicing requires the original binary" in str(excinfo.value)
+
+    def test_reinstall_after_partial_state(self, pipeline, repo, tmp_path):
+        """A second install over an existing store is a no-op, not a
+        conflict."""
+        spec, installer, cache = pipeline
+        report = installer.install(spec)
+        assert not report.built and len(report.already) == 4
+
+    def test_install_all_shares_common_deps(self, repo, tmp_path):
+        c = Concretizer(repo)
+        result = c.solve(["example@1.1.0 ^mpich@3.4.3", "example-ng"])
+        installer = Installer(tmp_path / "store", repo)
+        report = installer.install_all(result.roots)
+        zlib_installs = [n for n in report.built if n == "zlib"]
+        assert len(zlib_installs) == 1, "shared zlib built once"

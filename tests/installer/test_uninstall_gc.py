@@ -1,0 +1,120 @@
+"""Uninstall, garbage collection, and store verification."""
+
+import pathlib
+
+import pytest
+
+from repro.binary.mockelf import MockBinary
+from repro.concretize import Concretizer
+from repro.installer import InstallError, Installer
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+@pytest.fixture()
+def store(repo, tmp_path):
+    installer = Installer(tmp_path / "store", repo)
+    spec = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+    installer.install(spec)
+    return installer, spec
+
+
+class TestUninstall:
+    def test_uninstall_leaf(self, repo, tmp_path):
+        installer = Installer(tmp_path / "store", repo)
+        spec = Concretizer(repo).solve(["zlib"]).roots[0]
+        installer.install(spec)
+        prefix = pathlib.Path(installer.database.prefix_of(spec))
+        installer.uninstall(spec)
+        assert installer.database.get(spec.dag_hash()) is None
+        assert not prefix.exists()
+
+    def test_uninstall_with_dependents_refused(self, store):
+        installer, spec = store
+        zlib = spec["zlib"]
+        with pytest.raises(InstallError) as excinfo:
+            installer.uninstall(zlib)
+        assert "required by" in str(excinfo.value)
+
+    def test_force_overrides(self, store):
+        installer, spec = store
+        installer.uninstall(spec["zlib"], force=True)
+        assert installer.database.get(spec["zlib"].dag_hash()) is None
+
+    def test_uninstall_missing_raises(self, repo, tmp_path):
+        installer = Installer(tmp_path / "store", repo)
+        spec = Concretizer(repo).solve(["zlib"]).roots[0]
+        with pytest.raises(InstallError):
+            installer.uninstall(spec)
+
+    def test_uninstall_persists(self, store, tmp_path):
+        installer, spec = store
+        installer.uninstall(spec, force=True)
+        from repro.installer.database import Database
+
+        again = Database(tmp_path / "store")
+        assert again.get(spec.dag_hash()) is None
+
+
+class TestGarbageCollection:
+    def test_gc_keeps_explicit_closure(self, store):
+        installer, spec = store
+        removed = installer.gc()
+        assert removed == [], "everything is reachable from the explicit root"
+
+    def test_gc_removes_orphans(self, store):
+        installer, spec = store
+        # uninstall the explicit root; its deps become garbage
+        installer.uninstall(spec)
+        removed = installer.gc()
+        assert set(removed) == {"bzip2", "mpich", "zlib"}
+        assert len(installer.database) == 0
+
+    def test_gc_dependents_before_dependencies(self, repo, tmp_path):
+        installer = Installer(tmp_path / "store", repo)
+        spec = Concretizer(repo).solve(["tool ^mpich@3.4.3"]).roots[0]
+        installer.install(spec)
+        installer.uninstall(spec)  # root gone; chain tool->example->zlib
+        removed = installer.gc()
+        assert removed.index("example") < removed.index("zlib")
+
+    def test_gc_spares_other_roots_shared_deps(self, repo, tmp_path):
+        installer = Installer(tmp_path / "store", repo)
+        result = Concretizer(repo).solve(
+            ["example@1.1.0 ^mpich@3.4.3", "example-ng"]
+        )
+        installer.install_all(result.roots)
+        # drop one root; shared zlib must survive for the other
+        installer.uninstall(result.roots[0])
+        removed = installer.gc()
+        assert "zlib" not in removed
+        assert "bzip2" in removed  # only example needed bzip2
+
+
+class TestVerify:
+    def test_healthy_store(self, store):
+        installer, _ = store
+        assert installer.verify() == {}
+
+    def test_detects_deleted_dependency(self, store):
+        installer, spec = store
+        import shutil
+
+        shutil.rmtree(installer.database.prefix_of(spec["zlib"]))
+        problems = installer.verify()
+        assert "zlib" in problems  # its own prefix is gone
+        assert "example" in problems  # its NEEDED no longer resolves
+
+    def test_detects_corrupted_symbols(self, store):
+        installer, spec = store
+        prefix = installer.database.prefix_of(spec["mpich"])
+        path = pathlib.Path(prefix) / "lib" / "libmpich.so"
+        binary = MockBinary.read(path)
+        binary.defined_symbols = []  # strip the ABI surface
+        binary.write(path)
+        problems = installer.verify()
+        assert "example" in problems, "unresolved MPI symbols detected"

@@ -1,0 +1,104 @@
+"""Unit tests for the benchmark harness itself."""
+
+import json
+
+import pytest
+
+from repro.bench.report import FigureReport, aggregate_percent, format_table
+from repro.bench.runner import (
+    ConfigTiming,
+    TimingSample,
+    percent_increase,
+    time_concretization,
+)
+from repro.repos.mock import make_mock_repo
+
+
+def timing(spec, times, label="x"):
+    t = ConfigTiming(label=label, spec=spec)
+    for s in times:
+        t.samples.append(TimingSample(s, built=1, spliced=0, reused=0))
+    return t
+
+
+class TestStatistics:
+    def test_mean_median_stdev(self):
+        t = timing("raja", [1.0, 2.0, 3.0])
+        assert t.mean == 2.0
+        assert t.median == 2.0
+        assert t.stdev == pytest.approx(1.0)
+        assert t.min == 1.0 and t.max == 3.0
+
+    def test_single_sample_stdev_zero(self):
+        assert timing("x", [1.5]).stdev == 0.0
+
+    def test_row_shape(self):
+        row = timing("raja", [1.0, 2.0]).row()
+        assert row["spec"] == "raja"
+        assert row["runs"] == 2
+        assert row["mean_s"] == 1.5
+
+
+class TestPercentages:
+    def test_percent_increase(self):
+        assert percent_increase(2.0, 3.0) == pytest.approx(50.0)
+        assert percent_increase(2.0, 1.0) == pytest.approx(-50.0)
+        assert percent_increase(0.0, 1.0) == 0.0
+
+    def test_aggregate_matches_by_spec(self):
+        base = [timing("a", [1.0]), timing("b", [2.0])]
+        measured = [timing("a", [2.0]), timing("b", [2.0])]
+        # a: +100%, b: +0% → mean 50%
+        assert aggregate_percent(base, measured) == pytest.approx(50.0)
+
+    def test_aggregate_ignores_unmatched_specs(self):
+        base = [timing("a", [1.0])]
+        measured = [timing("a", [1.5]), timing("zzz", [9.0])]
+        assert aggregate_percent(base, measured) == pytest.approx(50.0)
+
+
+class TestTimingRunner:
+    def test_time_concretization_collects_samples(self):
+        repo = make_mock_repo()
+        t = time_concretization(repo, [], "zlib", runs=2)
+        assert len(t.samples) == 2
+        assert all(s.seconds > 0 for s in t.samples)
+        assert t.samples[0].built == 1
+
+    def test_splice_counts_in_samples(self):
+        from repro.concretize import Concretizer
+
+        repo = make_mock_repo()
+        cached = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        t = time_concretization(
+            repo, [cached], "example@1.1.0 ^mpiabi", runs=1, splicing=True
+        )
+        assert t.samples[0].spliced == 1
+        assert t.samples[0].built == 1
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "222" in lines[3]
+
+    def test_empty_table(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_figure_report_round_trip(self, tmp_path):
+        report = FigureReport("figureX", "test title")
+        report.add_timing(timing("raja", [1.0]))
+        report.headline("metric", 42.123)
+        path = report.save(tmp_path)
+        data = json.loads(path.read_text())
+        assert data["figure"] == "figureX"
+        assert data["headlines"]["metric"] == 42.12
+        assert data["rows"][0]["spec"] == "raja"
+
+    def test_render_contains_headlines(self):
+        report = FigureReport("f", "t")
+        report.headline("overhead_pct", 7.1)
+        assert "overhead_pct: 7.1" in report.render()

@@ -1,0 +1,124 @@
+"""Environment (manifest + lockfile) tests."""
+
+import json
+
+import pytest
+
+from repro.buildcache import BuildCache
+from repro.concretize import Concretizer
+from repro.environment import Environment, EnvironmentError
+from repro.installer import Installer
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+class TestManifest:
+    def test_add_remove_roots(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("zlib")
+        env.add("example +bzip")
+        env.add("zlib")  # idempotent
+        assert env.roots == ["zlib", "example +bzip"]
+        env.remove("zlib")
+        assert env.roots == ["example +bzip"]
+
+    def test_invalid_root_rejected_eagerly(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        with pytest.raises(Exception):
+            env.add("zlib ^")
+
+    def test_empty_concretize_rejected(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        with pytest.raises(EnvironmentError):
+            env.concretize()
+
+
+class TestConcretization:
+    def test_joint_concretization(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("example")
+        env.add("example-ng")
+        roots = env.concretize()
+        assert len(roots) == 2
+        assert roots[0]["zlib"].dag_hash() == roots[1]["zlib"].dag_hash()
+
+    def test_all_specs_deduplicated(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("example")
+        env.add("tool")
+        env.concretize()
+        names = [s.name for s in env.all_specs()]
+        assert names.count("zlib") == 1
+
+    def test_adding_root_invalidates_lock(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("zlib")
+        env.concretize()
+        assert env.concretized
+        env.add("bzip2")
+        assert not env.concretized
+
+    def test_forbidden_respected(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("example")
+        env.forbidden = ["mpich"]
+        roots = env.concretize()
+        assert "mpich" not in roots[0]
+
+
+class TestLockfile:
+    def test_round_trip(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("example@1.1.0")
+        env.concretize()
+        env.write()
+        again = Environment.read(tmp_path / "env", repo)
+        assert again.concretized
+        assert (
+            again.concrete_roots[0].dag_hash()
+            == env.concrete_roots[0].dag_hash()
+        )
+
+    def test_stale_lock_dropped_on_manifest_change(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("zlib")
+        env.concretize()
+        env.write()
+        # edit the manifest behind the lock's back
+        manifest_path = tmp_path / "env" / "repro.yaml.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["roots"].append("bzip2")
+        manifest_path.write_text(json.dumps(manifest))
+        again = Environment.read(tmp_path / "env", repo)
+        assert not again.concretized, "stale lock must not be trusted"
+
+    def test_splice_provenance_survives_lockfile(self, repo, tmp_path):
+        cached = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        env = Environment(tmp_path / "env", repo)
+        env.add("example@1.1.0 ^mpiabi")
+        env.splicing = True
+        env.concretize(reusable_specs=[cached])
+        assert env.concrete_roots[0].spliced
+        env.write()
+        again = Environment.read(tmp_path / "env", repo)
+        root = again.concrete_roots[0]
+        assert root.spliced
+        assert root.build_spec.dag_hash() == cached.dag_hash()
+
+    def test_missing_environment_raises(self, repo, tmp_path):
+        with pytest.raises(EnvironmentError):
+            Environment.read(tmp_path / "nope", repo)
+
+    def test_locked_environment_installs(self, repo, tmp_path):
+        env = Environment(tmp_path / "env", repo)
+        env.add("example@1.0.0")
+        env.concretize()
+        env.write()
+        again = Environment.read(tmp_path / "env", repo)
+        installer = Installer(tmp_path / "store", repo)
+        report = installer.install_all(again.concrete_roots)
+        assert len(report.built) == len(list(again.concrete_roots[0].traverse()))

@@ -1,0 +1,102 @@
+"""Tiny-scale smoke tests of the experiment scenarios.
+
+These verify the *claims* behind each figure at a size that runs in
+seconds, so the full benchmarks cannot silently rot: the benches then
+only add statistical weight.
+"""
+
+import pytest
+
+from repro.bench.runner import time_concretization, percent_increase
+from repro.buildcache import generate_cache_specs, vary_configurations
+from repro.concretize import Concretizer
+from repro.repos.radiuss import (
+    MPI_DEPENDENT_ROOTS,
+    RADIUSS_ROOTS,
+    add_mpiabi_replicas,
+    make_radiuss_repo,
+)
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return make_radiuss_repo()
+
+
+@pytest.fixture(scope="module")
+def local_cache(repo):
+    return generate_cache_specs(repo, RADIUSS_ROOTS, versions={"mpich": "3.4.3"})
+
+
+class TestFigure5Claim:
+    """RQ1: the encodings agree on solutions; the indirection only adds
+    constant-factor time."""
+
+    def test_same_solutions_both_encodings(self, repo, local_cache):
+        for spec in ["raja", "hypre", "py-shroud"]:
+            old = Concretizer(
+                repo, reusable_specs=local_cache, encoding="old"
+            ).solve([spec])
+            new = Concretizer(
+                repo, reusable_specs=local_cache, encoding="new"
+            ).solve([spec])
+            assert old.roots[0].dag_hash() == new.roots[0].dag_hash()
+
+    def test_overhead_is_bounded(self, repo, local_cache):
+        old = time_concretization(repo, local_cache, "hypre", runs=2, encoding="old")
+        new = time_concretization(repo, local_cache, "hypre", runs=2, encoding="new")
+        assert percent_increase(old.mean, new.mean) < 400, (
+            "the indirection must stay a constant factor, not a blowup"
+        )
+
+
+class TestFigure6Claim:
+    """RQ2: spliced solutions whenever possible; RQ3: the control spec
+    is unaffected by enabling splicing."""
+
+    def test_all_mpi_roots_produce_spliced_solutions(self, repo, local_cache):
+        concretizer = Concretizer(
+            repo, reusable_specs=local_cache, splicing=True
+        )
+        for root in MPI_DEPENDENT_ROOTS[:5]:
+            result = concretizer.solve([f"{root} ^mpiabi"])
+            assert result.spliced, f"{root} should splice, not rebuild"
+            assert {s.name for s in result.built} <= {"mpiabi"}
+
+    def test_py_shroud_never_splices(self, repo, local_cache):
+        concretizer = Concretizer(
+            repo, reusable_specs=local_cache, splicing=True
+        )
+        result = concretizer.solve(["py-shroud"])
+        assert not result.spliced
+        assert not result.built
+
+
+class TestFigure7Claim:
+    """RQ4: many candidates still yield correct spliced solutions, and
+    the solver picks exactly one replica."""
+
+    def test_replicas_yield_one_splice(self, local_cache):
+        repo = make_radiuss_repo()
+        names = add_mpiabi_replicas(repo, 12)
+        concretizer = Concretizer(
+            repo, reusable_specs=local_cache, splicing=True
+        )
+        result = concretizer.solve(["hypre"], forbidden=["mpich"])
+        assert {s.name for s in result.spliced} == {"hypre"}
+        chosen = {n.name for n in result.roots[0].traverse()} & (
+            set(names) | {"mpiabi", "mvapich2", "cray-mpich"}
+        )
+        assert len(chosen) == 1, "exactly one MPICH-ABI replacement chosen"
+
+    def test_scaling_is_sublinear_in_candidates(self, local_cache):
+        samples = {}
+        for count in (4, 16):
+            repo = make_radiuss_repo()
+            add_mpiabi_replicas(repo, count)
+            samples[count] = time_concretization(
+                repo, local_cache, "hypre", runs=2, splicing=True,
+                forbidden=["mpich"],
+            ).mean
+        # 4x the candidates must cost far less than 4x the time
+        assert samples[16] < samples[4] * 4

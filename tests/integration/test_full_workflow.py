@@ -1,0 +1,110 @@
+"""The everything-together scenario: environments + caches + splicing +
+parallel installs + housekeeping, at RADIUSS scale.
+
+This is the closest thing to a user's real week with the tool, run as
+one test class with shared state (each stage depends on the previous).
+"""
+
+import pytest
+
+from repro.binary.loader import Loader
+from repro.buildcache import BuildCache, SigningKey, TrustStore
+from repro.concretize import Concretizer
+from repro.environment import Environment
+from repro.installer import Installer
+from repro.repos.radiuss import make_radiuss_repo
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    ws = tmp_path_factory.mktemp("workflow")
+    repo = make_radiuss_repo()
+    key = SigningKey.generate("ci")
+    return {"ws": ws, "repo": repo, "key": key}
+
+
+@pytest.fixture(scope="module")
+def built_environment(world):
+    """Stage 1: a CI host builds and caches a spliceable stack."""
+    ws, repo, key = world["ws"], world["repo"], world["key"]
+    env = Environment(ws / "env", repo)
+    env.add("mfem ^mpich@3.4.3")
+    env.add("scr ^mpich@3.4.3")
+    env.add("caliper")
+    env.concretize()
+    env.write()
+
+    ci = Installer(ws / "ci-store", repo)
+    report = ci.install_all(env.concrete_roots, jobs=8)
+    cache = BuildCache(ws / "cache", signing_key=key)
+    for root in env.concrete_roots:
+        ci.push_to_cache(cache, root)
+    world["env"] = env
+    world["cache"] = cache
+    world["ci_report"] = report
+    return world
+
+
+class TestFullWorkflow:
+    def test_ci_built_everything_once(self, built_environment):
+        report = built_environment["ci_report"]
+        assert not report.extracted and not report.rewired
+        assert len(set(report.built)) == len(report.built), "no duplicates"
+
+    def test_signed_cache_round_trip(self, built_environment):
+        ws = built_environment["ws"]
+        key = built_environment["key"]
+        cache = built_environment["cache"]
+        env = built_environment["env"]
+        consumer = BuildCache(ws / "cache", trust=TrustStore([key]))
+        h = env.concrete_roots[0].dag_hash()
+        consumer.extract(h, ws / "verified-extract")
+
+    def test_developer_splices_from_cache(self, built_environment):
+        """Stage 2: a developer wants the stack on mvapich2 — splice,
+        don't rebuild."""
+        ws, repo = built_environment["ws"], built_environment["repo"]
+        cache = built_environment["cache"]
+        c = Concretizer(repo, reusable_specs=cache.all_specs(), splicing=True)
+        result = c.solve(["mfem ^mvapich2", "scr ^mvapich2"])
+        assert {s.name for s in result.built} == {"mvapich2"}
+        assert {"mfem", "hypre", "scr", "er", "kvtree"} <= {
+            s.name for s in result.spliced
+        }
+
+        dev = Installer(ws / "dev-store", repo, caches=[cache])
+        report = dev.install_all(result.roots, jobs=8)
+        assert report.built == ["mvapich2"]
+        prefix = dev.database.prefix_of(result.roots[0])
+        loaded = Loader().load(f"{prefix}/lib/libmfem.so")
+        assert loaded.ok and "libmvapich2.so" in loaded.resolved
+        built_environment["dev"] = dev
+        built_environment["dev_roots"] = result.roots
+
+    def test_housekeeping(self, built_environment):
+        """Stage 3: verify, uninstall a root, garbage-collect."""
+        dev = built_environment["dev"]
+        roots = built_environment["dev_roots"]
+        assert dev.verify() == {}
+        dev.uninstall(roots[1])  # drop scr
+        removed = dev.gc()
+        assert "er" in removed and "kvtree" in removed
+        assert "mvapich2" not in removed, "mfem still needs it"
+        assert dev.verify() == {}
+
+    def test_lockfile_replay_respects_splices(self, built_environment):
+        """Stage 4: lock the spliced environment and replay it."""
+        ws, repo = built_environment["ws"], built_environment["repo"]
+        cache = built_environment["cache"]
+        env = Environment(ws / "spliced-env", repo)
+        env.add("mfem ^mvapich2")
+        env.splicing = True
+        env.concretize(reusable_specs=cache.all_specs())
+        env.write()
+        again = Environment.read(ws / "spliced-env", repo)
+        root = again.concrete_roots[0]
+        assert root.spliced
+        replay = Installer(ws / "replay-store", repo, caches=[cache])
+        report = replay.install_all(again.concrete_roots, jobs=4)
+        assert report.built == ["mvapich2"]
+        assert "mfem" in report.rewired

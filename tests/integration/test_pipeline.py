@@ -1,0 +1,116 @@
+"""End-to-end integration scenarios (the paper's storylines)."""
+
+import pytest
+
+from repro.binary.loader import Loader
+from repro.binary.mockelf import MockBinary
+from repro.buildcache import BuildCache, external_spec
+from repro.concretize import Concretizer
+from repro.installer import Installer
+from repro.repos.radiuss import make_radiuss_repo
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return make_radiuss_repo()
+
+
+class TestBuildCacheDeployCycle:
+    """Build on machine A → cache → deploy spliced on machine B."""
+
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory, repo):
+        ws = tmp_path_factory.mktemp("pipeline")
+        build_server = Installer(ws / "a", repo)
+        spec = Concretizer(repo).solve(["mfem ^mpich@3.4.3"]).roots[0]
+        build_server.install(spec)
+        cache = BuildCache(ws / "cache")
+        build_server.push_to_cache(cache, spec)
+        return ws, spec, cache
+
+    def test_cache_holds_stack(self, workspace, repo):
+        _, spec, cache = workspace
+        assert len(cache) == len(list(spec.traverse()))
+
+    def test_plain_redeploy_extracts_everything(self, workspace, repo):
+        ws, spec, cache = workspace
+        target = Installer(ws / "plain", repo, caches=[cache])
+        report = target.install(spec)
+        assert not report.built
+        prefix = target.database.prefix_of(spec)
+        assert Loader().load(f"{prefix}/lib/libmfem.so").ok
+
+    def test_spliced_deploy_with_mpiabi(self, workspace, repo):
+        ws, spec, cache = workspace
+        c = Concretizer(repo, reusable_specs=cache.all_specs(), splicing=True)
+        result = c.solve(["mfem ^mpiabi"])
+        assert {s.name for s in result.built} == {"mpiabi"}
+        target = Installer(ws / "spliced", repo, caches=[cache])
+        report = target.install(result.roots[0])
+        assert set(report.rewired) == {"mfem", "hypre"}
+        assert report.built == ["mpiabi"]
+        prefix = target.database.prefix_of(result.roots[0])
+        loaded = Loader().load(f"{prefix}/lib/libmfem.so")
+        assert loaded.ok
+        assert "libmpiabi.so" in loaded.resolved
+        assert "libmpich.so" not in loaded.resolved
+
+    def test_cray_deploy_zero_builds(self, workspace, repo):
+        """The paper's motivating scenario, full fidelity."""
+        ws, spec, cache = workspace
+        cray_prefix = ws / "opt" / "cray"
+        (cray_prefix / "lib").mkdir(parents=True, exist_ok=True)
+        MockBinary(
+            soname="libcray-mpich.so",
+            defined_symbols=[
+                "MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Comm_rank",
+                "MPI_Allreduce", "MPI_Bcast",
+            ],
+            type_layouts={"MPI_Comm": "int32", "MPI_Datatype": "int32"},
+        ).write(cray_prefix / "lib" / "libcray-mpich.so")
+        cray = external_spec(repo, "cray-mpich", str(cray_prefix))
+
+        c = Concretizer(
+            repo, reusable_specs=list(cache.all_specs()) + [cray], splicing=True
+        )
+        result = c.solve(["mfem ^cray-mpich"])
+        assert not result.built, "zero rebuilds on the cluster"
+        cluster = Installer(ws / "cluster", repo, caches=[cache])
+        report = cluster.install(result.roots[0])
+        assert not report.built
+        prefix = cluster.database.prefix_of(result.roots[0])
+        loaded = Loader().load(f"{prefix}/lib/libmfem.so")
+        assert loaded.ok
+        assert any("cray" in p for p in loaded.resolved.values())
+
+
+class TestDependencyUpdateScenario:
+    def test_zlib_update_rebuilds_one_package(self, repo, tmp_path):
+        base = Concretizer(repo)
+        installed = [base.solve(["glvis ^zlib@1.2.13"]).roots[0]]
+        splicing = Concretizer(repo, reusable_specs=installed, splicing=True)
+        result = splicing.solve(["glvis ^zlib@1.3"])
+        assert {s.name for s in result.built} == {"zlib"}
+        spliced_names = {s.name for s in result.spliced}
+        assert "glvis" in spliced_names
+
+    def test_update_shares_install_time_savings(self, repo):
+        base = Concretizer(repo)
+        installed = [base.solve(["glvis ^zlib@1.2.13"]).roots[0]]
+        plain = Concretizer(repo, reusable_specs=installed)
+        rebuilt = plain.solve(["glvis ^zlib@1.3"]).built
+        spliced = Concretizer(
+            repo, reusable_specs=installed, splicing=True
+        ).solve(["glvis ^zlib@1.3"]).built
+        assert len(spliced) < len(rebuilt)
+
+
+class TestJointConcretization:
+    def test_stack_concretizes_jointly(self, repo):
+        """Several roots share one DAG (the paper concretizes the stack
+        'separately and jointly')."""
+        result = Concretizer(repo).solve(["raja", "umpire", "chai"])
+        camp_hashes = {
+            root["camp"].dag_hash() for root in result.roots
+        }
+        assert len(camp_hashes) == 1

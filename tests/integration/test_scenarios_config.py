@@ -1,0 +1,67 @@
+"""Benchmark-scenario configuration (env knobs) tests."""
+
+import pytest
+
+from repro.bench import scenarios
+
+
+class TestEnvKnobs:
+    def test_bench_runs_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_RUNS", raising=False)
+        assert scenarios.bench_runs() == 3
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "30")
+        assert scenarios.bench_runs() == 30
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "not-a-number")
+        assert scenarios.bench_runs() == 3
+
+    def test_spec_subsets(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SPECS", raising=False)
+        subset = scenarios.bench_roots()
+        monkeypatch.setenv("REPRO_BENCH_SPECS", "all")
+        everything = scenarios.bench_roots()
+        assert set(subset) < set(everything)
+        assert len(everything) == 32
+
+    def test_mpi_roots_subset_of_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SPECS", "all")
+        from repro.repos.radiuss import MPI_DEPENDENT_ROOTS
+
+        assert scenarios.mpi_bench_roots() == MPI_DEPENDENT_ROOTS
+
+
+class TestCacheShapes:
+    def test_local_cache_consistent_mpich(self):
+        specs = scenarios.local_cache_specs()
+        versions = {
+            n.version.string
+            for s in specs
+            for n in s.traverse()
+            if n.name == "mpich"
+        }
+        assert versions == {scenarios.SPLICE_TARGET_MPICH}
+
+    def test_local_cache_has_multiple_configurations(self):
+        specs = scenarios.local_cache_specs()
+        raja_configs = {
+            s.dag_hash() for s in specs if s.name == "raja"
+        }
+        assert len(raja_configs) >= 2
+
+    def test_public_strictly_larger_than_local(self):
+        local = {
+            n.dag_hash()
+            for s in scenarios.local_cache_specs()
+            for n in s.traverse()
+        }
+        public = {
+            n.dag_hash()
+            for s in scenarios.public_cache_specs()
+            for n in s.traverse()
+        }
+        assert len(public) > 2 * len(local)
+        assert local <= public, "public includes the local stack"
+
+    def test_caches_are_memoized(self):
+        assert scenarios.local_cache_specs() is scenarios.local_cache_specs()

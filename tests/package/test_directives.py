@@ -1,0 +1,237 @@
+"""Directive and package-class tests (the Figure-1 DSL)."""
+
+import pytest
+
+from repro.package import (
+    DirectiveError,
+    Package,
+    Repository,
+    RepositoryError,
+    can_splice,
+    conflicts,
+    depends_on,
+    name_from_class,
+    provides,
+    requires,
+    variant,
+    version,
+)
+from repro.spec import DEPTYPE_BUILD, DEPTYPE_LINK_RUN, Version
+
+
+def figure1_example():
+    class Example(Package):
+        version("1.1.0")
+        version("1.0.0")
+        variant("bzip", default=True)
+        depends_on("bzip2", when="+bzip")
+        depends_on("zlib@1.2", when="@1.0.0")
+        depends_on("zlib@1.3", when="@1.1.0")
+        depends_on("mpi")
+        can_splice("example@1.0.0", when="@1.1.0")
+        can_splice("example-ng@2.3.2+compat", when="@1.1.0+bzip")
+
+    return Example
+
+
+class TestFigure1:
+    def test_versions_collected(self):
+        pkg = figure1_example()
+        assert pkg.declared_versions() == [Version("1.1.0"), Version("1.0.0")]
+
+    def test_variant_collected(self):
+        pkg = figure1_example()
+        decl = pkg.variant("bzip")
+        assert decl.default is True
+        assert decl.allowed_values() == ("True", "False")
+
+    def test_conditional_dependencies(self):
+        pkg = figure1_example()
+        zlib_deps = [d for d in pkg.dependency_decls if d.spec.name == "zlib"]
+        assert len(zlib_deps) == 2
+        assert all(d.when is not None for d in zlib_deps)
+
+    def test_can_splice_declarations(self):
+        pkg = figure1_example()
+        assert len(pkg.can_splice_decls) == 2
+        cross = pkg.can_splice_decls[1]
+        assert cross.target.name == "example-ng"
+        assert cross.when.variants["bzip"] == "True"
+
+    def test_package_name_derived(self):
+        assert figure1_example().name == "example"
+
+
+class TestDirectiveDetails:
+    def test_preferred_version(self):
+        class P(Package):
+            version("2.0")
+            version("1.5", preferred=True)
+            version("1.0")
+
+        assert P.preferred_version() == Version("1.5")
+
+    def test_deprecated_excluded_from_preferred(self):
+        class P(Package):
+            version("2.0", deprecated=True)
+            version("1.0")
+
+        assert P.preferred_version() == Version("1.0")
+
+    def test_no_usable_versions_raises(self):
+        class P(Package):
+            version("1.0", deprecated=True)
+
+        with pytest.raises(DirectiveError):
+            P.preferred_version()
+
+    def test_multivalued_variant(self):
+        class P(Package):
+            variant("pmi", default="pmix", values=("pmix", "slurm"))
+
+        assert P.variant("pmi").allowed_values() == ("pmix", "slurm")
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(DirectiveError):
+            class P(Package):
+                variant("pmi", default="bogus", values=("pmix", "slurm"))
+
+    def test_build_dependency_type(self):
+        class P(Package):
+            depends_on("cmake", type="build")
+
+        assert P.dependency_decls[0].deptypes == (DEPTYPE_BUILD,)
+
+    def test_bad_deptype_rejected(self):
+        with pytest.raises(DirectiveError):
+            class P(Package):
+                depends_on("cmake", type="compile")
+
+    def test_provides(self):
+        class P(Package):
+            provides("mpi")
+
+        assert P.provided_virtuals() == ["mpi"]
+
+    def test_conflicts_and_requires_collected(self):
+        class P(Package):
+            conflicts("@1.0 ^zlib@1.0", msg="broken combo")
+            requires("+shared", when="@2:")
+
+        assert P.conflict_decls[0].msg == "broken combo"
+        assert P.requires_decls[0].when is not None
+
+    def test_inheritance_extends(self):
+        class Base(Package):
+            version("1.0")
+            variant("base_opt", default=False)
+
+        class Derived(Base):
+            version("2.0")
+
+        assert len(Derived.version_decls) == 2
+        assert Derived.variant_names() == ["base_opt"]
+        assert len(Base.version_decls) == 1, "base unchanged"
+
+    def test_directives_do_not_leak_across_classes(self):
+        class A(Package):
+            version("1.0")
+
+        class B(Package):
+            version("2.0")
+
+        assert len(A.version_decls) == 1
+        assert len(B.version_decls) == 1
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "cls,expected",
+        [
+            ("PyShroud", "py-shroud"),
+            ("Hdf5", "hdf5"),
+            ("FluxCore", "flux-core"),
+            ("Zlib", "zlib"),
+            ("CrayMpich", "cray-mpich"),
+        ],
+    )
+    def test_camel_to_kebab(self, cls, expected):
+        assert name_from_class(cls) == expected
+
+    def test_explicit_name_wins(self):
+        class Whatever(Package):
+            name = "custom-name"
+            version("1.0")
+
+        assert Whatever.name == "custom-name"
+
+
+class TestRepository:
+    def test_add_and_get(self):
+        repo = Repository()
+
+        class Thing(Package):
+            version("1.0")
+
+        repo.add(Thing)
+        assert repo.get("thing") is Thing
+        assert "thing" in repo
+        assert len(repo) == 1
+
+    def test_duplicate_rejected(self):
+        repo = Repository()
+
+        class Thing(Package):
+            version("1.0")
+
+        repo.add(Thing)
+        with pytest.raises(RepositoryError):
+            repo.add(Thing)
+
+    def test_unknown_package(self):
+        with pytest.raises(RepositoryError):
+            Repository().get("nope")
+
+    def test_virtual_indexing(self):
+        repo = Repository()
+
+        class Impl(Package):
+            version("1.0")
+            provides("mpi")
+
+        repo.add(Impl)
+        assert repo.is_virtual("mpi")
+        assert repo.providers("mpi") == ["impl"]
+        assert not repo.is_virtual("impl")
+
+    def test_provider_preferences_order(self):
+        repo = Repository()
+
+        class A(Package):
+            version("1")
+            provides("v")
+
+        class B(Package):
+            version("1")
+            provides("v")
+
+        repo.add(A)
+        repo.add(B)
+        assert repo.providers("v") == ["a", "b"]
+        repo.provider_preferences["v"] = ["b"]
+        assert repo.providers("v") == ["b", "a"]
+
+    def test_copy_independent(self):
+        repo = Repository()
+
+        class A(Package):
+            version("1")
+
+        repo.add(A)
+        clone = repo.copy()
+
+        class B(Package):
+            version("1")
+
+        clone.add(B)
+        assert "b" in clone and "b" not in repo

@@ -1,0 +1,122 @@
+"""Directory-backed repositories: load / dump / round trip."""
+
+import json
+
+import pytest
+
+from repro.concretize import Concretizer
+from repro.package.repo_dir import (
+    RepoLayoutError,
+    dump_repository,
+    load_repository,
+)
+from repro.repos.mock import make_mock_repo
+from repro.repos.radiuss import make_radiuss_repo
+
+
+def write_package(root, name, source):
+    pkg_dir = root / name
+    pkg_dir.mkdir(parents=True)
+    (pkg_dir / "package.py").write_text(source)
+
+
+class TestLoad:
+    def test_load_simple_repo(self, tmp_path):
+        write_package(
+            tmp_path / "myrepo",
+            "zlib",
+            'class Zlib(Package):\n    version("1.3")\n    variant("shared", default=True)\n',
+        )
+        repo = load_repository(tmp_path / "myrepo")
+        assert "zlib" in repo
+        assert repo.get("zlib").variant("shared").default is True
+        assert repo.name == "myrepo"
+
+    def test_repo_config_applies(self, tmp_path):
+        root = tmp_path / "r"
+        write_package(root, "impl", 'class Impl(Package):\n    version("1")\n    provides("v")\n')
+        write_package(root, "alt", 'class Alt(Package):\n    version("1")\n    provides("v")\n')
+        (root / "repo.json").write_text(
+            json.dumps({"name": "configured", "preferences": {"v": ["impl"]}})
+        )
+        repo = load_repository(root)
+        assert repo.name == "configured"
+        assert repo.providers("v")[0] == "impl"
+
+    def test_loaded_repo_concretizes(self, tmp_path):
+        root = tmp_path / "r"
+        write_package(root, "zlib", 'class Zlib(Package):\n    version("1.3")\n')
+        write_package(
+            root,
+            "app",
+            'class App(Package):\n    version("1.0")\n    depends_on("zlib")\n',
+        )
+        repo = load_repository(root)
+        spec = Concretizer(repo).solve(["app"]).roots[0]
+        assert "zlib" in spec
+
+    def test_name_directory_mismatch_rejected(self, tmp_path):
+        write_package(
+            tmp_path / "r", "wrongdir", 'class Zlib(Package):\n    version("1")\n'
+        )
+        with pytest.raises(RepoLayoutError):
+            load_repository(tmp_path / "r")
+
+    def test_multiple_classes_rejected(self, tmp_path):
+        write_package(
+            tmp_path / "r",
+            "two",
+            'class Two(Package):\n    version("1")\n'
+            'class Other(Package):\n    version("2")\n',
+        )
+        with pytest.raises(RepoLayoutError):
+            load_repository(tmp_path / "r")
+
+    def test_syntax_error_reported(self, tmp_path):
+        write_package(tmp_path / "r", "bad", "class Bad(Package:\n")
+        with pytest.raises(RepoLayoutError):
+            load_repository(tmp_path / "r")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(RepoLayoutError):
+            load_repository(tmp_path / "ghost")
+
+
+class TestRoundTrip:
+    def test_mock_repo_round_trips(self, tmp_path):
+        original = make_mock_repo()
+        dump_repository(original, tmp_path / "dumped")
+        loaded = load_repository(tmp_path / "dumped")
+        assert loaded.names() == original.names()
+        assert loaded.providers("mpi") == original.providers("mpi")
+        # the Figure-1 example survives with all its directives
+        example = loaded.get("example")
+        assert len(example.can_splice_decls) == 2
+        assert len(example.dependency_decls) == 4
+
+    def test_round_tripped_repo_solves_identically(self, tmp_path):
+        original = make_mock_repo()
+        dump_repository(original, tmp_path / "dumped")
+        loaded = load_repository(tmp_path / "dumped")
+        for request in ["example@1.0.0", "tool", "app"]:
+            a = Concretizer(original).solve([request]).roots[0]
+            b = Concretizer(loaded).solve([request]).roots[0]
+            assert a.dag_hash() == b.dag_hash(), request
+
+    def test_round_tripped_splicing_works(self, tmp_path):
+        original = make_radiuss_repo()
+        dump_repository(original, tmp_path / "radiuss")
+        loaded = load_repository(tmp_path / "radiuss")
+        cached = Concretizer(loaded).solve(["hypre ^mpich@3.4.3"]).roots[0]
+        c = Concretizer(loaded, reusable_specs=[cached], splicing=True)
+        result = c.solve(["hypre ^mpiabi"])
+        assert {s.name for s in result.spliced} == {"hypre"}
+
+    def test_abi_metadata_survives(self, tmp_path):
+        original = make_radiuss_repo()
+        dump_repository(original, tmp_path / "radiuss")
+        loaded = load_repository(tmp_path / "radiuss")
+        assert loaded.get("mpich").type_layouts["MPI_Comm"] == "int32"
+        assert loaded.get("openmpi").type_layouts["MPI_Comm"] == "ptr-struct"
+        assert not loaded.get("cray-mpich").buildable
+        assert loaded.get("visit").build_time == 7200

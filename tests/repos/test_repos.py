@@ -1,0 +1,152 @@
+"""Sanity checks over the shipped package repositories."""
+
+import pytest
+
+from repro.concretize import Concretizer
+from repro.repos.mock import make_mock_repo
+from repro.repos.radiuss import (
+    MPI_DEPENDENT_ROOTS,
+    NON_MPI_ROOTS,
+    RADIUSS_ROOTS,
+    add_mpiabi_replicas,
+    make_radiuss_repo,
+)
+
+
+class TestMockRepo:
+    def test_contents(self):
+        repo = make_mock_repo()
+        assert "example" in repo and "example-ng" in repo
+        assert repo.is_virtual("mpi")
+        assert repo.providers("mpi")[0] == "mpich"
+
+    def test_paper_concretization_example(self):
+        """Section 3.3's example, end to end."""
+        repo = make_mock_repo()
+        root = Concretizer(repo).solve(["example@1.0.0"]).roots[0]
+        assert root.satisfies("example@1.0.0 +bzip")
+        assert root["bzip2"].satisfies("bzip2@1.0.8 ~debug+pic+shared")
+        assert root["zlib"].satisfies("zlib@1.2.11 +optimize+pic+shared")
+        assert root["mpich"].satisfies("mpich pmi=pmix")
+
+    def test_fresh_classes_per_call(self):
+        a, b = make_mock_repo(), make_mock_repo()
+        assert a.get("example") is not b.get("example")
+
+
+class TestRadiussRepo:
+    def test_all_roots_exist(self):
+        repo = make_radiuss_repo()
+        for root in RADIUSS_ROOTS:
+            assert root in repo, root
+        assert len(RADIUSS_ROOTS) == 32, "the paper concretizes 32 specs"
+
+    def test_mpi_dependence_classification(self):
+        """MPI_DEPENDENT_ROOTS really do reach the mpi virtual (with
+        default variants), and NON_MPI_ROOTS really do not."""
+        repo = make_radiuss_repo()
+        from repro.buildcache import greedy_concretize
+
+        for root in MPI_DEPENDENT_ROOTS:
+            spec = greedy_concretize(repo, root)
+            assert "mpich" in spec, f"{root} should depend on MPI"
+        for root in NON_MPI_ROOTS:
+            spec = greedy_concretize(repo, root)
+            assert "mpich" not in spec, f"{root} should not depend on MPI"
+
+    def test_py_shroud_is_mpi_free_control(self):
+        assert "py-shroud" in NON_MPI_ROOTS
+
+    def test_mpi_providers(self):
+        repo = make_radiuss_repo()
+        providers = repo.providers("mpi")
+        assert providers[:3] == ["mpich", "mvapich2", "openmpi"]
+        assert "cray-mpich" in providers and "mpiabi" in providers
+
+    def test_cray_mpich_not_buildable(self):
+        repo = make_radiuss_repo()
+        assert not repo.get("cray-mpich").buildable
+
+    def test_mpiabi_matches_paper_description(self):
+        """'a mock package based on MVAPICH, with a single version and
+        the ability to splice into mpich@3.4.3' (Section 6.1.2)."""
+        repo = make_radiuss_repo()
+        mpiabi = repo.get("mpiabi")
+        assert len(mpiabi.declared_versions()) == 1
+        splices = mpiabi.can_splice_decls
+        assert len(splices) == 1
+        assert splices[0].target.name == "mpich"
+        assert splices[0].target.versions.contains(
+            __import__("repro.spec", fromlist=["Version"]).Version("3.4.3")
+        )
+
+    def test_abi_layouts_mirror_section_2_1(self):
+        repo = make_radiuss_repo()
+        assert repo.get("mpich").type_layouts["MPI_Comm"] == "int32"
+        assert repo.get("openmpi").type_layouts["MPI_Comm"] == "ptr-struct"
+        assert repo.get("mvapich2").type_layouts["MPI_Comm"] == "int32"
+
+    def test_every_root_concretizes(self):
+        repo = make_radiuss_repo()
+        concretizer = Concretizer(repo)
+        for root in RADIUSS_ROOTS:
+            result = concretizer.solve([root])
+            result.roots[0].validate_concrete()
+
+
+class TestReplicas:
+    def test_add_replicas(self):
+        repo = make_radiuss_repo()
+        names = add_mpiabi_replicas(repo, 7)
+        assert len(names) == 7
+        for name in names:
+            cls = repo.get(name)
+            assert cls.can_splice_decls[0].target.name == "mpich"
+        assert len([p for p in repo.providers("mpi") if p.startswith("mpiabi")]) == 8
+
+    def test_replicas_differ_only_in_name(self):
+        repo = make_radiuss_repo()
+        a, b = (repo.get(n) for n in add_mpiabi_replicas(repo, 2))
+        assert a.name != b.name
+        assert a.declared_versions() == b.declared_versions()
+        assert a.type_layouts == b.type_layouts
+
+
+class TestScrComponentFamily:
+    """The realistic SCR substructure (axl/er/kvtree/rankstr/shuffile)."""
+
+    def test_scr_pulls_whole_family(self):
+        repo = make_radiuss_repo()
+        root = Concretizer(repo).solve(["scr"]).roots[0]
+        names = {n.name for n in root.traverse()}
+        assert {"axl", "er", "kvtree", "rankstr", "shuffile", "spath"} <= names
+
+    def test_family_shares_one_kvtree(self):
+        repo = make_radiuss_repo()
+        root = Concretizer(repo).solve(["scr"]).roots[0]
+        kvtrees = {
+            n.dag_hash() for n in root.traverse() if n.name == "kvtree"
+        }
+        assert len(kvtrees) == 1
+
+    def test_scr_family_splices_with_mpiabi(self):
+        repo = make_radiuss_repo()
+        cached = Concretizer(repo).solve(["scr ^mpich@3.4.3"]).roots[0]
+        c = Concretizer(repo, reusable_specs=[cached], splicing=True)
+        result = c.solve(["scr ^mpiabi"])
+        spliced = {s.name for s in result.spliced}
+        # every MPI-linked component is rewired, not rebuilt
+        assert {"scr", "er", "kvtree", "rankstr", "shuffile", "spath"} <= spliced
+        assert {s.name for s in result.built} == {"mpiabi"}
+
+
+class TestCaliperComponents:
+    def test_caliper_defaults_pull_adiak_and_gotcha(self):
+        repo = make_radiuss_repo()
+        root = Concretizer(repo).solve(["caliper"]).roots[0]
+        assert "adiak" in root and "gotcha" in root
+
+    def test_caliper_minimal_build(self):
+        repo = make_radiuss_repo()
+        root = Concretizer(repo).solve(["caliper~adiak~gotcha"]).roots[0]
+        assert "adiak" not in root and "gotcha" not in root

@@ -1,0 +1,71 @@
+"""Spec diffing tests (the `spack diff` analogue)."""
+
+import pytest
+
+from repro.concretize import Concretizer
+from repro.repos.mock import make_mock_repo
+from repro.spec.diff import diff_specs
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return make_mock_repo()
+
+
+class TestDiff:
+    def test_identical(self, repo):
+        a = Concretizer(repo).solve(["zlib"]).roots[0]
+        b = Concretizer(repo).solve(["zlib"]).roots[0]
+        diff = diff_specs(a, b)
+        assert diff.identical
+        assert diff.summary() == "specs are identical"
+
+    def test_version_change(self, repo):
+        a = Concretizer(repo).solve(["zlib@=1.2.11"]).roots[0]
+        b = Concretizer(repo).solve(["zlib@=1.3"]).roots[0]
+        diff = diff_specs(a, b)
+        change = diff.changed[0]
+        assert change.version == ("1.2.11", "1.3")
+        assert "1.2.11 -> 1.3" in diff.summary()
+
+    def test_variant_change(self, repo):
+        a = Concretizer(repo).solve(["mpich pmi=pmix"]).roots[0]
+        b = Concretizer(repo).solve(["mpich pmi=slurm"]).roots[0]
+        diff = diff_specs(a, b)
+        assert diff.changed[0].variants["pmi"] == ("pmix", "slurm")
+
+    def test_added_and_removed_nodes(self, repo):
+        a = Concretizer(repo).solve(["example~bzip"]).roots[0]
+        b = Concretizer(repo).solve(["example+bzip"]).roots[0]
+        diff = diff_specs(a, b)
+        assert diff.added == ["bzip2"]
+        assert not diff.removed
+        reverse = diff_specs(b, a)
+        assert reverse.removed == ["bzip2"]
+
+    def test_provider_swap_shows_dependency_change(self, repo):
+        a = Concretizer(repo).solve(["example ^mpich"]).roots[0]
+        b = Concretizer(repo).solve(["example ^openmpi"]).roots[0]
+        diff = diff_specs(a, b)
+        assert "mpich" in diff.removed and "openmpi" in diff.added
+        example_change = [c for c in diff.changed if c.name == "example"][0]
+        assert example_change.dependencies is not None
+
+    def test_splice_provenance_in_diff(self, repo):
+        cached = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        c = Concretizer(repo, reusable_specs=[cached], splicing=True)
+        spliced = c.solve(["example@1.1.0 ^mpiabi"]).roots[0]
+        diff = diff_specs(cached, spliced)
+        example_change = [c for c in diff.changed if c.name == "example"][0]
+        assert example_change.splice == (None, cached.dag_hash(7))
+        assert "build spec" in diff.summary()
+
+    def test_arch_change(self, repo):
+        a = Concretizer(repo).solve(["zlib"]).roots[0]
+        b = Concretizer(
+            repo, default_os="sles15", default_target="zen3"
+        ).solve(["zlib"]).roots[0]
+        diff = diff_specs(a, b)
+        change = diff.changed[0]
+        assert change.os == ("centos8", "sles15")
+        assert change.target == ("skylake", "zen3")

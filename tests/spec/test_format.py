@@ -1,0 +1,83 @@
+"""Rendering tests: format_spec / format_node / tree."""
+
+from repro.spec import DEPTYPE_BUILD, DEPTYPE_LINK_RUN, parse_one, tree
+from repro.spec.format import format_node, format_spec
+
+
+def concrete(text, deps=(), build_deps=()):
+    spec = parse_one(text + " arch=centos8-skylake")
+    for d in deps:
+        spec.add_dependency(d, (DEPTYPE_LINK_RUN,))
+    for d in build_deps:
+        spec.add_dependency(d, (DEPTYPE_BUILD,))
+    spec._mark_concrete()
+    return spec
+
+
+class TestFormatNode:
+    def test_concrete_version_bare(self):
+        assert format_node(concrete("x@=1.2"), show_arch=False) == "x@1.2"
+
+    def test_variants_order(self):
+        spec = parse_one("x+b~a v=1")
+        assert format_node(spec, show_arch=False) == "x~a+b v=1"
+
+    def test_arch_rendering(self):
+        assert "arch=centos8-skylake" in format_node(concrete("x@=1"))
+
+    def test_external_marker(self):
+        spec = concrete("x@=1")
+        spec.external = True
+        assert "[external]" in format_node(spec)
+
+    def test_version_range(self):
+        assert format_node(parse_one("x@1.2:1.6"), show_arch=False) == "x@1.2:1.6"
+
+
+class TestFormatSpec:
+    def test_dependencies_listed_once(self):
+        z = concrete("z@=1")
+        a = concrete("a@=1", deps=[z])
+        top = concrete("t@=1", deps=[a, z])
+        text = format_spec(top)
+        assert text.count("^z@") == 1
+
+    def test_build_dep_sigil(self):
+        gcc = concrete("gcc@=12")
+        spec = concrete("x@=1", build_deps=[gcc])
+        assert "%gcc@12" in format_spec(spec)
+
+    def test_no_deps_option(self):
+        spec = concrete("x@=1", deps=[concrete("z@=1")])
+        assert "^" not in format_spec(spec, deps=False)
+
+
+class TestTree:
+    def test_indentation_reflects_depth(self):
+        z = concrete("z@=1")
+        a = concrete("a@=1", deps=[z])
+        top = concrete("t@=1", deps=[a])
+        lines = tree(top).splitlines()
+        assert lines[0].startswith("[")
+        assert lines[1].startswith("    [")
+        assert lines[2].startswith("        [")
+
+    def test_hash_prefix_shown(self):
+        spec = concrete("x@=1")
+        assert spec.dag_hash(7) in tree(spec)
+
+    def test_splice_marker(self):
+        z10, z11 = concrete("z@=1.0"), concrete("z@=1.1")
+        top = concrete("t@=1", deps=[z10])
+        spliced = top.splice(z11, transitive=True)
+        text = tree(spliced)
+        assert "[spliced, build spec:" in text
+        assert top.dag_hash(7) in text
+
+    def test_no_hashes_mode(self):
+        spec = concrete("x@=1")
+        assert "[" not in tree(spec, hashes=False).split("arch")[0]
+
+    def test_str_uses_format(self):
+        spec = parse_one("x@1.2+f")
+        assert str(spec) == spec.format()

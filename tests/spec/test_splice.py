@@ -1,0 +1,154 @@
+"""Splice mechanics (Section 4.1 / Figure 2)."""
+
+import pytest
+
+from repro.spec import DEPTYPE_BUILD, DEPTYPE_LINK_RUN, Spec, SpecError, parse_one
+
+
+def concrete(text, deps=(), build_deps=()):
+    spec = parse_one(text + " arch=centos8-skylake")
+    for dep in deps:
+        spec.add_dependency(dep, (DEPTYPE_LINK_RUN,))
+    for dep in build_deps:
+        spec.add_dependency(dep, (DEPTYPE_BUILD,))
+    spec._mark_concrete()
+    return spec
+
+
+@pytest.fixture()
+def figure2():
+    """The exact scenario of Figure 2."""
+    z10 = concrete("zlib@=1.0")
+    z11 = concrete("zlib@=1.1")
+    s = concrete("s@=1.0")
+    h = concrete("h@=1.0", deps=[z10])
+    t = concrete("t@=1.0", deps=[h, z10])
+    h_prime = concrete("h@=2.0", deps=[s, z11])
+    return t, h, h_prime, s, z10, z11
+
+
+class TestFigure2:
+    def test_transitive_splice_brings_new_shared_dep(self, figure2):
+        t, h, h_prime, s, z10, z11 = figure2
+        result = t.splice(h_prime, transitive=True)
+        assert result["h"].dag_hash() == h_prime.dag_hash()
+        assert result["zlib"].version.string == "1.1"
+        assert result["s"].dag_hash() == s.dag_hash()
+
+    def test_transitive_splice_sets_build_spec(self, figure2):
+        t, h, h_prime, *_ = figure2
+        result = t.splice(h_prime, transitive=True)
+        assert result.spliced
+        assert result.build_spec.dag_hash() == t.dag_hash()
+        # the spliced-in H' itself was not changed → not spliced
+        assert not result["h"].spliced
+
+    def test_intransitive_splice_restores_shared_dep(self, figure2):
+        t, h, h_prime, s, z10, z11 = figure2
+        spliced = t.splice(h_prime, transitive=True)
+        result = spliced.splice(z10, transitive=False)
+        assert result["zlib"].version.string == "1.0"
+        # H' was re-pointed at Z@1.0 → it is spliced with H' provenance
+        h_node = result["h"]
+        assert h_node.spliced
+        assert h_node.build_spec.dag_hash() == h_prime.dag_hash()
+        # S is untouched
+        assert not result["s"].spliced
+
+    def test_provenance_chain_points_to_true_original(self, figure2):
+        t, h, h_prime, s, z10, z11 = figure2
+        once = t.splice(h_prime, transitive=True)
+        twice = once.splice(z10, transitive=False)
+        # twice-spliced T's build spec is the ORIGINAL t, not `once`
+        assert twice.build_spec.dag_hash() == t.dag_hash()
+
+    def test_all_hashes_distinct(self, figure2):
+        t, h, h_prime, *_ = figure2
+        once = t.splice(h_prime, transitive=True)
+        hashes = {t.dag_hash(), h_prime.dag_hash(), once.dag_hash()}
+        assert len(hashes) == 3
+
+
+class TestSpliceDetails:
+    def test_inputs_not_mutated(self, figure2):
+        t, h, h_prime, *_ = figure2
+        before = t.dag_hash()
+        t.splice(h_prime, transitive=True)
+        assert t.dag_hash() == before
+        assert not t.spliced
+
+    def test_build_deps_dropped_from_spliced_nodes(self):
+        z10 = concrete("zlib@=1.0")
+        z11 = concrete("zlib@=1.1")
+        cmake = concrete("cmake@=3")
+        app = concrete("app@=1", deps=[z10], build_deps=[cmake])
+        result = app.splice(z11, transitive=True)
+        assert result.spliced
+        assert result.dependency_edge("cmake") is None, (
+            "build deps are removed from spliced specs (Section 4.1)"
+        )
+        # ...but the build spec retains them for reproducibility
+        assert result.build_spec.dependency_edge("cmake") is not None
+
+    def test_unchanged_nodes_keep_build_deps(self):
+        z10 = concrete("zlib@=1.0")
+        z11 = concrete("zlib@=1.1")
+        cmake = concrete("cmake@=3")
+        mid = concrete("mid@=1", build_deps=[cmake])
+        app = concrete("app@=1", deps=[z10, mid])
+        result = app.splice(z11, transitive=True)
+        assert result["mid"].dependency_edge("cmake") is not None
+
+    def test_cross_package_splice_with_replace(self):
+        old = concrete("example@=1.0")
+        new = concrete("example-ng@=2.3.2+compat")
+        app = concrete("app@=1", deps=[old])
+        result = app.splice(new, transitive=True, replace="example")
+        assert result.dependency_edge("example") is None
+        assert result.dependency_edge("example-ng") is not None
+        assert result.spliced
+
+    def test_deep_splice_rewires_intermediate_nodes(self):
+        z10 = concrete("zlib@=1.0")
+        z11 = concrete("zlib@=1.1")
+        mid = concrete("mid@=1", deps=[z10])
+        app = concrete("app@=1", deps=[mid])
+        result = app.splice(z11, transitive=True)
+        assert result["zlib"].version.string == "1.1"
+        assert result["mid"].spliced
+        assert result["mid"].build_spec.dag_hash() == mid.dag_hash()
+        assert result.spliced
+
+    def test_sibling_subtree_untouched(self):
+        z10 = concrete("zlib@=1.0")
+        z11 = concrete("zlib@=1.1")
+        other = concrete("other@=1")
+        clean = concrete("clean@=1", deps=[other])
+        app = concrete("app@=1", deps=[z10, clean])
+        result = app.splice(z11, transitive=True)
+        assert not result["clean"].spliced
+        assert result["clean"].dag_hash() == clean.dag_hash()
+
+
+class TestSpliceErrors:
+    def test_requires_concrete_target(self):
+        abstract = parse_one("a ^zlib")
+        z = concrete("zlib@=1.1")
+        with pytest.raises(SpecError):
+            abstract.splice(z)
+
+    def test_requires_concrete_replacement(self):
+        app = concrete("app@=1", deps=[concrete("zlib@=1.0")])
+        with pytest.raises(SpecError):
+            app.splice(parse_one("zlib@1.1"))
+
+    def test_missing_dependency_rejected(self):
+        app = concrete("app@=1")
+        with pytest.raises(SpecError):
+            app.splice(concrete("zlib@=1.1"))
+
+    def test_self_splice_rejected(self):
+        z = concrete("zlib@=1.0")
+        app = concrete("zlib-app@=1", deps=[z])
+        with pytest.raises(SpecError):
+            z.splice(z.copy(), replace="zlib")

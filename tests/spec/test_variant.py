@@ -1,0 +1,94 @@
+"""Tests for variants and variant maps."""
+
+import pytest
+
+from repro.spec.variant import Variant, VariantError, VariantMap
+
+
+class TestVariant:
+    def test_bool_true_renders_plus(self):
+        assert str(Variant("mpi", True)) == "+mpi"
+
+    def test_bool_false_renders_tilde(self):
+        assert str(Variant("mpi", False)) == "~mpi"
+
+    def test_valued_renders_kv(self):
+        assert str(Variant("pmi", "pmix")) == "pmi=pmix"
+
+    def test_bool_normalization(self):
+        assert Variant("x", True).value == "True"
+        assert Variant("x", "True").is_bool
+
+    def test_invalid_name(self):
+        with pytest.raises(VariantError):
+            Variant("1bad", True)
+
+    def test_equality_and_hash(self):
+        assert Variant("a", True) == Variant("a", "True")
+        assert hash(Variant("a", True)) == hash(Variant("a", "True"))
+        assert Variant("a", True) != Variant("a", False)
+
+
+class TestVariantMap:
+    def test_set_get(self):
+        vm = VariantMap()
+        vm.set("mpi", True)
+        assert vm["mpi"] == "True"
+        assert "mpi" in vm
+        assert vm.get("nope") is None
+
+    def test_constructor_dict(self):
+        vm = VariantMap({"a": True, "b": "x"})
+        assert len(vm) == 2
+
+    def test_satisfies_superset(self):
+        big = VariantMap({"a": True, "b": "x"})
+        small = VariantMap({"a": True})
+        assert big.satisfies(small)
+        assert not small.satisfies(big)
+
+    def test_satisfies_empty(self):
+        assert VariantMap().satisfies(VariantMap())
+        assert VariantMap({"a": True}).satisfies(VariantMap())
+
+    def test_intersects_disagreement(self):
+        a = VariantMap({"x": True})
+        b = VariantMap({"x": False})
+        assert not a.intersects(b)
+
+    def test_intersects_disjoint_keys(self):
+        assert VariantMap({"a": True}).intersects(VariantMap({"b": False}))
+
+    def test_constrain_merges(self):
+        a = VariantMap({"a": True})
+        changed = a.constrain(VariantMap({"b": "x"}))
+        assert changed
+        assert a["b"] == "x"
+
+    def test_constrain_idempotent(self):
+        a = VariantMap({"a": True})
+        assert not a.constrain(VariantMap({"a": True}))
+
+    def test_constrain_conflict_raises(self):
+        a = VariantMap({"a": True})
+        with pytest.raises(VariantError):
+            a.constrain(VariantMap({"a": False}))
+
+    def test_str_bools_first(self):
+        vm = VariantMap({"zeta": "v", "alpha": True, "beta": False})
+        assert str(vm) == "+alpha~beta zeta=v"
+
+    def test_copy_is_deep(self):
+        a = VariantMap({"a": True})
+        b = a.copy()
+        b.set("a", False)
+        assert a["a"] == "True"
+
+    def test_hash_order_independent(self):
+        a = VariantMap({"a": True, "b": "x"})
+        b = VariantMap({"b": "x", "a": True})
+        assert hash(a) == hash(b) and a == b
+
+    def test_iteration_sorted(self):
+        vm = VariantMap({"c": True, "a": True, "b": True})
+        assert list(vm) == ["a", "b", "c"]

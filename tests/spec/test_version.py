@@ -1,0 +1,234 @@
+"""Unit and property tests for the version model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spec.version import (
+    Version,
+    VersionError,
+    VersionList,
+    VersionRange,
+    any_version,
+    ver,
+)
+
+
+class TestVersionParsing:
+    def test_simple(self):
+        v = Version("1.2.3")
+        assert v.components == (1, 2, 3)
+
+    def test_alpha_components(self):
+        assert Version("1.2rc1").components == (1, 2, "rc", 1)
+
+    def test_separators_normalized(self):
+        assert Version("1-2_3").components == Version("1.2.3").components
+
+    def test_infinity_version(self):
+        assert Version("develop").components != Version("main").components
+
+    def test_numeric_input(self):
+        assert Version(1.2) == Version("1.2")
+
+    def test_copy_constructor(self):
+        assert Version(Version("1.2")) == Version("1.2")
+
+    @pytest.mark.parametrize("bad", ["", "   ", "a b", "1.2!3", "@1.2"])
+    def test_invalid(self, bad):
+        with pytest.raises(VersionError):
+            Version(bad)
+
+
+class TestVersionOrdering:
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [
+            ("1.0", "2.0"),
+            ("1.0", "1.1"),
+            ("1.9", "1.10"),  # numeric, not lexicographic
+            ("1.0", "1.0.1"),  # more components = newer
+            ("1.0rc1", "1.0"),  # prerelease sorts below release
+            ("1.0alpha", "1.0beta"),
+            ("1.0.b", "1.0.1"),  # strings sort below ints
+            ("99.99", "main"),  # infinity versions beat numbers
+            ("master", "develop"),  # develop is the most bleeding-edge
+        ],
+    )
+    def test_less_than(self, lo, hi):
+        assert Version(lo) < Version(hi)
+        assert Version(hi) > Version(lo)
+        assert Version(lo) != Version(hi)
+
+    def test_equality_ignores_separators(self):
+        assert Version("1-2") == Version("1.2")
+        assert hash(Version("1-2")) == hash(Version("1.2"))
+
+    def test_sort_stability(self):
+        versions = [Version(s) for s in ["2.0", "1.0", "develop", "1.0rc1", "1.5"]]
+        ordered = [v.string for v in sorted(versions)]
+        assert ordered == ["1.0rc1", "1.0", "1.5", "2.0", "develop"]
+
+    def test_up_to(self):
+        assert Version("1.2.3").up_to(2) == Version("1.2")
+
+    def test_is_prefix_of(self):
+        assert Version("1.2").is_prefix_of(Version("1.2.3"))
+        assert not Version("1.2").is_prefix_of(Version("1.20"))
+        assert Version("1.2").is_prefix_of(Version("1.2"))
+
+
+class TestVersionRange:
+    def test_contains_inclusive(self):
+        r = VersionRange("1.2", "1.6")
+        assert r.contains(Version("1.2"))
+        assert r.contains(Version("1.6"))
+        assert r.contains(Version("1.4"))
+        assert not r.contains(Version("1.7"))
+        assert not r.contains(Version("1.1"))
+
+    def test_prefix_semantics_on_bounds(self):
+        # @:1.12 admits 1.12.2 (Spack semantics)
+        r = VersionRange(None, "1.12")
+        assert r.contains(Version("1.12.2"))
+        assert not r.contains(Version("1.13"))
+
+    def test_open_ranges(self):
+        assert VersionRange("2.0", None).contains(Version("99"))
+        assert VersionRange(None, None).contains(Version("anything2"))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VersionError):
+            VersionRange("2.0", "1.0")
+
+    def test_intersection(self):
+        a = VersionRange("1.0", "2.0")
+        b = VersionRange("1.5", "3.0")
+        assert a.intersection(b) == VersionRange("1.5", "2.0")
+
+    def test_disjoint_intersection_is_none(self):
+        assert VersionRange("1.0", "1.4").intersection(VersionRange("2.0", "3.0")) is None
+
+    def test_satisfies_subset(self):
+        assert VersionRange("1.2", "1.4").satisfies(VersionRange("1.0", "2.0"))
+        assert not VersionRange("1.0", "2.0").satisfies(VersionRange("1.2", "1.4"))
+
+    def test_single_version_range_str(self):
+        assert str(VersionRange("1.4", "1.4")) == "1.4"
+
+
+class TestVersionList:
+    def test_parse_bare_version_is_prefix_range(self):
+        vl = VersionList.from_string("1.14")
+        assert vl.contains(Version("1.14.5"))
+        assert not vl.contains(Version("1.15"))
+
+    def test_parse_exact(self):
+        vl = VersionList.from_string("=1.14")
+        assert vl.concrete == Version("1.14")
+        assert not vl.contains(Version("1.14.5"))
+
+    def test_parse_disjunction(self):
+        vl = VersionList.from_string("1.2,1.4:1.6")
+        assert vl.contains(Version("1.2.11"))
+        assert vl.contains(Version("1.5"))
+        assert not vl.contains(Version("1.3"))
+
+    def test_any(self):
+        assert any_version().is_any
+        assert any_version().contains(Version("0.0.1"))
+        assert str(any_version()) == ":"
+
+    def test_round_trip(self):
+        for text in ["1.2,1.4:1.6", "2:", ":3", "1.5"]:
+            assert str(VersionList.from_string(text)) == text
+
+    def test_intersection(self):
+        a = VersionList.from_string("1.0:2.0")
+        b = VersionList.from_string("1.5:3.0")
+        meet = a.intersection(b)
+        assert meet.contains(Version("1.7"))
+        assert not meet.contains(Version("2.5"))
+
+    def test_empty_intersection_falsy(self):
+        a = VersionList.from_string("1.0:1.4")
+        b = VersionList.from_string("2.0:3.0")
+        assert not a.intersection(b)
+
+    def test_union(self):
+        u = VersionList.from_string("1.0").union(VersionList.from_string("2.0"))
+        assert u.contains(Version("1.0")) and u.contains(Version("2.0"))
+
+    def test_satisfies_any(self):
+        assert VersionList.from_string("1.5").satisfies(any_version())
+
+    def test_ver_helper(self):
+        assert isinstance(ver("1.2"), Version)
+        assert isinstance(ver("1.2:1.6"), VersionList)
+        assert isinstance(ver("1.2,1.6"), VersionList)
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+version_strings = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=30).map(str),
+        st.sampled_from(["a", "b", "rc1", "alpha", "beta", "p1"]),
+    ),
+    min_size=1,
+    max_size=4,
+).map(".".join)
+
+
+@given(version_strings, version_strings)
+def test_ordering_is_total_and_antisymmetric(a, b):
+    va, vb = Version(a), Version(b)
+    assert (va < vb) + (vb < va) + (va == vb) == 1
+
+
+@given(version_strings, version_strings, version_strings)
+def test_ordering_transitive(a, b, c):
+    va, vb, vc = sorted([Version(a), Version(b), Version(c)])
+    assert va <= vb <= vc
+    assert va <= vc
+
+
+@given(version_strings)
+def test_version_satisfies_itself(a):
+    v = Version(a)
+    assert v.satisfies(v)
+    assert v.intersects(v)
+
+
+@given(version_strings, version_strings)
+def test_range_contains_endpoints(a, b):
+    va, vb = sorted([Version(a), Version(b)])
+    r = VersionRange(va, vb)
+    assert r.contains(va)
+    assert r.contains(vb)
+
+
+@given(version_strings, version_strings, version_strings)
+def test_satisfies_implies_intersects(a, b, c):
+    point = Version(a)
+    lo, hi = sorted([Version(b), Version(c)])
+    r = VersionRange(lo, hi)
+    if point.satisfies(r):
+        assert point.intersects(r)
+
+
+@given(st.lists(version_strings, min_size=1, max_size=4),
+       st.lists(version_strings, min_size=1, max_size=4))
+def test_list_intersection_is_subset_of_both(xs, ys):
+    a = VersionList([Version(x) for x in set(xs)])
+    b = VersionList([Version(y) for y in set(ys)])
+    meet = a.intersection(b)
+    for constraint in meet:
+        assert a.contains(constraint) and b.contains(constraint)
+
+
+@given(version_strings, version_strings)
+def test_intersection_commutes(a, b):
+    ra = VersionList.from_string(f"{a}")
+    rb = VersionList.from_string(f"{b}")
+    assert ra.intersection(rb) == rb.intersection(ra)

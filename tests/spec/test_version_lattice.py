@@ -1,0 +1,95 @@
+"""VersionList lattice operations: union/intersection edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spec.version import (
+    Version,
+    VersionList,
+    VersionRange,
+    any_version,
+)
+
+
+def vl(text):
+    return VersionList.from_string(text)
+
+
+class TestUnion:
+    def test_union_contains_both_sides(self):
+        u = vl("1.0").union(vl("2.0"))
+        assert u.contains(Version("1.0.5"))
+        assert u.contains(Version("2.0"))
+
+    def test_union_deduplicates(self):
+        u = vl("1.0").union(vl("1.0"))
+        assert len(list(u)) == 1
+
+    def test_union_with_any_absorbs(self):
+        u = vl("1.5").union(any_version())
+        assert u.contains(Version("99"))
+
+
+class TestIntersection:
+    def test_overlapping_ranges(self):
+        meet = vl("1:3").intersection(vl("2:5"))
+        assert meet.contains(Version("2.5"))
+        assert not meet.contains(Version("4"))
+
+    def test_point_in_range(self):
+        meet = vl("=1.5").intersection(vl("1:2"))
+        assert meet.concrete == Version("1.5")
+
+    def test_disjunction_intersection(self):
+        meet = vl("1.0,3.0").intersection(vl("2.5:3.5"))
+        assert meet.contains(Version("3.0"))
+        assert not meet.contains(Version("1.0"))
+
+    def test_empty_is_falsy(self):
+        assert not vl("1:2").intersection(vl("3:4"))
+
+    def test_any_is_identity(self):
+        original = vl("1.2,1.4:1.6")
+        assert original.intersection(any_version()) == original
+
+
+class TestSatisfiesEdges:
+    def test_disjunction_satisfies_superset(self):
+        assert vl("1.2,1.4").satisfies(vl("1:2"))
+        assert not vl("1.2,3.0").satisfies(vl("1:2"))
+
+    def test_range_never_satisfies_point(self):
+        assert not vl("1:2").satisfies(vl("=1.5"))
+
+    def test_prefix_range_satisfies_wider_prefix(self):
+        # @1.2.3 (prefix range) fits inside @1.2 (prefix range)
+        assert vl("1.2.3").satisfies(vl("1.2"))
+        assert not vl("1.2").satisfies(vl("1.2.3"))
+
+
+versions = st.lists(
+    st.integers(0, 9).map(str), min_size=1, max_size=3
+).map(".".join)
+
+
+@given(versions, versions)
+def test_union_is_commutative_on_membership(a, b):
+    u1 = vl(a).union(vl(b))
+    u2 = vl(b).union(vl(a))
+    for probe in (a, b, a + ".5"):
+        assert u1.contains(Version(probe)) == u2.contains(Version(probe))
+
+
+@given(versions, versions, versions)
+def test_intersection_membership_is_conjunction(a, b, probe):
+    meet = vl(a).intersection(vl(b))
+    p = Version(probe)
+    assert meet.contains(p) == (vl(a).contains(p) and vl(b).contains(p))
+
+
+@given(versions)
+def test_intersection_with_self_is_idempotent_on_membership(a):
+    original = vl(a)
+    meet = original.intersection(original)
+    for probe in (a, a + ".1", "0"):
+        assert meet.contains(Version(probe)) == original.contains(Version(probe))
