@@ -91,8 +91,21 @@ class MockBinary:
     # queries
     # ------------------------------------------------------------------
     def references_prefix(self, prefix: str) -> bool:
-        """Does any embedded path mention ``prefix``?"""
-        return any(prefix in p for p in self.rpaths + self.path_blob)
+        """Does any embedded path mention ``prefix``?
+
+        Matches at path-component boundaries only: ``/opt/x`` is
+        referenced by ``/opt/x/lib`` but not by ``/opt/xy/lib`` —
+        substring matching would report false positives whenever one
+        store path extends another.
+        """
+        for path in self.rpaths + self.path_blob:
+            start = path.find(prefix)
+            while start != -1:
+                end = start + len(prefix)
+                if end == len(path) or path[end] == "/":
+                    return True
+                start = path.find(prefix, start + 1)
+        return False
 
     def copy(self) -> "MockBinary":
         return MockBinary(

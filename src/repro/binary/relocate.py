@@ -17,7 +17,7 @@ regimes, as in Spack:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from .mockelf import MockBinary
 
@@ -49,11 +49,41 @@ def pad_prefix(new_prefix: str, old_length: int) -> str:
     return padded
 
 
+#: characters that may continue a path component; an occurrence of an
+#: old prefix immediately followed by one of these is part of a longer
+#: name (``/opt/x`` inside ``/opt/xy``), not a reference to the prefix
+_PATH_COMPONENT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _replace_prefix(text: str, old: str, new: str) -> "Tuple[str, int]":
+    """Replace occurrences of ``old`` that end at a path-component
+    boundary (end of string, ``/``, or a separator like ``:``)."""
+    pieces = []
+    start = 0
+    count = 0
+    while True:
+        found = text.find(old, start)
+        if found == -1:
+            pieces.append(text[start:])
+            return "".join(pieces), count
+        end = found + len(old)
+        if end == len(text) or text[end] not in _PATH_COMPONENT_CHARS:
+            pieces.append(text[start:found])
+            pieces.append(new)
+            count += 1
+            start = end
+        else:
+            pieces.append(text[start:found + 1])
+            start = found + 1
+
+
 def relocate_text(text: str, prefix_map: Dict[str, str]) -> str:
     """Rewrite every occurrence of the old prefixes (longest first, so
     nested prefixes do not shadow each other)."""
     for old in sorted(prefix_map, key=len, reverse=True):
-        text = text.replace(old, prefix_map[old])
+        text, _ = _replace_prefix(text, old, prefix_map[old])
     return text
 
 
@@ -75,15 +105,18 @@ def relocate_binary(
 
     def rewrite(path: str) -> str:
         for old in sorted(prefix_map, key=len, reverse=True):
-            if old in path:
-                new = prefix_map[old]
-                if pad and len(new) < len(old):
-                    new = pad_prefix(new, len(old))
+            new = prefix_map[old]
+            padded_now = False
+            if pad and len(new) < len(old):
+                new = pad_prefix(new, len(old))
+                padded_now = True
+            path, count = _replace_prefix(path, old, new)
+            if count:
+                if padded_now:
                     result.padded += 1
                 elif len(new) > len(old):
                     result.lengthened += 1
                 result.replacements += 1
-                path = path.replace(old, new)
         return path
 
     out.rpaths = [rewrite(p) for p in out.rpaths]

@@ -1,0 +1,33 @@
+"""Binary buildcaches: the distribution substrate of Sections 2 and 6.
+
+Two halves:
+
+* :mod:`.cache` — the cache itself: signed, indexed, content-addressed
+  binary artifacts with relocation metadata (``BuildCache``), plus the
+  GPG-style trust model (``SigningKey``/``TrustStore``).
+* :mod:`.generate` — corpus synthesis for the paper's evaluation: the
+  greedy non-ASP concretizer and the local/public cache populations
+  (``generate_cache_specs``/``vary_configurations``), plus vendor
+  externals (``external_spec``).
+"""
+
+from .cache import BuildCache, BuildCacheError, SigningKey, TrustStore
+from .generate import (
+    external_spec,
+    generate_cache_specs,
+    greedy_concretize,
+    vary_configurations,
+)
+from .signing import SignatureError
+
+__all__ = [
+    "BuildCache",
+    "BuildCacheError",
+    "SigningKey",
+    "TrustStore",
+    "SignatureError",
+    "external_spec",
+    "generate_cache_specs",
+    "greedy_concretize",
+    "vary_configurations",
+]

@@ -1,0 +1,390 @@
+"""The binary buildcache: signed, indexed, content-addressed artifacts.
+
+This is the distribution substrate of Section 2/6 of the paper.  A
+cache maps every concrete spec's ``dag_hash`` to the payload tree that
+was installed at some build-machine prefix, plus enough metadata to
+relocate that payload into any consumer store.
+
+On-disk layout (one directory per cache)::
+
+    <cache>/
+      index.json                  -- spec documents + external prefixes
+      blobs/<dag_hash>/
+        files/...                 -- verbatim copy of the install prefix
+        meta.json                 -- recorded prefix + dependency prefixes
+        manifest.json             -- sha256 digest of meta + every file
+        manifest.sig              -- detached HMAC signature (if signed)
+
+The *index* answers "which specs does this mirror serve" without
+touching any blob (what Spack's ``index.json`` does for a mirror); the
+per-entry *meta* records the prefixes needed for relocation; the
+*manifest* + *signature* implement the GPG-style trust model (see
+:mod:`repro.buildcache.signing`).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..binary.mockelf import BinaryFormatError, MockBinary
+from ..binary.relocate import relocate_binary
+from ..spec import Spec
+from .signing import SignatureError, SigningKey, TrustStore, sha256_digest
+
+__all__ = ["BuildCache", "BuildCacheError", "SigningKey", "TrustStore"]
+
+INDEX_VERSION = 1
+INDEX_NAME = "index.json"
+
+
+class BuildCacheError(RuntimeError):
+    """Raised for corrupt, missing, unsigned, or untrusted cache state."""
+
+
+def _canonical(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True, indent=1).encode()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(path)
+
+
+class BuildCache:
+    """A directory of relocatable binary packages keyed by ``dag_hash``.
+
+    ``signing_key`` makes every push produce a detached signature (the
+    CI/publisher role); ``trust`` makes every extract verify the entry
+    against a :class:`TrustStore` first (the consumer role).  A cache
+    opened with neither behaves like a local scratch mirror.
+    """
+
+    def __init__(
+        self,
+        root,
+        signing_key: Optional[SigningKey] = None,
+        trust: Optional[TrustStore] = None,
+    ):
+        self.root = Path(root)
+        self.signing_key = signing_key
+        self.trust = trust
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.blobs.mkdir(parents=True, exist_ok=True)
+        #: dag_hash -> Spec.to_dict() document
+        self._specs: Dict[str, dict] = {}
+        #: dag_hash -> build-spec document (splice provenance targets)
+        self._build_specs: Dict[str, dict] = {}
+        #: node dag_hash -> external prefix (node_dict drops it, so the
+        #: index has to carry it for faithful reconstruction)
+        self._external_prefixes: Dict[str, str] = {}
+        #: reconstruction memo shared across all_specs() calls
+        self._materialized: Dict[str, Spec] = {}
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    @property
+    def blobs(self) -> Path:
+        return self.root / "blobs"
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    def _entry_dir(self, dag_hash: str) -> Path:
+        return self.blobs / dag_hash
+
+    # ------------------------------------------------------------------
+    # index persistence
+    # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        if not self.index_path.exists():
+            return
+        try:
+            data = json.loads(self.index_path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            raise BuildCacheError(
+                f"corrupt buildcache index at {self.index_path}: {e}"
+            ) from e
+        if not isinstance(data, dict):
+            raise BuildCacheError(
+                f"corrupt buildcache index at {self.index_path}: not an object"
+            )
+        version = data.get("version")
+        if version != INDEX_VERSION:
+            raise BuildCacheError(
+                f"buildcache index version {version!r} is not supported "
+                f"(expected {INDEX_VERSION})"
+            )
+        self._specs = dict(data.get("specs", {}))
+        self._build_specs = dict(data.get("build_specs", {}))
+        self._external_prefixes = dict(data.get("external_prefixes", {}))
+
+    def save_index(self) -> None:
+        """Persist the index; concurrent readers see old-or-new, never
+        a torn write."""
+        document = {
+            "version": INDEX_VERSION,
+            "specs": self._specs,
+            "build_specs": self._build_specs,
+            "external_prefixes": self._external_prefixes,
+        }
+        _atomic_write(self.index_path, _canonical(document))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, dag_hash: str) -> bool:
+        return dag_hash in self._specs
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def has_payload(self, dag_hash: str) -> bool:
+        """Is the binary payload itself present (not just indexed)?"""
+        return (self._entry_dir(dag_hash) / "files").is_dir()
+
+    def meta(self, dag_hash: str) -> dict:
+        path = self._entry_dir(dag_hash) / "meta.json"
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            raise BuildCacheError(
+                f"cache entry {dag_hash} has no metadata ({path} missing)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as e:
+            raise BuildCacheError(
+                f"cache entry {dag_hash} has corrupt metadata: {e}"
+            ) from e
+
+    def all_specs(self) -> List[Spec]:
+        """Every indexed spec, reconstructed as a concrete DAG.
+
+        These are the ``reusable_specs`` fed to the concretizer; splice
+        provenance pointers are resolved through the index's build-spec
+        documents.
+        """
+        return [self._materialize(h) for h in sorted(self._specs)]
+
+    def _materialize(self, dag_hash: str) -> Spec:
+        spec = self._materialized.get(dag_hash)
+        if spec is not None:
+            return spec
+        document = self._specs.get(dag_hash) or self._build_specs.get(dag_hash)
+        if document is None:
+            raise BuildCacheError(f"unknown spec hash {dag_hash} in buildcache")
+        spec = Spec.from_dict(document, build_spec_lookup=self._materialize)
+        for node in spec.traverse():
+            prefix = self._external_prefixes.get(node.dag_hash())
+            if prefix is not None:
+                node.external_prefix = prefix
+        self._materialized[dag_hash] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # push
+    # ------------------------------------------------------------------
+    def push(self, spec: Spec, prefix, dep_prefixes: Optional[Dict[str, str]] = None):
+        """Store the payload installed at ``prefix`` under ``spec``'s hash.
+
+        ``dep_prefixes`` maps dependency ``dag_hash`` -> the prefix that
+        dependency occupied on the build machine; extraction uses it to
+        rewrite dependency references for the consumer's store layout.
+        Re-pushing an existing hash is an idempotent overwrite.
+        """
+        if not spec.concrete:
+            raise BuildCacheError(f"cannot push abstract spec {spec}")
+        prefix = Path(prefix)
+        if not prefix.is_dir():
+            raise BuildCacheError(
+                f"cannot push {spec.name}: install prefix {prefix} does not exist"
+            )
+        dag_hash = spec.dag_hash()
+        entry = self._entry_dir(dag_hash)
+        files = entry / "files"
+        if files.exists():
+            shutil.rmtree(files)
+        entry.mkdir(parents=True, exist_ok=True)
+        shutil.copytree(prefix, files)
+
+        meta = {
+            "name": spec.name,
+            "version": str(spec.version),
+            "hash": dag_hash,
+            "prefix": str(prefix),
+            "dep_prefixes": dict(dep_prefixes or {}),
+            "spliced": spec.spliced,
+        }
+        meta_bytes = _canonical(meta)
+        _atomic_write(entry / "meta.json", meta_bytes)
+
+        digests = {}
+        for path in sorted(files.rglob("*")):
+            if path.is_file():
+                digests[path.relative_to(files).as_posix()] = sha256_digest(
+                    path.read_bytes()
+                )
+        manifest = {
+            "hash": dag_hash,
+            "meta": sha256_digest(meta_bytes),
+            "files": digests,
+        }
+        manifest_bytes = _canonical(manifest)
+        _atomic_write(entry / "manifest.json", manifest_bytes)
+
+        sig_path = entry / "manifest.sig"
+        if self.signing_key is not None:
+            _atomic_write(
+                sig_path, _canonical(self.signing_key.sign(manifest_bytes))
+            )
+        elif sig_path.exists():
+            sig_path.unlink()  # a stale signature would cover nothing
+
+        self._index_spec(spec)
+        self._materialized.pop(dag_hash, None)
+
+    def _index_spec(self, spec: Spec) -> None:
+        self._specs[spec.dag_hash()] = spec.to_dict()
+        for node in spec.traverse():
+            if node.external and node.external_prefix:
+                self._external_prefixes[node.dag_hash()] = node.external_prefix
+            # splice provenance targets live outside this DAG; record
+            # their documents so all_specs() can resolve the pointers
+            build = node.build_spec
+            while build is not None:
+                build_hash = build.dag_hash()
+                if build_hash in self._build_specs:
+                    break
+                self._build_specs[build_hash] = build.to_dict()
+                for sub in build.traverse():
+                    if sub.external and sub.external_prefix:
+                        self._external_prefixes[sub.dag_hash()] = sub.external_prefix
+                build = build.build_spec
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _verify(self, dag_hash: str) -> None:
+        """Check signature and content digests before trusting an entry."""
+        assert self.trust is not None
+        entry = self._entry_dir(dag_hash)
+        manifest_path = entry / "manifest.json"
+        if not manifest_path.exists():
+            raise BuildCacheError(
+                f"cache entry {dag_hash} has no manifest — refusing to extract"
+            )
+        manifest_bytes = manifest_path.read_bytes()
+        sig_path = entry / "manifest.sig"
+        signature = None
+        if sig_path.exists():
+            try:
+                signature = json.loads(sig_path.read_text())
+            except (OSError, json.JSONDecodeError) as e:
+                raise BuildCacheError(
+                    f"cache entry {dag_hash} has a corrupt signature: {e}"
+                ) from e
+        try:
+            self.trust.verify(manifest_bytes, signature)
+        except SignatureError as e:
+            raise BuildCacheError(f"cache entry {dag_hash}: {e}") from e
+
+        try:
+            manifest = json.loads(manifest_bytes)
+        except json.JSONDecodeError as e:
+            raise BuildCacheError(
+                f"cache entry {dag_hash} has a corrupt manifest: {e}"
+            ) from e
+        meta_path = entry / "meta.json"
+        if sha256_digest(meta_path.read_bytes()) != manifest.get("meta"):
+            raise BuildCacheError(
+                f"cache entry {dag_hash}: metadata does not match its manifest"
+            )
+        files = entry / "files"
+        expected: Dict[str, str] = dict(manifest.get("files", {}))
+        for path in sorted(files.rglob("*")):
+            if not path.is_file():
+                continue
+            rel = path.relative_to(files).as_posix()
+            digest = expected.pop(rel, None)
+            if digest is None:
+                raise BuildCacheError(
+                    f"cache entry {dag_hash}: unexpected file {rel!r} "
+                    "not covered by the signed manifest"
+                )
+            if sha256_digest(path.read_bytes()) != digest:
+                raise BuildCacheError(
+                    f"cache entry {dag_hash}: payload file {rel!r} was "
+                    "tampered with after signing"
+                )
+        if expected:
+            missing = ", ".join(sorted(expected))
+            raise BuildCacheError(
+                f"cache entry {dag_hash}: signed payload files missing: {missing}"
+            )
+
+    # ------------------------------------------------------------------
+    # extract
+    # ------------------------------------------------------------------
+    def extract(
+        self,
+        dag_hash: str,
+        prefix,
+        extra_prefix_map: Optional[Dict[str, str]] = None,
+    ) -> Path:
+        """Materialize a cached payload at ``prefix``, relocating paths.
+
+        Every mock binary is rewritten so that references to the build
+        machine's prefix (and, via ``extra_prefix_map``, its dependency
+        prefixes) point into the consumer's store.  Files that are not
+        mock binaries are copied verbatim, like headers or docs in a
+        real package.
+        """
+        meta = self.meta(dag_hash)  # raises BuildCacheError when absent
+        entry = self._entry_dir(dag_hash)
+        files = entry / "files"
+        if not files.is_dir():
+            raise BuildCacheError(f"cache entry {dag_hash} has no payload")
+        if self.trust is not None:
+            self._verify(dag_hash)
+
+        prefix = Path(prefix)
+        prefix_map: Dict[str, str] = {}
+        recorded = meta.get("prefix")
+        if recorded:
+            prefix_map[recorded] = str(prefix)
+        if extra_prefix_map:
+            prefix_map.update(extra_prefix_map)
+
+        prefix.mkdir(parents=True, exist_ok=True)
+        for path in sorted(files.rglob("*")):
+            rel = path.relative_to(files)
+            target = prefix / rel
+            if path.is_dir():
+                target.mkdir(parents=True, exist_ok=True)
+                continue
+            target.parent.mkdir(parents=True, exist_ok=True)
+            data = path.read_bytes()
+            try:
+                binary = MockBinary.from_bytes(data)
+            except BinaryFormatError:
+                target.write_bytes(data)  # opaque payload: copy verbatim
+                continue
+            relocated = relocate_binary(binary, prefix_map)
+            relocated.binary.write(target)
+        return prefix
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        signed = self.signing_key.name if self.signing_key else None
+        return (
+            f"<BuildCache {self.root} specs={len(self._specs)} "
+            f"signing={signed!r} trusting={self.trust is not None}>"
+        )

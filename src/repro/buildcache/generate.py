@@ -1,0 +1,463 @@
+"""Synthesize buildcache corpora: the paper's evaluation populations.
+
+Section 6 of the paper concretizes against two caches: a ~200-spec
+*local* cache (the RADIUSS stack built consistently against one MPI)
+and a ~20,000-spec *public* cache (many configurations of the same
+stack).  Building those populations with the ASP solver itself would be
+circular — and slow — so this module provides a **greedy, non-ASP
+concretizer** that pins every choice deterministically:
+
+* versions: highest non-deprecated declared version satisfying the
+  accumulated constraints (or an explicit override);
+* variants: declared defaults (or explicit/hard-constrained values);
+* virtuals: the preferred buildable provider (or an explicit mapping);
+* one node per package name, ``os``/``target`` fixed.
+
+The resulting specs are fully concrete DAGs the reuse encoder can offer
+to the solver verbatim — a default-config greedy spec is exactly what
+the solver would pick when minimizing builds, so cached stacks
+concretize with zero rebuilds.
+
+:func:`external_spec` models the other cache-population path: vendor
+binaries (cray-mpich) that exist only as externals at some prefix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..package.repository import Repository
+from ..spec import (
+    DEPTYPE_LINK_RUN,
+    Spec,
+    UnsatisfiableSpecError,
+    VariantMap,
+    Version,
+    VersionList,
+    any_version,
+    parse_one,
+)
+from ..spec.variant import normalize_value
+from .cache import BuildCacheError
+
+__all__ = [
+    "external_spec",
+    "greedy_concretize",
+    "generate_cache_specs",
+    "vary_configurations",
+]
+
+DEFAULT_OS = "centos8"
+DEFAULT_TARGET = "skylake"
+
+#: fixpoint bound for greedy constraint propagation; the RADIUSS DAGs
+#: settle in 2-3 passes, anything near the bound indicates a cycle of
+#: conditional dependencies flipping each other
+_MAX_PASSES = 32
+
+
+# ---------------------------------------------------------------------------
+# externals
+# ---------------------------------------------------------------------------
+def external_spec(
+    repo: Repository,
+    name: str,
+    prefix: str,
+    os: str = DEFAULT_OS,
+    target: str = DEFAULT_TARGET,
+) -> Spec:
+    """A concrete spec for a vendor-provided binary at ``prefix``.
+
+    Externals have no dependencies — the vendor's runtime is opaque to
+    us — and keep their prefix outside the store.  The prefix need not
+    exist locally (it typically names a path on the deployment machine,
+    e.g. ``/opt/cray/pe/mpich``), but it must be non-empty: an external
+    with no location can never be loaded and would fail much later, at
+    install time, with a confusing error.
+    """
+    if prefix is None or not str(prefix).strip():
+        raise BuildCacheError(
+            f"external {name!r} needs a non-empty prefix: an external "
+            "package is *defined* by where its binaries live"
+        )
+    cls = repo.get(name)  # RepositoryError for unknown packages
+    variants = {}
+    for decl in cls.variant_decls:
+        if decl.when is None:
+            variants[decl.name] = normalize_value(decl.default)
+    spec = Spec(
+        name,
+        VersionList.from_string(f"={cls.preferred_version()}"),
+        VariantMap(variants),
+        os,
+        target,
+    )
+    spec.external = True
+    spec.external_prefix = str(prefix)
+    spec._mark_concrete()
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# greedy concretization
+# ---------------------------------------------------------------------------
+class _Constraint:
+    """Accumulated node-local requirements for one package name."""
+
+    __slots__ = ("versions", "variants")
+
+    def __init__(self):
+        self.versions = any_version()
+        self.variants: Dict[str, str] = {}
+
+    def merge_spec(self, spec: Spec, package: str) -> None:
+        """Fold ``spec``'s node-local constraints into this record."""
+        if not spec.versions.is_any:
+            merged = self.versions.intersection(spec.versions)
+            if not merged.constraints:
+                raise BuildCacheError(
+                    f"conflicting version requirements on {package}: "
+                    f"{self.versions} vs {spec.versions}"
+                )
+            self.versions = merged
+        for _, variant in spec.variants.items():
+            existing = self.variants.get(variant.name)
+            if existing is not None and existing != variant.value:
+                raise BuildCacheError(
+                    f"conflicting requirements on {package} variant "
+                    f"{variant.name!r}: {existing!r} vs {variant.value!r}"
+                )
+            self.variants[variant.name] = variant.value
+
+
+def _choose_version(
+    cls,
+    constraint: _Constraint,
+    override: Optional[str],
+) -> Version:
+    declared = cls.declared_versions()  # newest first
+
+    def admissible(version: Version) -> bool:
+        return VersionList([version]).satisfies(constraint.versions)
+
+    if override is not None:
+        candidate = Version(override)
+        if candidate in declared and admissible(candidate):
+            return candidate
+        # an override that violates a hard constraint (or names an
+        # undeclared version) silently yields to the constraints —
+        # vary_configurations leans on this to stay valid
+    deprecated = {d.version for d in cls.version_decls if d.deprecated}
+    for version in declared:
+        if version not in deprecated and admissible(version):
+            return version
+    for version in declared:
+        if admissible(version):
+            return version
+    raise BuildCacheError(
+        f"no declared version of {cls.name} satisfies {constraint.versions}"
+    )
+
+
+def _choose_variants(
+    cls,
+    version: Version,
+    constraint: _Constraint,
+    overrides: Dict[Tuple[str, str], str],
+) -> Dict[str, str]:
+    probe = Spec(cls.name, VersionList.from_string(f"={version}"))
+    values: Dict[str, str] = {}
+    for decl in cls.variant_decls:
+        if decl.when is not None and not probe.satisfies(decl.when):
+            continue
+        pinned = constraint.variants.get(decl.name)
+        if pinned is not None:
+            values[decl.name] = pinned
+            continue
+        override = overrides.get((cls.name, decl.name))
+        if override is not None and str(override) in decl.allowed_values():
+            values[decl.name] = str(override)
+        else:
+            values[decl.name] = normalize_value(decl.default)
+    # constraints may pin variants the package never declared (a parent
+    # wrote ``dep+flag`` speculatively); keep them so satisfies() holds
+    for name, value in constraint.variants.items():
+        values.setdefault(name, value)
+    return values
+
+
+def greedy_concretize(
+    repo: Repository,
+    root: Union[str, Spec],
+    versions: Optional[Dict[str, str]] = None,
+    variants: Optional[Dict[Tuple[str, str], str]] = None,
+    providers: Optional[Dict[str, str]] = None,
+    include_build_deps: bool = True,
+    default_os: str = DEFAULT_OS,
+    default_target: str = DEFAULT_TARGET,
+) -> Spec:
+    """Concretize ``root`` greedily, without the ASP solver.
+
+    ``versions`` maps package name -> version override, ``variants``
+    maps ``(package, variant)`` -> value override, ``providers`` maps
+    virtual -> provider package.  Overrides are *soft*: a hard
+    constraint from a ``depends_on`` spec always wins.  With
+    ``include_build_deps=False`` the DAG carries only link-run edges,
+    which is the shape binary caches store.
+
+    Constraint propagation runs to a fixpoint because conditional
+    dependencies (``when="+mpi"``) can enable edges that add
+    constraints that change earlier choices.
+    """
+    versions = dict(versions or {})
+    variant_overrides = dict(variants or {})
+    provider_map = dict(providers or {})
+
+    root_spec = parse_one(root) if isinstance(root, str) else root
+    root_name = root_spec.name
+    if root_name is None:
+        raise BuildCacheError("cannot concretize an anonymous spec")
+    if repo.is_virtual(root_name):
+        raise BuildCacheError(f"root {root_name!r} is a virtual, not a package")
+    repo.get(root_name)  # RepositoryError for unknown packages
+
+    # ``root ^pkg`` requests: constraints on the named node, plus a
+    # provider preference when the named package implements a virtual
+    requested: Dict[str, Spec] = {dep.name: dep for dep in root_spec.dependencies()}
+    provider_prefs = dict(provider_map)
+    for name in requested:
+        if name in repo:
+            for virtual in repo.get(name).provided_virtuals():
+                provider_prefs.setdefault(virtual, name)
+
+    def pick_provider(virtual: str) -> str:
+        choice = provider_prefs.get(virtual)
+        if choice is not None:
+            return choice
+        candidates = repo.providers(virtual)
+        if not candidates:
+            raise BuildCacheError(f"no provider for virtual {virtual!r}")
+        for name in candidates:
+            if repo.get(name).buildable:
+                return name
+        return candidates[0]
+
+    def provisional_node(name: str, constraint: _Constraint) -> Spec:
+        cls = repo.get(name)
+        version = _choose_version(cls, constraint, versions.get(name))
+        chosen = _choose_variants(cls, version, constraint, variant_overrides)
+        return Spec(
+            name,
+            VersionList.from_string(f"={version}"),
+            VariantMap(chosen),
+            default_os,
+            default_target,
+        )
+
+    # fixpoint: pass N evaluates `when` conditions against pass N-1's
+    # node choices, re-deriving the edge set and constraints from scratch
+    chosen_nodes: Dict[str, Spec] = {}
+    edges: Dict[str, Dict[str, Tuple[set, Optional[str]]]] = {}
+    for _ in range(_MAX_PASSES):
+        constraints: Dict[str, _Constraint] = {}
+
+        def constraint_for(name: str) -> _Constraint:
+            record = constraints.get(name)
+            if record is None:
+                record = _Constraint()
+                constraints[name] = record
+                request = requested.get(name)
+                if request is not None:
+                    record.merge_spec(request, name)
+            return record
+
+        constraint_for(root_name).merge_spec(root_spec, root_name)
+        edges = {}
+        visited: List[str] = []
+        queue = [root_name]
+        while queue:
+            name = queue.pop(0)
+            if name in edges:
+                continue
+            edges[name] = {}
+            visited.append(name)
+            cls = repo.get(name)
+            node_view = chosen_nodes.get(name)
+            if node_view is None:
+                node_view = provisional_node(name, constraint_for(name))
+            for decl in cls.dependency_decls:
+                if decl.when is not None and not node_view.satisfies(decl.when):
+                    continue
+                if not include_build_deps and DEPTYPE_LINK_RUN not in decl.deptypes:
+                    continue
+                dep_name = decl.spec.name
+                virtual = None
+                if repo.is_virtual(dep_name):
+                    virtual = dep_name
+                    dep_name = pick_provider(virtual)
+                constraint_for(dep_name).merge_spec(decl.spec, dep_name)
+                deptypes, _ = edges[name].setdefault(dep_name, (set(), virtual))
+                deptypes.update(decl.deptypes)
+                queue.append(dep_name)
+
+        new_nodes = {
+            name: provisional_node(name, constraint_for(name)) for name in visited
+        }
+        if set(new_nodes) == set(chosen_nodes) and all(
+            new_nodes[n].node_dict() == chosen_nodes[n].node_dict()
+            for n in new_nodes
+        ):
+            chosen_nodes = new_nodes
+            break
+        chosen_nodes = new_nodes
+    else:
+        raise BuildCacheError(
+            f"greedy concretization of {root_name} did not converge: "
+            "conditional dependencies keep flipping each other"
+        )
+
+    # assemble the DAG bottom-up (children before parents)
+    order: List[str] = []
+    state: Dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        mark = state.get(name, 0)
+        if mark == 2:
+            return
+        if mark == 1:
+            raise BuildCacheError(f"dependency cycle through {name!r}")
+        state[name] = 1
+        for child in sorted(edges.get(name, {})):
+            visit(child)
+        state[name] = 2
+        order.append(name)
+
+    visit(root_name)
+    built: Dict[str, Spec] = {}
+    for name in order:
+        node = chosen_nodes[name].copy()
+        for child, (deptypes, virtual) in sorted(edges.get(name, {}).items()):
+            node.add_dependency(built[child], tuple(sorted(deptypes)), virtual)
+        node._mark_concrete()
+        built[name] = node
+    return built[root_name]
+
+
+# ---------------------------------------------------------------------------
+# corpus generators
+# ---------------------------------------------------------------------------
+def generate_cache_specs(
+    repo: Repository,
+    roots: Sequence[Union[str, Spec]],
+    versions: Optional[Dict[str, str]] = None,
+    variants: Optional[Dict[Tuple[str, str], str]] = None,
+    providers: Optional[Dict[str, str]] = None,
+    include_build_deps: bool = False,
+) -> List[Spec]:
+    """The *local* cache population: every root concretized consistently
+    (same overrides throughout), deduplicated by DAG hash."""
+    specs: List[Spec] = []
+    seen = set()
+    for root in roots:
+        spec = greedy_concretize(
+            repo,
+            root,
+            versions=versions,
+            variants=variants,
+            providers=providers,
+            include_build_deps=include_build_deps,
+        )
+        dag_hash = spec.dag_hash()
+        if dag_hash not in seen:
+            seen.add(dag_hash)
+            specs.append(spec)
+    return specs
+
+
+def vary_configurations(
+    repo: Repository,
+    roots: Sequence[Union[str, Spec]],
+    count: int,
+    seed: int = 0,
+    providers: Optional[Sequence[Optional[Dict[str, str]]]] = None,
+) -> List[Spec]:
+    """The *public* cache population: ``count`` distinct configurations.
+
+    Roots are cycled for coverage while a seeded RNG perturbs provider
+    choice, variant values, and versions — the same ``seed`` always
+    yields the same specs, in the same order (the benchmarks rely on
+    that for run-to-run comparability).  Listing a provider mapping
+    multiple times weights it proportionally, mirroring the real public
+    cache's mpich-heavy skew.
+    """
+    if count < 0:
+        raise BuildCacheError("cannot generate a negative number of specs")
+    rng = random.Random(seed)
+    provider_choices: List[Optional[Dict[str, str]]] = list(providers or [None])
+    root_list = list(roots)
+    if not root_list and count:
+        raise BuildCacheError("cannot vary configurations of zero roots")
+
+    base_cache: Dict[Tuple, Spec] = {}
+
+    def base_dag(root, provider_map) -> Spec:
+        key = (str(root), tuple(sorted((provider_map or {}).items())))
+        spec = base_cache.get(key)
+        if spec is None:
+            spec = greedy_concretize(
+                repo, root, providers=provider_map, include_build_deps=False
+            )
+            base_cache[key] = spec
+        return spec
+
+    specs: List[Spec] = []
+    seen = set()
+    attempts = 0
+    max_attempts = max(count * 50, 1000)
+    index = 0
+    while len(specs) < count:
+        if attempts >= max_attempts:
+            raise BuildCacheError(
+                f"could not reach {count} distinct configurations from "
+                f"{len(root_list)} roots after {attempts} attempts "
+                f"({len(specs)} found) — the configuration space is too small"
+            )
+        attempts += 1
+        root = root_list[index % len(root_list)]
+        index += 1
+        provider_map = rng.choice(provider_choices)
+
+        try:
+            base = base_dag(root, provider_map)
+        except BuildCacheError:
+            continue  # e.g. a provider mapping invalid for this root
+        variant_overrides: Dict[Tuple[str, str], str] = {}
+        version_overrides: Dict[str, str] = {}
+        for node in base.traverse():
+            cls = repo.get(node.name)
+            for decl in cls.variant_decls:
+                if rng.random() < 0.35:
+                    variant_overrides[(node.name, decl.name)] = rng.choice(
+                        decl.allowed_values()
+                    )
+            declared = [str(v) for v in cls.declared_versions()]
+            if len(declared) > 1 and rng.random() < 0.3:
+                version_overrides[node.name] = rng.choice(declared)
+
+        try:
+            spec = greedy_concretize(
+                repo,
+                root,
+                versions=version_overrides,
+                variants=variant_overrides,
+                providers=provider_map,
+                include_build_deps=False,
+            )
+        except (BuildCacheError, UnsatisfiableSpecError):
+            continue  # random choices collided with hard constraints
+        dag_hash = spec.dag_hash()
+        if dag_hash not in seen:
+            seen.add(dag_hash)
+            specs.append(spec)
+    return specs

@@ -290,6 +290,12 @@ class Spec:
             mine = self._find_node(dep.name)
             if mine is not None and not mine.intersects(dep):
                 return False
+        # and the mirror image, so intersects stays symmetric: our own
+        # dependency constraints must not contradict other's DAG either
+        for dep in self.dependencies():
+            theirs = other._find_node(dep.name)
+            if theirs is not None and not theirs.intersects(dep):
+                return False
         return True
 
     def constrain(self, other: Union[str, "Spec"]) -> bool:

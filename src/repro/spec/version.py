@@ -279,6 +279,14 @@ class VersionRange:
             return b
         if b is None:
             return a
+        # Upper bounds are prefix-closed: the bound "1.2" admits every
+        # 1.2.x, so it is *looser* than "1.2.3" even though it compares
+        # smaller.  When one bound is a prefix of the other, the longer
+        # (more specific) one is the tighter upper bound.
+        if a.is_prefix_of(b):
+            return b
+        if b.is_prefix_of(a):
+            return a
         return min(a, b)
 
     # -- dunder ---------------------------------------------------------------

@@ -1,0 +1,128 @@
+"""Cache-population tests: greedy concretization and spec generation."""
+
+import pytest
+
+from repro.buildcache import (
+    BuildCacheError,
+    external_spec,
+    generate_cache_specs,
+    greedy_concretize,
+    vary_configurations,
+)
+from repro.repos.radiuss import RADIUSS_ROOTS, make_radiuss_repo
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return make_radiuss_repo()
+
+
+PROVIDERS = [
+    {"mpi": "mpich"},
+    {"mpi": "mpich"},
+    {"mpi": "openmpi"},
+    {"mpi": "mvapich2"},
+]
+
+
+class TestGreedyConcretize:
+    def test_result_is_concrete(self, repo):
+        spec = greedy_concretize(repo, "hypre")
+        assert spec.concrete
+        for node in spec.traverse():
+            assert node.concrete
+
+    def test_version_override_is_honored(self, repo):
+        spec = greedy_concretize(repo, "hypre", versions={"mpich": "3.4.3"})
+        assert str(spec["mpich"].version) == "3.4.3"
+
+    def test_hard_constraint_beats_soft_override(self, repo):
+        """Overrides are soft: an override that violates a depends_on
+        constraint is dropped, not an error."""
+        pinned = greedy_concretize(repo, "hypre ^mpich@3.4.3")
+        overridden = greedy_concretize(
+            repo, "hypre ^mpich@3.4.3", versions={"mpich": "4.1"}
+        )
+        assert str(overridden["mpich"].version) == str(pinned["mpich"].version)
+
+    def test_unknown_package_is_diagnosed(self, repo):
+        with pytest.raises(Exception, match="no-such-package"):
+            greedy_concretize(repo, "no-such-package")
+
+
+class TestExternalSpec:
+    def test_external_is_concrete_with_prefix(self, repo):
+        cray = external_spec(repo, "cray-mpich", "/opt/cray/pe/mpich")
+        assert cray.concrete
+        assert cray.external
+        assert cray.external_prefix == "/opt/cray/pe/mpich"
+
+    @pytest.mark.parametrize("bad", ["", "   ", None])
+    def test_empty_prefix_fails_at_creation(self, repo, bad):
+        with pytest.raises(BuildCacheError, match="prefix"):
+            external_spec(repo, "cray-mpich", bad)
+
+
+class TestGenerateCacheSpecs:
+    def test_all_roots_covered(self, repo):
+        specs = generate_cache_specs(repo, RADIUSS_ROOTS)
+        assert {s.name for s in specs} == {
+            str(r).split("@")[0].split()[0] for r in RADIUSS_ROOTS
+        }
+
+    def test_consistent_overrides_shared_across_roots(self, repo):
+        specs = generate_cache_specs(
+            repo, RADIUSS_ROOTS, versions={"mpich": "3.4.3"}
+        )
+        mpich_hashes = {
+            s["mpich"].dag_hash() for s in specs if "mpich" in [
+                n.name for n in s.traverse()
+            ]
+        }
+        assert len(mpich_hashes) == 1, "one consistent mpich across the stack"
+
+    def test_deduplicates_by_dag_hash(self, repo):
+        specs = generate_cache_specs(repo, ["hypre", "hypre"])
+        assert len(specs) == 1
+
+
+class TestVaryConfigurations:
+    def test_same_seed_same_specs(self, repo):
+        first = vary_configurations(
+            repo, RADIUSS_ROOTS, count=12, seed=7, providers=PROVIDERS
+        )
+        second = vary_configurations(
+            repo, RADIUSS_ROOTS, count=12, seed=7, providers=PROVIDERS
+        )
+        assert [s.dag_hash() for s in first] == [s.dag_hash() for s in second]
+
+    def test_different_seeds_diverge(self, repo):
+        a = vary_configurations(repo, RADIUSS_ROOTS, count=12, seed=1)
+        b = vary_configurations(repo, RADIUSS_ROOTS, count=12, seed=2)
+        assert [s.dag_hash() for s in a] != [s.dag_hash() for s in b]
+
+    @pytest.mark.parametrize("count", [1, 10, 40])
+    def test_exact_count_all_distinct(self, repo, count):
+        specs = vary_configurations(
+            repo, RADIUSS_ROOTS, count=count, seed=0, providers=PROVIDERS
+        )
+        hashes = [s.dag_hash() for s in specs]
+        assert len(hashes) == count
+        assert len(set(hashes)) == count
+
+    def test_smaller_count_is_prefix_scaled(self, repo):
+        """Growing the count only appends configurations; the shared
+        prefix is stable (benchmarks vary scale without reshuffling)."""
+        small = vary_configurations(repo, RADIUSS_ROOTS, count=5, seed=3)
+        large = vary_configurations(repo, RADIUSS_ROOTS, count=20, seed=3)
+        assert [s.dag_hash() for s in small] == [
+            s.dag_hash() for s in large[:5]
+        ]
+
+    def test_negative_count_rejected(self, repo):
+        with pytest.raises(BuildCacheError):
+            vary_configurations(repo, RADIUSS_ROOTS, count=-1)
+
+    def test_zero_roots_rejected(self, repo):
+        with pytest.raises(BuildCacheError, match="zero roots"):
+            vary_configurations(repo, [], count=3)

@@ -98,9 +98,12 @@ class TestFailureIsolation:
         repo = make_radiuss_repo()
         from repro.buildcache import external_spec
 
-        # fabricate a spliced DAG whose replacement has no binary
+        # fabricate a spliced DAG whose replacement has no binary:
+        # external_spec itself rejects empty prefixes, so model an
+        # external whose prefix went missing after the spec was made
         cached = Concretizer(repo).solve(["hypre ^mpich@3.4.3"]).roots[0]
-        cray = external_spec(repo, "cray-mpich", "")  # broken: empty prefix
+        cray = external_spec(repo, "cray-mpich", "/opt/cray/pe/mpich")
+        cray.external_prefix = ""  # broken: the binaries are gone
         spliced = cached.splice(cray, transitive=True, replace="mpich")
         installer = Installer(tmp_path / "store", repo)
         with pytest.raises(InstallError) as excinfo:

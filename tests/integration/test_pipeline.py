@@ -83,6 +83,16 @@ class TestBuildCacheDeployCycle:
         assert loaded.ok
         assert any("cray" in p for p in loaded.resolved.values())
 
+    def test_external_with_empty_prefix_is_rejected(self, repo):
+        """A broken external (no prefix) must fail loudly at creation,
+        not surface later as an undiagnosable install error."""
+        from repro.buildcache import BuildCacheError
+
+        for bad_prefix in ("", "   ", None):
+            with pytest.raises(BuildCacheError) as excinfo:
+                external_spec(repo, "cray-mpich", bad_prefix)
+            assert "prefix" in str(excinfo.value)
+
 
 class TestDependencyUpdateScenario:
     def test_zlib_update_rebuilds_one_package(self, repo, tmp_path):
