@@ -23,6 +23,8 @@ Subpackages:
 * :mod:`repro.installer` — simulated builds, install DB, rewire installs
 * :mod:`repro.repos` — the paper's mock packages and the RADIUSS stack
 * :mod:`repro.bench` — the benchmark harness for Figures 5–7
+* :mod:`repro.obs` — structured tracing (spans), metrics, and the
+  Chrome-trace/phase-table exporters every layer reports through
 """
 
 from .spec import (

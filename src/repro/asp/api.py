@@ -14,9 +14,10 @@ Typical use::
 
 from __future__ import annotations
 
-import time
+import logging
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
+from ..obs import Span, trace
 from .grounder import Grounder
 from .optimize import Optimizer
 from .parser import parse_program
@@ -24,6 +25,8 @@ from .syntax import Atom, Program, Rule
 from .translate import Translator
 
 __all__ = ["Control", "Model", "SolveResult"]
+
+logger = logging.getLogger(__name__)
 
 
 class Model:
@@ -83,6 +86,7 @@ class Control:
         self.program = Program()
         self._ground_program = None
         self._translator: Optional[Translator] = None
+        self._ground_span: Optional[Span] = None
 
     # -- input -------------------------------------------------------------
     def add(self, text: str) -> None:
@@ -106,9 +110,18 @@ class Control:
     # -- pipeline ------------------------------------------------------------
     def ground(self) -> None:
         """Instantiate the program (must precede :meth:`solve`)."""
-        start = time.perf_counter()
-        self._ground_program = Grounder(self.program).ground()
-        self._ground_time = time.perf_counter() - start
+        with trace.span("asp.ground") as sp:
+            self._ground_program = Grounder(self.program).ground()
+            sp.set(**self._ground_program.stats())
+        self._ground_span = sp
+        logger.debug(
+            "grounded in %.4fs: %s", sp.duration, self._ground_program.stats()
+        )
+
+    @property
+    def _ground_time(self) -> float:
+        """Backward-compatible accessor: a thin read of the ground span."""
+        return self._ground_span.duration if self._ground_span is not None else 0.0
 
     def solve(
         self,
@@ -117,27 +130,43 @@ class Control:
         """Ground (if needed), translate, and find an optimal stable model."""
         if self._ground_program is None:
             self.ground()
-        start = time.perf_counter()
-        translator = Translator(self._ground_program)
-        translate_time = time.perf_counter() - start
+        with trace.span("asp.translate") as translate_span:
+            translator = Translator(self._ground_program)
+            translate_span.set(
+                atoms=len(translator.atom_var),
+                vars=translator.solver.stats()["vars"],
+                clauses=translator.solver.stats()["clauses"],
+            )
         self._translator = translator
 
-        start = time.perf_counter()
-        optimizer = Optimizer(translator)
-        callback = None
-        if on_model is not None:
-            callback = lambda atoms: on_model(Model(atoms))  # noqa: E731
-        outcome = optimizer.optimize(on_model=callback)
-        solve_time = time.perf_counter() - start
+        with trace.span("asp.solve") as solve_span:
+            optimizer = Optimizer(translator)
+            callback = None
+            if on_model is not None:
+                callback = lambda atoms: on_model(Model(atoms))  # noqa: E731
+            outcome = optimizer.optimize(on_model=callback)
+            sat_stats = translator.solver.stats()
+            solve_span.set(
+                models=outcome.models_seen,
+                decisions=sat_stats["decisions"],
+                conflicts=sat_stats["conflicts"],
+                loop_formulas=optimizer.finder.loop_formulas_added,
+            )
 
         stats = {
-            "ground_time": getattr(self, "_ground_time", 0.0),
-            "translate_time": translate_time,
-            "solve_time": solve_time,
+            "ground_time": self._ground_time,
+            "translate_time": translate_span.duration,
+            "solve_time": solve_span.duration,
             "models_seen": outcome.models_seen,
             "loop_formulas": optimizer.finder.loop_formulas_added,
-            **{f"sat_{k}": v for k, v in translator.solver.stats().items()},
+            "atoms": len(translator.atom_var),
+            **{f"ground_{k}": v for k, v in self._ground_program.stats().items()},
+            **{f"sat_{k}": v for k, v in sat_stats.items()},
         }
+        logger.debug(
+            "solved: %s models, %s conflicts, %.4fs",
+            outcome.models_seen, sat_stats["conflicts"], solve_span.duration,
+        )
         model = Model(outcome.model) if outcome.model is not None else None
         return SolveResult(model, outcome.cost, stats)
 

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import SCHEMA_VERSION
 from .runner import ConfigTiming, percent_increase
 
 __all__ = ["format_table", "aggregate_percent", "write_results", "FigureReport"]
@@ -79,6 +80,7 @@ class FigureReport:
                 {
                     "figure": self.figure,
                     "title": self.title,
+                    "obs_schema": SCHEMA_VERSION,
                     "rows": self.rows,
                     "headlines": self.headlines,
                 },

@@ -5,6 +5,11 @@ configuration (Section 6.1.4).  Pure-Python solving is orders of
 magnitude slower than clingo, so run counts and cache sizes are scaled
 by environment knobs (see :mod:`repro.bench.scenarios`); all reported
 comparisons are relative, which survives the scaling.
+
+Each sample also records the setup/ground/translate/solve breakdown,
+read from :mod:`repro.obs`'s always-on phase aggregates (deltas across
+the solve), so ``BENCH_*.json`` can attribute a regression to a phase
+instead of a single wall-clock total.
 """
 
 from __future__ import annotations
@@ -15,10 +20,19 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..concretize import Concretizer
+from ..obs import trace
 from ..package.repository import Repository
 from ..spec import Spec
 
 __all__ = ["TimingSample", "ConfigTiming", "time_concretization", "percent_increase"]
+
+#: span names whose per-run deltas become the per-phase breakdown
+PHASE_SPANS = {
+    "setup": "concretize.setup",
+    "ground": "asp.ground",
+    "translate": "asp.translate",
+    "solve": "asp.solve",
+}
 
 
 @dataclass
@@ -29,6 +43,9 @@ class TimingSample:
     built: int
     spliced: int
     reused: int
+    #: per-phase seconds (setup/ground/translate/solve) for this run,
+    #: read from the obs tracer's aggregates rather than re-timed
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -63,8 +80,13 @@ class ConfigTiming:
     def max(self) -> float:
         return max(self.times)
 
+    def phase_mean(self, phase: str) -> float:
+        """Mean seconds spent in one phase (0.0 if never sampled)."""
+        values = [s.phases[phase] for s in self.samples if phase in s.phases]
+        return statistics.fmean(values) if values else 0.0
+
     def row(self) -> Dict[str, float]:
-        return {
+        row = {
             "label": self.label,
             "spec": self.spec,
             "runs": len(self.samples),
@@ -76,6 +98,9 @@ class ConfigTiming:
             "built": self.samples[-1].built if self.samples else 0,
             "spliced": self.samples[-1].spliced if self.samples else 0,
         }
+        for phase in PHASE_SPANS:
+            row[f"{phase}_s"] = round(self.phase_mean(phase), 4)
+        return row
 
 
 def time_concretization(
@@ -99,15 +124,22 @@ def time_concretization(
         concretizer = Concretizer(
             repo, reusable_specs=reusable, encoding=encoding, splicing=splicing
         )
+        before = trace.phase_times()
         start = time.perf_counter()
         result = concretizer.solve([spec], forbidden=forbidden)
         elapsed = time.perf_counter() - start
+        after = trace.phase_times()
+        phases = {
+            phase: after.get(span, 0.0) - before.get(span, 0.0)
+            for phase, span in PHASE_SPANS.items()
+        }
         timing.samples.append(
             TimingSample(
                 seconds=elapsed,
                 built=len(result.built),
                 spliced=len(result.spliced),
                 reused=len(result.reused),
+                phases=phases,
             )
         )
     return timing

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..obs import metrics
 from .mockelf import MockBinary
 
 __all__ = ["RelocationResult", "relocate_binary", "relocate_text", "pad_prefix"]
@@ -121,4 +122,7 @@ def relocate_binary(
 
     out.rpaths = [rewrite(p) for p in out.rpaths]
     out.path_blob = [rewrite(p) for p in out.path_blob]
+    metrics.inc("relocate.binaries")
+    metrics.inc("relocate.strings_scanned", len(out.rpaths) + len(out.path_blob))
+    metrics.inc("relocate.prefixes_replaced", result.replacements)
     return result

@@ -25,16 +25,20 @@ per-entry *meta* records the prefixes needed for relocation; the
 from __future__ import annotations
 
 import json
+import logging
 import shutil
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from ..binary.mockelf import BinaryFormatError, MockBinary
 from ..binary.relocate import relocate_binary
+from ..obs import metrics, trace
 from ..spec import Spec
 from .signing import SignatureError, SigningKey, TrustStore, sha256_digest
 
 __all__ = ["BuildCache", "BuildCacheError", "SigningKey", "TrustStore"]
+
+logger = logging.getLogger(__name__)
 
 INDEX_VERSION = 1
 INDEX_NAME = "index.json"
@@ -105,36 +109,49 @@ class BuildCache:
     def _load_index(self) -> None:
         if not self.index_path.exists():
             return
-        try:
-            data = json.loads(self.index_path.read_text())
-        except (OSError, json.JSONDecodeError) as e:
-            raise BuildCacheError(
-                f"corrupt buildcache index at {self.index_path}: {e}"
-            ) from e
-        if not isinstance(data, dict):
-            raise BuildCacheError(
-                f"corrupt buildcache index at {self.index_path}: not an object"
-            )
-        version = data.get("version")
-        if version != INDEX_VERSION:
-            raise BuildCacheError(
-                f"buildcache index version {version!r} is not supported "
-                f"(expected {INDEX_VERSION})"
-            )
-        self._specs = dict(data.get("specs", {}))
-        self._build_specs = dict(data.get("build_specs", {}))
-        self._external_prefixes = dict(data.get("external_prefixes", {}))
+        with trace.span("buildcache.index_load", cache=str(self.root)) as sp:
+            try:
+                data = json.loads(self.index_path.read_text())
+            except (OSError, json.JSONDecodeError) as e:
+                raise BuildCacheError(
+                    f"corrupt buildcache index at {self.index_path}: {e}"
+                ) from e
+            if not isinstance(data, dict):
+                raise BuildCacheError(
+                    f"corrupt buildcache index at {self.index_path}: not an object"
+                )
+            version = data.get("version")
+            if version != INDEX_VERSION:
+                raise BuildCacheError(
+                    f"buildcache index version {version!r} is not supported "
+                    f"(expected {INDEX_VERSION})"
+                )
+            self._specs = dict(data.get("specs", {}))
+            self._build_specs = dict(data.get("build_specs", {}))
+            self._external_prefixes = dict(data.get("external_prefixes", {}))
+            sp.set(specs=len(self._specs))
+        logger.debug(
+            "loaded index %s: %d specs in %.4fs",
+            self.index_path, len(self._specs), sp.duration,
+        )
 
     def save_index(self) -> None:
         """Persist the index; concurrent readers see old-or-new, never
         a torn write."""
-        document = {
-            "version": INDEX_VERSION,
-            "specs": self._specs,
-            "build_specs": self._build_specs,
-            "external_prefixes": self._external_prefixes,
-        }
-        _atomic_write(self.index_path, _canonical(document))
+        with trace.span("buildcache.index_save", cache=str(self.root)) as sp:
+            document = {
+                "version": INDEX_VERSION,
+                "specs": self._specs,
+                "build_specs": self._build_specs,
+                "external_prefixes": self._external_prefixes,
+            }
+            payload = _canonical(document)
+            _atomic_write(self.index_path, payload)
+            sp.set(specs=len(self._specs), bytes=len(payload))
+        logger.debug(
+            "saved index %s: %d specs, %d bytes in %.4fs",
+            self.index_path, len(self._specs), len(payload), sp.duration,
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -208,48 +225,59 @@ class BuildCache:
                 f"cannot push {spec.name}: install prefix {prefix} does not exist"
             )
         dag_hash = spec.dag_hash()
-        entry = self._entry_dir(dag_hash)
-        files = entry / "files"
-        if files.exists():
-            shutil.rmtree(files)
-        entry.mkdir(parents=True, exist_ok=True)
-        shutil.copytree(prefix, files)
+        with trace.span("buildcache.push", name=spec.name, hash=dag_hash[:7]) as sp:
+            entry = self._entry_dir(dag_hash)
+            files = entry / "files"
+            if files.exists():
+                shutil.rmtree(files)
+            entry.mkdir(parents=True, exist_ok=True)
+            shutil.copytree(prefix, files)
 
-        meta = {
-            "name": spec.name,
-            "version": str(spec.version),
-            "hash": dag_hash,
-            "prefix": str(prefix),
-            "dep_prefixes": dict(dep_prefixes or {}),
-            "spliced": spec.spliced,
-        }
-        meta_bytes = _canonical(meta)
-        _atomic_write(entry / "meta.json", meta_bytes)
+            meta = {
+                "name": spec.name,
+                "version": str(spec.version),
+                "hash": dag_hash,
+                "prefix": str(prefix),
+                "dep_prefixes": dict(dep_prefixes or {}),
+                "spliced": spec.spliced,
+            }
+            meta_bytes = _canonical(meta)
+            _atomic_write(entry / "meta.json", meta_bytes)
 
-        digests = {}
-        for path in sorted(files.rglob("*")):
-            if path.is_file():
-                digests[path.relative_to(files).as_posix()] = sha256_digest(
-                    path.read_bytes()
+            digests = {}
+            payload_bytes = 0
+            for path in sorted(files.rglob("*")):
+                if path.is_file():
+                    data = path.read_bytes()
+                    payload_bytes += len(data)
+                    digests[path.relative_to(files).as_posix()] = sha256_digest(
+                        data
+                    )
+            manifest = {
+                "hash": dag_hash,
+                "meta": sha256_digest(meta_bytes),
+                "files": digests,
+            }
+            manifest_bytes = _canonical(manifest)
+            _atomic_write(entry / "manifest.json", manifest_bytes)
+
+            sig_path = entry / "manifest.sig"
+            if self.signing_key is not None:
+                _atomic_write(
+                    sig_path, _canonical(self.signing_key.sign(manifest_bytes))
                 )
-        manifest = {
-            "hash": dag_hash,
-            "meta": sha256_digest(meta_bytes),
-            "files": digests,
-        }
-        manifest_bytes = _canonical(manifest)
-        _atomic_write(entry / "manifest.json", manifest_bytes)
+            elif sig_path.exists():
+                sig_path.unlink()  # a stale signature would cover nothing
 
-        sig_path = entry / "manifest.sig"
-        if self.signing_key is not None:
-            _atomic_write(
-                sig_path, _canonical(self.signing_key.sign(manifest_bytes))
-            )
-        elif sig_path.exists():
-            sig_path.unlink()  # a stale signature would cover nothing
-
-        self._index_spec(spec)
-        self._materialized.pop(dag_hash, None)
+            self._index_spec(spec)
+            self._materialized.pop(dag_hash, None)
+            sp.set(files=len(digests), bytes=payload_bytes)
+        metrics.inc("buildcache.pushes")
+        metrics.inc("buildcache.pushed_bytes", payload_bytes)
+        logger.debug(
+            "pushed %s/%s: %d files, %d bytes in %.4fs",
+            spec.name, dag_hash[:7], len(digests), payload_bytes, sp.duration,
+        )
 
     def _index_spec(self, spec: Spec) -> None:
         self._specs[spec.dag_hash()] = spec.to_dict()
@@ -275,6 +303,11 @@ class BuildCache:
     def _verify(self, dag_hash: str) -> None:
         """Check signature and content digests before trusting an entry."""
         assert self.trust is not None
+        with trace.span("buildcache.verify", hash=dag_hash[:7]):
+            self._verify_inner(dag_hash)
+        metrics.inc("buildcache.verifications")
+
+    def _verify_inner(self, dag_hash: str) -> None:
         entry = self._entry_dir(dag_hash)
         manifest_path = entry / "manifest.json"
         if not manifest_path.exists():
@@ -352,33 +385,48 @@ class BuildCache:
         files = entry / "files"
         if not files.is_dir():
             raise BuildCacheError(f"cache entry {dag_hash} has no payload")
-        if self.trust is not None:
-            self._verify(dag_hash)
+        with trace.span(
+            "buildcache.extract", name=meta.get("name"), hash=dag_hash[:7]
+        ) as sp:
+            if self.trust is not None:
+                self._verify(dag_hash)
 
-        prefix = Path(prefix)
-        prefix_map: Dict[str, str] = {}
-        recorded = meta.get("prefix")
-        if recorded:
-            prefix_map[recorded] = str(prefix)
-        if extra_prefix_map:
-            prefix_map.update(extra_prefix_map)
+            prefix = Path(prefix)
+            prefix_map: Dict[str, str] = {}
+            recorded = meta.get("prefix")
+            if recorded:
+                prefix_map[recorded] = str(prefix)
+            if extra_prefix_map:
+                prefix_map.update(extra_prefix_map)
 
-        prefix.mkdir(parents=True, exist_ok=True)
-        for path in sorted(files.rglob("*")):
-            rel = path.relative_to(files)
-            target = prefix / rel
-            if path.is_dir():
-                target.mkdir(parents=True, exist_ok=True)
-                continue
-            target.parent.mkdir(parents=True, exist_ok=True)
-            data = path.read_bytes()
-            try:
-                binary = MockBinary.from_bytes(data)
-            except BinaryFormatError:
-                target.write_bytes(data)  # opaque payload: copy verbatim
-                continue
-            relocated = relocate_binary(binary, prefix_map)
-            relocated.binary.write(target)
+            prefix.mkdir(parents=True, exist_ok=True)
+            extracted_bytes = 0
+            file_count = 0
+            for path in sorted(files.rglob("*")):
+                rel = path.relative_to(files)
+                target = prefix / rel
+                if path.is_dir():
+                    target.mkdir(parents=True, exist_ok=True)
+                    continue
+                target.parent.mkdir(parents=True, exist_ok=True)
+                data = path.read_bytes()
+                extracted_bytes += len(data)
+                file_count += 1
+                try:
+                    binary = MockBinary.from_bytes(data)
+                except BinaryFormatError:
+                    target.write_bytes(data)  # opaque payload: copy verbatim
+                    continue
+                relocated = relocate_binary(binary, prefix_map)
+                relocated.binary.write(target)
+            sp.set(files=file_count, bytes=extracted_bytes)
+        metrics.inc("buildcache.extractions")
+        metrics.inc("buildcache.extracted_bytes", extracted_bytes)
+        logger.debug(
+            "extracted %s/%s to %s: %d files, %d bytes in %.4fs",
+            meta.get("name"), dag_hash[:7], prefix, file_count,
+            extracted_bytes, sp.duration,
+        )
         return prefix
 
     # ------------------------------------------------------------------

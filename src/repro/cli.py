@@ -13,6 +13,13 @@ Packages come from the built-in RADIUSS repository by default
 (``--repo mock`` switches to the paper's Figure-1 toy packages).
 A ``--cache DIR`` buildcache and the ``--store DIR`` install database
 both contribute reusable specs to the concretizer.
+
+Observability flags (every subcommand, see docs/observability.md):
+
+* ``--trace FILE`` — write a Chrome trace-event JSON of all spans
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev);
+* ``--profile``    — print a per-phase time table after the command;
+* ``-v`` / ``-vv`` — INFO / DEBUG logging to stderr.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from .binary.discovery import discover_provider_splices
 from .buildcache import BuildCache
 from .concretize import Concretizer, UnsatisfiableError
 from .installer import InstallError, Installer
+from .obs import configure_logging, phase_table, trace, write_chrome_trace
 from .package.repository import Repository
 from .repos.mock import make_mock_repo
 from .repos.radiuss import make_radiuss_repo
@@ -275,6 +283,34 @@ def cmd_suggest_splices(args) -> int:
     return 0
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Observability flags shared by every subcommand.
+
+    Defaults are SUPPRESS so a flag given *before* the subcommand (on
+    the top-level parser) is not clobbered when the subparser runs.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_obs_arguments(parent, argparse.SUPPRESS)
+    return parent
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser, default) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=default,
+        help="write a Chrome trace-event JSON of all spans to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        default=False if default is None else default,
+        help="print a per-phase time table when the command finishes",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count",
+        default=0 if default is None else default,
+        help="-v shows INFO progress, -vv shows DEBUG detail",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -284,9 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--repo", default="radiuss", help="package repository (radiuss|mock)"
     )
+    _add_obs_arguments(parser, None)
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_spec = sub.add_parser("spec", help="concretize specs and print the DAG")
+    p_spec = sub.add_parser("spec", help="concretize specs and print the DAG",
+                            parents=[obs])
     p_spec.add_argument("specs", nargs="+")
     p_spec.add_argument("--splice", action="store_true", help="enable splicing")
     p_spec.add_argument("--forbid", action="append", help="forbid a package")
@@ -295,7 +334,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec.add_argument("--time", action="store_true", help="print solve time")
     p_spec.set_defaults(func=cmd_spec)
 
-    p_install = sub.add_parser("install", help="concretize and install")
+    p_install = sub.add_parser("install", help="concretize and install",
+                               parents=[obs])
     p_install.add_argument("specs", nargs="+")
     p_install.add_argument("--store", required=True, help="install store root")
     p_install.add_argument("--cache", help="buildcache to extract from")
@@ -303,33 +343,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_install.add_argument("--forbid", action="append")
     p_install.set_defaults(func=cmd_install)
 
-    p_find = sub.add_parser("find", help="list installed specs")
+    p_find = sub.add_parser("find", help="list installed specs", parents=[obs])
     p_find.add_argument("--store", required=True)
     p_find.set_defaults(func=cmd_find)
 
-    p_cache = sub.add_parser("buildcache", help="manage a binary cache")
+    p_cache = sub.add_parser("buildcache", help="manage a binary cache",
+                             parents=[obs])
     p_cache.add_argument("action", choices=["create", "list"])
     p_cache.add_argument("specs", nargs="*")
     p_cache.add_argument("--cache", required=True)
     p_cache.add_argument("--store", help="store to read binaries from")
     p_cache.set_defaults(func=cmd_buildcache)
 
-    p_uninstall = sub.add_parser("uninstall", help="remove an installed spec")
+    p_uninstall = sub.add_parser("uninstall", help="remove an installed spec",
+                                 parents=[obs])
     p_uninstall.add_argument("spec", help="package name to uninstall")
     p_uninstall.add_argument("--store", required=True)
     p_uninstall.add_argument("--force", action="store_true",
                              help="remove even with installed dependents")
     p_uninstall.set_defaults(func=cmd_uninstall)
 
-    p_gc = sub.add_parser("gc", help="remove installs unreachable from roots")
+    p_gc = sub.add_parser("gc", help="remove installs unreachable from roots",
+                          parents=[obs])
     p_gc.add_argument("--store", required=True)
     p_gc.set_defaults(func=cmd_gc)
 
-    p_verify = sub.add_parser("verify", help="integrity-check the store")
+    p_verify = sub.add_parser("verify", help="integrity-check the store",
+                              parents=[obs])
     p_verify.add_argument("--store", required=True)
     p_verify.set_defaults(func=cmd_verify)
 
-    p_env = sub.add_parser("env", help="manage environments")
+    p_env = sub.add_parser("env", help="manage environments", parents=[obs])
     p_env.add_argument("action",
                        choices=["create", "add", "concretize", "install", "status"])
     p_env.add_argument("--env", required=True, help="environment directory")
@@ -340,7 +384,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_env.add_argument("--jobs", type=int, default=1)
     p_env.set_defaults(func=cmd_env)
 
-    p_diff = sub.add_parser("diff", help="compare two concretized specs")
+    p_diff = sub.add_parser("diff", help="compare two concretized specs",
+                            parents=[obs])
     p_diff.add_argument("left")
     p_diff.add_argument("right")
     p_diff.add_argument("--cache")
@@ -348,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.set_defaults(func=cmd_diff)
 
     p_suggest = sub.add_parser(
-        "suggest-splices", help="automatic ABI discovery report"
+        "suggest-splices", help="automatic ABI discovery report", parents=[obs]
     )
     p_suggest.add_argument("--virtual", default=None)
     p_suggest.add_argument(
@@ -361,7 +406,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(getattr(args, "verbose", 0))
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        trace.enable()
+    try:
+        return args.func(args)
+    finally:
+        if trace_path:
+            write_chrome_trace(trace_path)
+            trace.disable()
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if getattr(args, "profile", False):
+            print()
+            print(phase_table())
 
 
 if __name__ == "__main__":

@@ -10,13 +10,14 @@ Configuration axes mirror the paper's experiments (Section 6.1.4):
 
 from __future__ import annotations
 
-import time
+import logging
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..asp.api import Control, Model
 from ..asp.parser import parse_program
 from ..asp.syntax import Program
+from ..obs import trace
 from ..package.repository import Repository
 from ..spec import Spec, parse_one
 from .cansplice import CanSpliceCompiler
@@ -25,6 +26,8 @@ from .extract import ModelExtractor
 from .reuse import ReuseEncoder, NEW_ENCODING, OLD_ENCODING
 
 __all__ = ["Concretizer", "ConcretizationResult", "UnsatisfiableError"]
+
+logger = logging.getLogger(__name__)
 
 LOGIC_DIR = Path(__file__).parent / "logic"
 
@@ -191,49 +194,69 @@ class Concretizer:
         exists (e.g. conflicting constraints, or a forbidden package
         that cannot be avoided).
         """
-        t_start = time.perf_counter()
         roots = [parse_one(s) if isinstance(s, str) else s for s in specs]
-
-        control = Control()
-        encoder = Encoder(self.repo)
-        encoder.encode_repository()
-        encoder.encode_request(
-            roots,
-            forbidden=forbidden,
-            default_os=self.default_os,
-            default_target=self.default_target,
+        logger.info(
+            "concretizing %s (encoding=%s, splicing=%s, %d reusable)",
+            [str(r) for r in roots], self.encoding, self.splicing,
+            len(self.reusable_specs),
         )
 
-        self._resolve_hash_constraints(roots, control)
+        with trace.span(
+            "concretize.solve",
+            roots=[str(r) for r in roots],
+            encoding=self.encoding,
+            splicing=self.splicing,
+        ) as outer:
+            with trace.span("concretize.setup") as setup_span:
+                control = Control()
+                encoder = Encoder(self.repo)
+                encoder.encode_repository()
+                encoder.encode_request(
+                    roots,
+                    forbidden=forbidden,
+                    default_os=self.default_os,
+                    default_target=self.default_target,
+                )
 
-        if self.splicing:
-            compiler = CanSpliceCompiler(self.repo, encoder)
-            for rule in compiler.compile_all():
-                control.add_rule(rule)
+                self._resolve_hash_constraints(roots, control)
 
-        encoder.into_program(control.program)
+                if self.splicing:
+                    compiler = CanSpliceCompiler(self.repo, encoder)
+                    for rule in compiler.compile_all():
+                        control.add_rule(rule)
 
-        reuse = ReuseEncoder(self.encoding)
-        for fact in reuse.encode_specs(self.reusable_specs):
-            control.add_fact(fact)
+                encoder.into_program(control.program)
 
-        control.program.extend(_load_logic("concretize.lp"))
-        if self.encoding == NEW_ENCODING:
-            control.program.extend(_load_logic("reuse_new.lp"))
-        if self.splicing:
-            control.program.extend(_load_logic("splice.lp"))
+                reuse = ReuseEncoder(self.encoding)
+                for fact in reuse.encode_specs(self.reusable_specs):
+                    control.add_fact(fact)
 
-        result = control.solve()
-        if not result.satisfiable:
-            raise UnsatisfiableError(
-                f"no concretization for {[str(r) for r in roots]}"
-            )
+                control.program.extend(_load_logic("concretize.lp"))
+                if self.encoding == NEW_ENCODING:
+                    control.program.extend(_load_logic("reuse_new.lp"))
+                if self.splicing:
+                    control.program.extend(_load_logic("splice.lp"))
+                setup_span.set(reusable_nodes=reuse.node_count)
 
-        extractor = ModelExtractor(result.model, self.lookup)
-        by_name = extractor.extract()
-        concrete_roots = [by_name[r.name] for r in roots]
-        total = time.perf_counter() - t_start
+            result = control.solve()
+            if not result.satisfiable:
+                raise UnsatisfiableError(
+                    f"no concretization for {[str(r) for r in roots]}"
+                )
+
+            with trace.span("concretize.extract"):
+                extractor = ModelExtractor(result.model, self.lookup)
+                by_name = extractor.extract()
+            concrete_roots = [by_name[r.name] for r in roots]
+
         stats = dict(result.stats)
-        stats["total_time"] = total
+        stats["setup_time"] = setup_span.duration
+        stats["total_time"] = outer.duration
         stats["reusable_nodes"] = reuse.node_count
+        logger.info(
+            "concretized in %.3fs (setup %.3fs, ground %.3fs, "
+            "translate %.3fs, solve %.3fs)",
+            outer.duration, setup_span.duration, stats.get("ground_time", 0.0),
+            stats.get("translate_time", 0.0), stats.get("solve_time", 0.0),
+        )
         return ConcretizationResult(concrete_roots, by_name, result.model, stats)

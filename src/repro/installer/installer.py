@@ -17,6 +17,7 @@ The report distinguishes these paths so the benchmarks can count
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
@@ -25,12 +26,15 @@ from ..binary.abi import AbiReport, check_abi_compatibility
 from ..binary.mockelf import MockBinary, BinaryFormatError
 from ..binary.rewire import plan_rewire, rewire_binary, RewireError
 from ..buildcache.cache import BuildCache
+from ..obs import metrics, trace
 from ..package.repository import Repository
 from ..spec import Spec, DEPTYPE_LINK_RUN
 from .builder import Builder, BuildError, prefix_name
 from .database import Database
 
 __all__ = ["Installer", "InstallReport", "InstallError"]
+
+logger = logging.getLogger(__name__)
 
 
 class InstallError(RuntimeError):
@@ -93,21 +97,25 @@ class Installer:
         if jobs > 1:
             return self._install_parallel([spec], jobs)
         report = InstallReport()
-        for node in spec.traverse(order="post"):
-            self._install_node(node, node is spec and explicit, report)
-        self.database.save()
+        with trace.span("install.run", root=spec.name, jobs=1):
+            for node in spec.traverse(order="post"):
+                self._install_node(node, node is spec and explicit, report)
+            self.database.save()
         report.simulated_build_time = self.builder.simulated_build_time
+        logger.info("installed %s: %s", spec.name, report.summary())
         return report
 
     def install_all(self, specs: Sequence[Spec], jobs: int = 1) -> InstallReport:
         if jobs > 1:
             return self._install_parallel(specs, jobs)
         report = InstallReport()
-        for spec in specs:
-            for node in spec.traverse(order="post"):
-                self._install_node(node, node is spec, report)
-        self.database.save()
+        with trace.span("install.run", roots=len(specs), jobs=1):
+            for spec in specs:
+                for node in spec.traverse(order="post"):
+                    self._install_node(node, node is spec, report)
+            self.database.save()
         report.simulated_build_time = self.builder.simulated_build_time
+        logger.info("installed %d root(s): %s", len(specs), report.summary())
         return report
 
     def _install_parallel(self, specs: Sequence[Spec], jobs: int) -> InstallReport:
@@ -182,17 +190,22 @@ class Installer:
         h = node.dag_hash()
         for cache in self.caches:
             if h in cache and cache.has_payload(h):
+                metrics.inc("buildcache.hits")
                 # dependency references in the cached binary point at the
                 # build machine's prefixes; rewrite them to local ones
-                meta = cache.meta(h)
-                prefix_map = {}
-                for dep_hash, old_prefix in meta.get("dep_prefixes", {}).items():
-                    record = self.database.get(dep_hash)
-                    if record is not None and old_prefix:
-                        prefix_map[old_prefix] = record.prefix
-                cache.extract(h, prefix, extra_prefix_map=prefix_map)
+                with trace.span("install.extract", name=node.name):
+                    meta = cache.meta(h)
+                    prefix_map = {}
+                    for dep_hash, old_prefix in meta.get("dep_prefixes", {}).items():
+                        record = self.database.get(dep_hash)
+                        if record is not None and old_prefix:
+                            prefix_map[old_prefix] = record.prefix
+                    cache.extract(h, prefix, extra_prefix_map=prefix_map)
                 report.extracted.append(node.name)
+                logger.debug("extracted %s/%s from cache", node.name, h[:7])
                 return True
+        if self.caches:
+            metrics.inc("buildcache.misses")
         return False
 
     def push_to_cache(self, cache: BuildCache, spec: Spec) -> None:
@@ -214,15 +227,24 @@ class Installer:
 
     def _build(self, node: Spec, prefix: Path, report: InstallReport) -> None:
         try:
-            self.builder.build(node, prefix, self._dep_prefix)
+            with trace.span("install.build", name=node.name):
+                self.builder.build(node, prefix, self._dep_prefix)
         except BuildError as e:
             raise InstallError(str(e)) from e
         report.built.append(node.name)
+        logger.debug("built %s from source", node.name)
 
     # ------------------------------------------------------------------
     def _install_spliced(self, node: Spec, prefix: Path, report: InstallReport) -> None:
         """Install a spliced spec: fetch its build spec's binaries and
         rewire them against the spliced dependencies."""
+        with trace.span("install.rewire", name=node.name):
+            self._install_spliced_inner(node, prefix, report)
+        logger.debug("rewired %s (spliced, no rebuild)", node.name)
+
+    def _install_spliced_inner(
+        self, node: Spec, prefix: Path, report: InstallReport
+    ) -> None:
         build_spec = node.build_spec
         source_prefix, old_prefixes = self._locate_build_spec(build_spec)
 

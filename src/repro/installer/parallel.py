@@ -15,14 +15,18 @@ up to ``jobs`` simultaneous workers.  Correctness invariants:
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from ..obs import metrics, trace
 from ..spec import Spec
 
 __all__ = ["ParallelPlan", "run_parallel_install"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -89,6 +93,10 @@ def run_parallel_install(
         with lock:
             running += 1
             plan.max_concurrency = max(plan.max_concurrency, running)
+            occupancy = running
+        # worker-occupancy histogram: how many workers were busy when
+        # each node started (p50 near `jobs` means the pool is saturated)
+        metrics.observe("install.worker_occupancy", occupancy)
         try:
             # the installer's node path is not thread-safe around the
             # database; serialize the DB check/update, run the build
@@ -101,33 +109,50 @@ def run_parallel_install(
             with lock:
                 running -= 1
 
-    with ThreadPoolExecutor(max_workers=max(jobs, 1)) as pool:
-        futures = {}
-        submitted: Set[str] = set()
+    with trace.span(
+        "install.parallel", jobs=jobs, nodes=len(nodes)
+    ) as parallel_span:
+        with ThreadPoolExecutor(max_workers=max(jobs, 1)) as pool:
+            futures = {}
+            submitted: Set[str] = set()
 
-        def submit_ready() -> None:
-            for h in ready_nodes():
-                if h not in submitted:
-                    submitted.add(h)
-                    futures[pool.submit(install_one, h)] = h
+            def submit_ready() -> None:
+                for h in ready_nodes():
+                    if h not in submitted:
+                        submitted.add(h)
+                        futures[pool.submit(install_one, h)] = h
 
-        submit_ready()
-        while futures:
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                h = futures.pop(future)
-                remaining.pop(h, None)
-                error = future.result()
-                node = nodes[h]
-                if error is None:
-                    plan.installed.append(node.name)
-                    for dep in dependents.get(h, ()):  # release dependents
-                        if dep in remaining:
-                            remaining[dep] -= 1
-                else:
-                    plan.failed[node.name] = error
-                    _poison(h, dependents, poisoned)
             submit_ready()
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    h = futures.pop(future)
+                    remaining.pop(h, None)
+                    error = future.result()
+                    node = nodes[h]
+                    if error is None:
+                        plan.installed.append(node.name)
+                        for dep in dependents.get(h, ()):  # release dependents
+                            if dep in remaining:
+                                remaining[dep] -= 1
+                    else:
+                        plan.failed[node.name] = error
+                        logger.warning(
+                            "install of %s failed: %s", node.name, error
+                        )
+                        _poison(h, dependents, poisoned)
+                submit_ready()
+        parallel_span.set(
+            installed=len(plan.installed),
+            failed=len(plan.failed),
+            max_concurrency=plan.max_concurrency,
+        )
+    metrics.gauge("install.max_concurrency").max(plan.max_concurrency)
+    metrics.inc("install.parallel_nodes", len(plan.installed))
+    logger.info(
+        "parallel install: %d node(s) with %d job(s), peak concurrency %d",
+        len(plan.installed), jobs, plan.max_concurrency,
+    )
 
     for h in poisoned:
         if h in nodes and nodes[h].name not in plan.failed:

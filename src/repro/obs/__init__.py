@@ -1,0 +1,112 @@
+"""repro.obs — structured tracing, metrics, and logging for every layer.
+
+The paper's evaluation is a timing story (encoding overhead, grounding
+vs. solving, scaling in splice candidates); this package is the shared
+substrate those numbers flow through.  Three pieces:
+
+* :mod:`repro.obs.trace` — thread-safe nested spans
+  (``with trace.span("asp.solve", atoms=n):``), with always-on
+  per-phase aggregates and opt-in full event retention;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms
+  (``metrics.inc("buildcache.hits")``);
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in
+  ``chrome://tracing`` or Perfetto) and a plain-text phase table.
+
+Naming convention for spans and metrics: ``<subsystem>.<operation>``,
+e.g. ``concretize.setup``, ``asp.ground``, ``buildcache.extract``,
+``install.build``, ``relocate.prefixes_replaced``.
+
+CLI integration: every subcommand accepts ``--trace FILE`` (write a
+Chrome trace), ``--profile`` (print the phase table), and ``-v/-vv``
+(INFO/DEBUG logging).  See :mod:`repro.cli` and docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Dict, Optional
+
+from .trace import PhaseStat, Span, Tracer, trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
+from .export import (
+    SCHEMA_VERSION,
+    chrome_trace,
+    phase_table,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Span",
+    "PhaseStat",
+    "Tracer",
+    "trace",
+    "span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "phase_table",
+    "snapshot",
+    "reset",
+    "configure_logging",
+]
+
+
+def span(name: str, /, **attributes: Any) -> Span:
+    """Shorthand for ``trace.span(...)`` on the global tracer."""
+    return trace.span(name, **attributes)
+
+
+def snapshot() -> Dict[str, Any]:
+    """One JSON-serializable view of everything observed so far."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "phases": trace.phase_stats(),
+        "metrics": metrics.snapshot(),
+    }
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (tests, bench isolation)."""
+    trace.clear()
+    metrics.reset()
+
+
+#: marker attribute so repeated configure_logging calls don't stack handlers
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Wire the package's stdlib loggers to stderr.
+
+    ``verbosity`` 0 keeps the default (WARNING — silent in normal
+    operation), 1 (``-v``) shows INFO progress lines, 2+ (``-vv``)
+    shows DEBUG detail.  Idempotent: re-configuring adjusts the level
+    on the existing handler instead of adding another.
+    """
+    level = (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    handler: Optional[logging.Handler] = None
+    for existing in logger.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    return logger

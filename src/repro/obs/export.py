@@ -1,0 +1,98 @@
+"""Exporters: Chrome trace-event JSON and a plain-text phase table.
+
+The Chrome format is the lingua franca of timeline viewers — load the
+emitted file in ``chrome://tracing`` or https://ui.perfetto.dev and the
+nested spans (one lane per thread) render as a flame chart.  Each span
+becomes one complete event (``"ph": "X"``) with microsecond ``ts``/
+``dur`` relative to the tracer's epoch.
+
+The phase table is the terminal-friendly view (`--profile`): one row
+per span name aggregated over the whole run, sorted by total time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from .trace import Tracer, trace as _global_trace
+
+__all__ = ["SCHEMA_VERSION", "chrome_trace", "write_chrome_trace", "phase_table"]
+
+#: bumped whenever the exported span/metric naming or layout changes;
+#: embedded in traces and BENCH_*.json so tooling can tell vintages apart
+SCHEMA_VERSION = 1
+
+
+def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:
+    """Render the tracer's events as a Chrome trace-event document."""
+    tracer = tracer if tracer is not None else _global_trace
+    events = []
+    for record in tracer.events():
+        args = dict(record["args"])
+        if record["parent"]:
+            args["parent"] = record["parent"]
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": round(record["ts"], 3),
+                "dur": round(record["dur"], 3),
+                "pid": 1,
+                "tid": record["tid"],
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema_version": SCHEMA_VERSION},
+    }
+
+
+def write_chrome_trace(path, tracer: Optional[Tracer] = None) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer), indent=1))
+    return path
+
+
+def phase_table(tracer: Optional[Tracer] = None) -> str:
+    """Aggregate phase times as an aligned text table (for --profile).
+
+    ``%`` is each phase's share of the sum over all phases; nested
+    spans count toward both themselves and their parents, so the
+    column is a ranking aid, not a partition of wall-clock.
+    """
+    tracer = tracer if tracer is not None else _global_trace
+    stats = tracer.phase_stats()
+    if not stats:
+        return "(no spans recorded)"
+    grand_total = sum(s["total_s"] for s in stats.values()) or 1.0
+    columns = ["phase", "count", "total_s", "mean_ms", "min_ms", "max_ms", "%"]
+    rows = []
+    for name in sorted(stats, key=lambda n: -stats[n]["total_s"]):
+        s = stats[name]
+        rows.append(
+            {
+                "phase": name,
+                "count": s["count"],
+                "total_s": f"{s['total_s']:.4f}",
+                "mean_ms": f"{s['mean_s'] * 1e3:.2f}",
+                "min_ms": f"{s['min_s'] * 1e3:.2f}",
+                "max_ms": f"{s['max_s'] * 1e3:.2f}",
+                "%": f"{s['total_s'] / grand_total * 100:.1f}",
+            }
+        )
+    widths = {
+        c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns
+    }
+    lines = [
+        "  ".join(c.ljust(widths[c]) for c in columns),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Metrics: counters, gauges, and histograms with percentile summaries.
+
+Instruments are named with the same ``<subsystem>.<operation>``
+convention as spans (``buildcache.hits``, ``relocate.prefixes_replaced``)
+and live in a process-global :class:`MetricsRegistry`::
+
+    from repro.obs import metrics
+
+    metrics.inc("buildcache.hits")
+    metrics.observe("asp.solve_seconds", dt)
+    metrics.gauge("install.max_concurrency").set(high_water)
+
+Every instrument is individually locked, so concurrent installer
+workers can bump the same counter without a global bottleneck.
+``snapshot()`` renders everything to plain dicts for JSON emission
+(the bench runner embeds it in ``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metrics"]
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up (use a gauge)")
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self):
+        return f"<Counter {self.value}>"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the high-water mark of all ``max()`` calls."""
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
+    def __repr__(self):
+        return f"<Gauge {self.value}>"
+
+
+class Histogram:
+    """Observed samples with nearest-rank percentile summaries."""
+
+    __slots__ = ("_lock", "values")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.values.append(value)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) over all samples."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of [0, 100]")
+        with self._lock:
+            values = sorted(self.values)
+        if not values:
+            return 0.0
+        rank = max(1, -(-len(values) * p // 100))  # ceil without math
+        return values[int(rank) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            values = sorted(self.values)
+        if not values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        total = sum(values)
+
+        def rank(p: float) -> float:
+            r = max(1, -(-len(values) * p // 100))
+            return values[int(r) - 1]
+
+        return {
+            "count": len(values),
+            "sum": total,
+            "min": values[0],
+            "max": values[-1],
+            "mean": total / len(values),
+            "p50": rank(50),
+            "p90": rank(90),
+            "p99": rank(99),
+        }
+
+    def __repr__(self):
+        return f"<Histogram n={len(self.values)}>"
+
+
+class MetricsRegistry:
+    """Get-or-create registry for all instruments (the global ``metrics``)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    # -- conveniences ------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """All instruments rendered to plain (JSON-serializable) dicts."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: c.value for k, c in sorted(counters.items())},
+            "gauges": {k: g.value for k, g in sorted(gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(histograms.items())},
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+
+    def __repr__(self):
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )
+
+
+#: the process-global registry every instrumented subsystem reports to
+metrics = MetricsRegistry()

@@ -1,0 +1,218 @@
+"""Thread-safe tracing spans: timed, nested, attribute-carrying.
+
+A span names one operation using the package-wide convention
+``<subsystem>.<operation>`` (``asp.ground``, ``buildcache.extract``,
+``install.build``, ...) and is used as a context manager::
+
+    from repro.obs import trace
+
+    with trace.span("asp.solve", atoms=n) as sp:
+        outcome = optimizer.optimize()
+        sp.set(models=outcome.models_seen)
+
+The tracer keeps two tiers of data:
+
+* **aggregates** — per-name count/total/min/max, *always* maintained.
+  They cost two clock reads and one locked dict update per span, which
+  is why the concretizer can report per-phase times (and the bench
+  runner per-phase breakdowns) without any opt-in.
+* **events** — full per-span records (timestamp, duration, thread,
+  attributes, parent) retained only while :meth:`Tracer.enable` is in
+  effect.  These feed the Chrome trace-event exporter.  Disabled by
+  default so long-lived library use never grows memory.
+
+Nesting is tracked per thread: entering a span pushes it on the calling
+thread's stack, so children record their parent's name and the
+parallel installer's workers each get their own lane (``tid``) in the
+exported trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "PhaseStat", "Tracer", "trace"]
+
+
+class PhaseStat:
+    """Always-on aggregate over every finished span of one name."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def add(self, duration: float) -> None:
+        if self.count == 0 or duration < self.min:
+            self.min = duration
+        if duration > self.max:
+            self.max = duration
+        self.count += 1
+        self.total += duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min,
+            "max_s": self.max,
+        }
+
+    def __repr__(self):
+        return f"<PhaseStat n={self.count} total={self.total:.4f}s>"
+
+
+class Span:
+    """One timed operation; a context manager handed out by the tracer.
+
+    ``duration`` is 0.0 until the span exits; attributes may be added
+    mid-flight with :meth:`set` (e.g. an atom count known only after
+    grounding).  A span that exits via an exception records the
+    exception type under the ``error`` attribute — the timing data of
+    failed operations is often the most interesting kind.
+    """
+
+    __slots__ = (
+        "tracer", "name", "attributes", "tid", "parent",
+        "start", "duration", "_t0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.tid = 0
+        self.parent: Optional[str] = None
+        self.start = 0.0
+        self.duration = 0.0
+        self._t0 = 0.0
+
+    def set(self, **attributes: Any) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self.tid = threading.get_ident()
+        self._t0 = time.perf_counter()
+        self.start = self._t0 - self.tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.tracer._record(self)
+        return False
+
+    def __repr__(self):
+        return f"<Span {self.name} {self.duration * 1e3:.3f}ms>"
+
+
+class Tracer:
+    """Process-global span collector (the module-level ``trace``)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._enabled = False
+        self._events: List[Dict[str, Any]] = []
+        self._aggregates: Dict[str, PhaseStat] = {}
+        self._epoch = time.perf_counter()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start retaining full span events (for Chrome-trace export)."""
+        with self._lock:
+            self._enabled = True
+
+    def disable(self) -> None:
+        with self._lock:
+            self._enabled = False
+
+    def clear(self) -> None:
+        """Drop all recorded events and aggregates; reset the epoch."""
+        with self._lock:
+            self._events = []
+            self._aggregates = {}
+            self._epoch = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+    def span(self, name: str, /, **attributes: Any) -> Span:
+        # `name` is positional-only so "name" stays usable as a span
+        # attribute (e.g. trace.span("install.build", name=node.name))
+        return Span(self, name, attributes)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            stat = self._aggregates.get(span.name)
+            if stat is None:
+                stat = self._aggregates[span.name] = PhaseStat()
+            stat.add(span.duration)
+            if self._enabled:
+                self._events.append(
+                    {
+                        "name": span.name,
+                        "ts": span.start * 1e6,
+                        "dur": span.duration * 1e6,
+                        "tid": span.tid,
+                        "parent": span.parent,
+                        "args": dict(span.attributes),
+                    }
+                )
+
+    # -- reads -------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        """Finished span records (only populated while enabled)."""
+        with self._lock:
+            return list(self._events)
+
+    def phase_times(self) -> Dict[str, float]:
+        """Total seconds per span name (always available)."""
+        with self._lock:
+            return {name: stat.total for name, stat in self._aggregates.items()}
+
+    def phase_stats(self) -> Dict[str, Dict[str, float]]:
+        """Count/total/mean/min/max per span name (always available)."""
+        with self._lock:
+            return {
+                name: stat.as_dict() for name, stat in self._aggregates.items()
+            }
+
+    def __repr__(self):
+        state = "enabled" if self._enabled else "disabled"
+        return f"<Tracer {state} events={len(self._events)}>"
+
+
+#: the process-global tracer every instrumented subsystem reports to
+trace = Tracer()

@@ -1,0 +1,90 @@
+"""Exporter tests: Chrome trace-event validity and the phase table."""
+
+import json
+
+import pytest
+
+from repro.obs import SCHEMA_VERSION, Tracer, chrome_trace, phase_table, write_chrome_trace
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    with t.span("concretize.solve", roots=["hdf5"]):
+        with t.span("asp.ground"):
+            pass
+        with t.span("asp.solve", atoms=42):
+            pass
+    return t
+
+
+class TestChromeTrace:
+    def test_json_round_trip(self, tracer, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", tracer)
+        document = json.loads(path.read_text())
+        assert document == chrome_trace(tracer)
+
+    def test_required_fields(self, tracer):
+        document = chrome_trace(tracer)
+        events = document["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["dur"] >= 0
+            assert event["pid"] == 1
+            assert isinstance(event["tid"], int)
+
+    def test_category_is_subsystem(self, tracer):
+        cats = {e["name"]: e["cat"] for e in chrome_trace(tracer)["traceEvents"]}
+        assert cats["concretize.solve"] == "concretize"
+        assert cats["asp.ground"] == "asp"
+
+    def test_nesting_encoded_in_args_parent(self, tracer):
+        by_name = {e["name"]: e for e in chrome_trace(tracer)["traceEvents"]}
+        assert by_name["asp.ground"]["args"]["parent"] == "concretize.solve"
+        assert "parent" not in by_name["concretize.solve"]["args"]
+
+    def test_attributes_exported(self, tracer):
+        by_name = {e["name"]: e for e in chrome_trace(tracer)["traceEvents"]}
+        assert by_name["asp.solve"]["args"]["atoms"] == 42
+        assert by_name["concretize.solve"]["args"]["roots"] == ["hdf5"]
+
+    def test_schema_version_embedded(self, tracer):
+        assert chrome_trace(tracer)["otherData"]["schema_version"] == SCHEMA_VERSION
+
+    def test_child_timestamps_inside_parent(self, tracer):
+        by_name = {e["name"]: e for e in chrome_trace(tracer)["traceEvents"]}
+        parent = by_name["concretize.solve"]
+        child = by_name["asp.ground"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-3
+
+    def test_empty_tracer_is_valid(self):
+        document = chrome_trace(Tracer())
+        assert document["traceEvents"] == []
+        json.dumps(document)
+
+
+class TestPhaseTable:
+    def test_lists_every_phase(self, tracer):
+        table = phase_table(tracer)
+        for name in ("concretize.solve", "asp.ground", "asp.solve"):
+            assert name in table
+
+    def test_has_header_and_alignment(self, tracer):
+        lines = phase_table(tracer).splitlines()
+        assert "phase" in lines[0] and "total_s" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 2 + 3  # header + rule + one row per phase
+
+    def test_empty_tracer_message(self):
+        assert phase_table(Tracer()) == "(no spans recorded)"
+
+    def test_works_from_aggregates_even_when_disabled(self):
+        tracer = Tracer()  # disabled: no events, aggregates only
+        with tracer.span("quiet.op"):
+            pass
+        assert "quiet.op" in phase_table(tracer)

@@ -1,0 +1,128 @@
+"""Metrics registry tests: counters, gauges, histogram percentiles."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self, registry):
+        registry.inc("a.hits")
+        registry.inc("a.hits")
+        assert registry.counter("a.hits").value == 2
+
+    def test_inc_amount(self, registry):
+        registry.inc("a.bytes", 1024)
+        registry.inc("a.bytes", 512)
+        assert registry.counter("a.bytes").value == 1536
+
+    def test_counters_only_go_up(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("a.n").inc(-1)
+
+    def test_get_or_create_returns_same_instance(self, registry):
+        assert registry.counter("x.y") is registry.counter("x.y")
+
+    def test_concurrent_increments_lose_nothing(self, registry):
+        counter = registry.counter("race.n")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        gauge = registry.gauge("g.v")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_max_keeps_high_water(self, registry):
+        gauge = registry.gauge("g.peak")
+        for v in (2, 5, 3):
+            gauge.max(v)
+        assert gauge.value == 5
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_over_uniform_1_to_100(self, registry):
+        hist = registry.histogram("h.lat")
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.percentile(50) == 50
+        assert hist.percentile(90) == 90
+        assert hist.percentile(99) == 99
+        assert hist.percentile(100) == 100
+        assert hist.percentile(0) == 1  # nearest-rank floor
+
+    def test_summary_fields(self, registry):
+        hist = registry.histogram("h.s")
+        for v in (4.0, 1.0, 3.0, 2.0):
+            hist.observe(v)
+        s = hist.summary()
+        assert s["count"] == 4
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["sum"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["p50"] == 2.0
+
+    def test_empty_histogram_summary_is_zeros(self, registry):
+        s = registry.histogram("h.empty").summary()
+        assert s["count"] == 0
+        assert s["p99"] == 0.0
+
+    def test_single_sample(self, registry):
+        hist = registry.histogram("h.one")
+        hist.observe(7.0)
+        assert hist.percentile(50) == 7.0
+        assert hist.percentile(99) == 7.0
+
+    def test_percentile_out_of_range(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h.x").percentile(101)
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self, registry):
+        import json
+
+        registry.inc("c.n", 3)
+        registry.gauge("g.v").set(2.5)
+        registry.observe("h.v", 1.0)
+        snap = registry.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["counters"]["c.n"] == 3
+        assert parsed["gauges"]["g.v"] == 2.5
+        assert parsed["histograms"]["h.v"]["count"] == 1
+
+    def test_reset(self, registry):
+        registry.inc("c.n")
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestGlobalHelpers:
+    def test_obs_snapshot_merges_phases_and_metrics(self):
+        import repro.obs as obs
+
+        snap = obs.snapshot()
+        assert snap["schema_version"] == obs.SCHEMA_VERSION
+        assert set(snap) == {"schema_version", "phases", "metrics"}

@@ -1,0 +1,188 @@
+"""Span API tests: nesting, timing, attributes, thread-safety."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestSpanBasics:
+    def test_span_times_its_body(self, tracer):
+        with tracer.span("test.sleep") as sp:
+            time.sleep(0.01)
+        assert sp.duration >= 0.01
+        [event] = tracer.events()
+        assert event["name"] == "test.sleep"
+        assert event["dur"] >= 0.01 * 1e6  # microseconds
+
+    def test_attributes_at_creation_and_mid_flight(self, tracer):
+        with tracer.span("test.attrs", atoms=7) as sp:
+            sp.set(clauses=11)
+        [event] = tracer.events()
+        assert event["args"] == {"atoms": 7, "clauses": 11}
+
+    def test_name_is_a_legal_attribute(self, tracer):
+        with tracer.span("test.named", name="zlib"):
+            pass
+        [event] = tracer.events()
+        assert event["name"] == "test.named"
+        assert event["args"]["name"] == "zlib"
+
+    def test_duration_zero_before_exit(self, tracer):
+        with tracer.span("test.open") as sp:
+            assert sp.duration == 0.0
+        assert sp.duration > 0.0
+
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("test.boom"):
+                raise ValueError("no")
+        [event] = tracer.events()
+        assert event["args"]["error"] == "ValueError"
+
+    def test_timestamps_relative_to_epoch_are_ordered(self, tracer):
+        with tracer.span("test.first"):
+            pass
+        with tracer.span("test.second"):
+            pass
+        first, second = tracer.events()
+        assert 0 <= first["ts"] <= second["ts"]
+
+
+class TestNesting:
+    def test_child_records_parent_name(self, tracer):
+        with tracer.span("outer.op"):
+            with tracer.span("inner.op"):
+                pass
+        inner, outer = tracer.events()
+        assert inner["name"] == "inner.op"
+        assert inner["parent"] == "outer.op"
+        assert outer["parent"] is None
+
+    def test_three_levels(self, tracer):
+        with tracer.span("a.a"):
+            with tracer.span("b.b"):
+                with tracer.span("c.c"):
+                    pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert by_name["c.c"]["parent"] == "b.b"
+        assert by_name["b.b"]["parent"] == "a.a"
+        assert by_name["a.a"]["parent"] is None
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("root.op"):
+            with tracer.span("kid.one"):
+                pass
+            with tracer.span("kid.two"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert by_name["kid.one"]["parent"] == "root.op"
+        assert by_name["kid.two"]["parent"] == "root.op"
+
+    def test_current_span(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("test.cur") as sp:
+            assert tracer.current_span() is sp
+        assert tracer.current_span() is None
+
+    def test_nested_durations_contained(self, tracer):
+        with tracer.span("outer.timed") as outer:
+            with tracer.span("inner.timed") as inner:
+                time.sleep(0.005)
+        assert inner.duration <= outer.duration
+
+
+class TestAggregates:
+    def test_phase_times_always_on(self):
+        tracer = Tracer()  # never enabled
+        for _ in range(3):
+            with tracer.span("agg.op"):
+                pass
+        assert tracer.events() == []
+        times = tracer.phase_times()
+        assert times["agg.op"] > 0.0
+        stats = tracer.phase_stats()["agg.op"]
+        assert stats["count"] == 3
+        assert stats["min_s"] <= stats["mean_s"] <= stats["max_s"]
+        assert stats["total_s"] == pytest.approx(times["agg.op"])
+
+    def test_clear_resets_everything(self, tracer):
+        with tracer.span("gone.op"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.phase_times() == {}
+
+    def test_disable_stops_event_retention(self, tracer):
+        with tracer.span("kept.op"):
+            pass
+        tracer.disable()
+        with tracer.span("dropped.op"):
+            pass
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["kept.op"]
+        # ...but aggregates keep accumulating
+        assert "dropped.op" in tracer.phase_times()
+
+
+class TestThreadSafety:
+    def test_concurrent_writers(self, tracer):
+        n_threads, n_spans = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def worker(idx):
+            barrier.wait()
+            for i in range(n_spans):
+                with tracer.span(f"thread.{idx}", i=i):
+                    with tracer.span(f"thread.{idx}.child"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        events = tracer.events()
+        assert len(events) == n_threads * n_spans * 2
+        # nesting is tracked per thread: children name their own
+        # thread's span as parent, never another thread's
+        for event in events:
+            if event["name"].endswith(".child"):
+                assert event["parent"] == event["name"][: -len(".child")]
+        # every worker got its own tid lane
+        tids = {e["tid"] for e in events}
+        assert len(tids) == n_threads
+        for idx in range(n_threads):
+            assert tracer.phase_stats()[f"thread.{idx}"]["count"] == n_spans
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_no_events_accumulate(self):
+        tracer = Tracer()
+        for _ in range(100):
+            with tracer.span("quiet.op"):
+                pass
+        assert tracer.events() == []
+
+    def test_disabled_span_overhead_is_tiny(self):
+        # guard against the disabled path growing real work: 20k spans
+        # must stay far under a generous CI-safe bound (~50µs each)
+        tracer = Tracer()
+        start = time.perf_counter()
+        for _ in range(20_000):
+            with tracer.span("fast.op"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"disabled spans too slow: {elapsed:.3f}s for 20k"
