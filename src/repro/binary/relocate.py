@@ -12,17 +12,33 @@ regimes, as in Spack:
   it as an explicit "lengthen" rewrite that is only legal on fields
   that tolerate resizing (rpaths and path_blob entries here), counted
   separately so tests can assert which regime ran.
+
+Relocation is **single-pass**: all old prefixes are compiled into one
+longest-first alternation regex (cached per prefix map), so each
+payload string is scanned once regardless of how many prefixes the map
+carries.  At 20k-spec cache scale a payload used to be scanned once
+per prefix; the per-prefix reference loop survives as
+``_replace_prefix`` so the equivalence property tests can pin the
+combined regex to the old semantics byte for byte.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from functools import lru_cache
+from typing import Dict, List, Set, Tuple
 
 from ..obs import metrics
 from .mockelf import MockBinary
 
-__all__ = ["RelocationResult", "relocate_binary", "relocate_text", "pad_prefix"]
+__all__ = [
+    "PrefixRewriter",
+    "RelocationResult",
+    "relocate_binary",
+    "relocate_text",
+    "pad_prefix",
+]
 
 
 @dataclass
@@ -57,10 +73,19 @@ _PATH_COMPONENT_CHARS = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
 )
 
+#: the same set as a regex class, for the combined pattern's boundary
+#: lookahead (negative: the char after a match must NOT continue a name)
+_BOUNDARY_LOOKAHEAD = r"(?![A-Za-z0-9._\-])"
+
 
 def _replace_prefix(text: str, old: str, new: str) -> "Tuple[str, int]":
     """Replace occurrences of ``old`` that end at a path-component
-    boundary (end of string, ``/``, or a separator like ``:``)."""
+    boundary (end of string, ``/``, or a separator like ``:``).
+
+    This is the legacy one-prefix-per-pass reference implementation;
+    production relocation goes through :class:`PrefixRewriter`, and the
+    equivalence tests assert both produce identical bytes.
+    """
     pieces = []
     start = 0
     count = 0
@@ -80,12 +105,74 @@ def _replace_prefix(text: str, old: str, new: str) -> "Tuple[str, int]":
             start = found + 1
 
 
+class PrefixRewriter:
+    """All prefixes of one relocation map compiled into a single regex.
+
+    The alternation is ordered longest-first, which under Python's
+    leftmost-then-first-alternative matching reproduces the legacy
+    loop's "longest prefix wins at any position" semantics; the
+    trailing negative lookahead reproduces its path-component boundary
+    rule.  One :meth:`rewrite` call scans the string exactly once, no
+    matter how many prefixes the map holds.
+    """
+
+    __slots__ = ("padded_prefixes", "_pattern", "_mapping")
+
+    def __init__(self, prefix_map: Dict[str, str], pad: bool = False):
+        #: old prefix -> replacement actually substituted (maybe padded)
+        self._mapping: Dict[str, str] = {}
+        #: old prefixes whose replacement was length-padded
+        self.padded_prefixes: Set[str] = set()
+        for old, new in prefix_map.items():
+            if pad and len(new) < len(old):
+                self._mapping[old] = pad_prefix(new, len(old))
+                self.padded_prefixes.add(old)
+            else:
+                self._mapping[old] = new
+        ordered = sorted(self._mapping, key=len, reverse=True)
+        if ordered:
+            alternation = "|".join(re.escape(old) for old in ordered)
+            self._pattern = re.compile(
+                f"({alternation}){_BOUNDARY_LOOKAHEAD}"
+            )
+        else:
+            self._pattern = None
+
+    def rewrite(self, text: str) -> "Tuple[str, Dict[str, int]]":
+        """Rewrite every prefix occurrence in one pass.
+
+        Returns ``(new_text, hits)`` where ``hits`` counts matches per
+        old prefix (the counters tests assert on).
+        """
+        if self._pattern is None:
+            return text, {}
+        hits: Dict[str, int] = {}
+
+        def substitute(match: "re.Match[str]") -> str:
+            old = match.group(1)
+            hits[old] = hits.get(old, 0) + 1
+            return self._mapping[old]
+
+        return self._pattern.sub(substitute, text), hits
+
+
+@lru_cache(maxsize=128)
+def _cached_rewriter(items: Tuple[Tuple[str, str], ...], pad: bool) -> PrefixRewriter:
+    return PrefixRewriter(dict(items), pad=pad)
+
+
+def _rewriter_for(prefix_map: Dict[str, str], pad: bool) -> PrefixRewriter:
+    """Get a compiled rewriter, cached per map: extraction relocates
+    every file of a payload with the same map, so the regex compiles
+    once per cache entry rather than once per file."""
+    return _cached_rewriter(tuple(sorted(prefix_map.items())), pad)
+
+
 def relocate_text(text: str, prefix_map: Dict[str, str]) -> str:
     """Rewrite every occurrence of the old prefixes (longest first, so
-    nested prefixes do not shadow each other)."""
-    for old in sorted(prefix_map, key=len, reverse=True):
-        text, _ = _replace_prefix(text, old, prefix_map[old])
-    return text
+    nested prefixes do not shadow each other) in a single pass."""
+    rewritten, _ = _rewriter_for(prefix_map, pad=False).rewrite(text)
+    return rewritten
 
 
 def relocate_binary(
@@ -103,22 +190,17 @@ def relocate_binary(
     """
     out = binary.copy()
     result = RelocationResult(out)
+    rewriter = _rewriter_for(prefix_map, pad)
 
     def rewrite(path: str) -> str:
-        for old in sorted(prefix_map, key=len, reverse=True):
-            new = prefix_map[old]
-            padded_now = False
-            if pad and len(new) < len(old):
-                new = pad_prefix(new, len(old))
-                padded_now = True
-            path, count = _replace_prefix(path, old, new)
-            if count:
-                if padded_now:
-                    result.padded += 1
-                elif len(new) > len(old):
-                    result.lengthened += 1
-                result.replacements += 1
-        return path
+        rewritten, hits = rewriter.rewrite(path)
+        for old in hits:
+            if old in rewriter.padded_prefixes:
+                result.padded += 1
+            elif len(prefix_map[old]) > len(old):
+                result.lengthened += 1
+            result.replacements += 1
+        return rewritten
 
     out.rpaths = [rewrite(p) for p in out.rpaths]
     out.path_blob = [rewrite(p) for p in out.path_blob]

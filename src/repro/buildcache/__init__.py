@@ -11,18 +11,22 @@ Two halves:
   externals (``external_spec``).
 """
 
-from .cache import BuildCache, BuildCacheError, SigningKey, TrustStore
+from .cache import BuildCache, BuildCacheError, CachedPayload, SigningKey, TrustStore
 from .generate import (
     external_spec,
     generate_cache_specs,
     greedy_concretize,
     vary_configurations,
 )
+from .index import IndexFormatError, ShardedIndex
 from .signing import SignatureError
 
 __all__ = [
     "BuildCache",
     "BuildCacheError",
+    "CachedPayload",
+    "ShardedIndex",
+    "IndexFormatError",
     "SigningKey",
     "TrustStore",
     "SignatureError",

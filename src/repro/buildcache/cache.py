@@ -8,7 +8,9 @@ relocate that payload into any consumer store.
 On-disk layout (one directory per cache)::
 
     <cache>/
-      index.json                  -- spec documents + external prefixes
+      index.json                  -- manifest of shards (format v2)
+      index.d/<pp>.json           -- per-hash-prefix index shards
+      journal.jsonl               -- pushes not yet folded into shards
       blobs/<dag_hash>/
         files/...                 -- verbatim copy of the install prefix
         meta.json                 -- recorded prefix + dependency prefixes
@@ -16,10 +18,19 @@ On-disk layout (one directory per cache)::
         manifest.sig              -- detached HMAC signature (if signed)
 
 The *index* answers "which specs does this mirror serve" without
-touching any blob (what Spack's ``index.json`` does for a mirror); the
-per-entry *meta* records the prefixes needed for relocation; the
-*manifest* + *signature* implement the GPG-style trust model (see
+touching any blob (what Spack's ``index.json`` does for a mirror) and
+is sharded by hash prefix so single-spec lookups parse one shard, not
+20k specs (see :mod:`repro.buildcache.index`); the per-entry *meta*
+records the prefixes needed for relocation; the *manifest* +
+*signature* implement the GPG-style trust model (see
 :mod:`repro.buildcache.signing`).
+
+The extract path is staged — :meth:`BuildCache.fetch` (blob bytes into
+memory), :meth:`BuildCache.verify_payload` (signature + digests over
+those bytes), :meth:`BuildCache.extract_payload` (relocate + write) —
+so the installer's fetch pipeline can overlap the stages of independent
+DAG nodes; :meth:`BuildCache.extract` composes all three for the
+serial callers.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 import json
 import logging
 import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
@@ -34,18 +46,20 @@ from ..binary.mockelf import BinaryFormatError, MockBinary
 from ..binary.relocate import relocate_binary
 from ..obs import metrics, trace
 from ..spec import Spec
+from .index import BuildCacheError, ShardedIndex
 from .signing import SignatureError, SigningKey, TrustStore, sha256_digest
 
-__all__ = ["BuildCache", "BuildCacheError", "SigningKey", "TrustStore"]
+__all__ = [
+    "BuildCache",
+    "BuildCacheError",
+    "CachedPayload",
+    "SigningKey",
+    "TrustStore",
+]
 
 logger = logging.getLogger(__name__)
 
-INDEX_VERSION = 1
 INDEX_NAME = "index.json"
-
-
-class BuildCacheError(RuntimeError):
-    """Raised for corrupt, missing, unsigned, or untrusted cache state."""
 
 
 def _canonical(document: dict) -> bytes:
@@ -56,6 +70,24 @@ def _atomic_write(path: Path, data: bytes) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_bytes(data)
     tmp.replace(path)
+
+
+@dataclass
+class CachedPayload:
+    """One cache entry fetched into memory, ready to verify and extract."""
+
+    dag_hash: str
+    meta: dict
+    #: payload-relative posix path -> file bytes
+    files: Dict[str, bytes] = field(default_factory=dict)
+    #: payload-relative posix paths of directories (preserves empty dirs)
+    dirs: List[str] = field(default_factory=list)
+    #: set by :meth:`BuildCache.verify_payload`
+    verified: bool = False
+
+    @property
+    def size(self) -> int:
+        return sum(len(data) for data in self.files.values())
 
 
 class BuildCache:
@@ -78,16 +110,15 @@ class BuildCache:
         self.trust = trust
         self.root.mkdir(parents=True, exist_ok=True)
         self.blobs.mkdir(parents=True, exist_ok=True)
-        #: dag_hash -> Spec.to_dict() document
-        self._specs: Dict[str, dict] = {}
-        #: dag_hash -> build-spec document (splice provenance targets)
-        self._build_specs: Dict[str, dict] = {}
-        #: node dag_hash -> external prefix (node_dict drops it, so the
-        #: index has to carry it for faithful reconstruction)
-        self._external_prefixes: Dict[str, str] = {}
         #: reconstruction memo shared across all_specs() calls
         self._materialized: Dict[str, Spec] = {}
-        self._load_index()
+        with trace.span("buildcache.index_load", cache=str(self.root)) as sp:
+            self._index = ShardedIndex(self.root)
+            sp.set(journal_entries=self._index.journal_entries)
+        logger.debug(
+            "opened index %s (journal entries replayed: %d) in %.4fs",
+            self.index_path, self._index.journal_entries, sp.duration,
+        )
 
     # ------------------------------------------------------------------
     # layout
@@ -106,64 +137,28 @@ class BuildCache:
     # ------------------------------------------------------------------
     # index persistence
     # ------------------------------------------------------------------
-    def _load_index(self) -> None:
-        if not self.index_path.exists():
-            return
-        with trace.span("buildcache.index_load", cache=str(self.root)) as sp:
-            try:
-                data = json.loads(self.index_path.read_text())
-            except (OSError, json.JSONDecodeError) as e:
-                raise BuildCacheError(
-                    f"corrupt buildcache index at {self.index_path}: {e}"
-                ) from e
-            if not isinstance(data, dict):
-                raise BuildCacheError(
-                    f"corrupt buildcache index at {self.index_path}: not an object"
-                )
-            version = data.get("version")
-            if version != INDEX_VERSION:
-                raise BuildCacheError(
-                    f"buildcache index version {version!r} is not supported "
-                    f"(expected {INDEX_VERSION})"
-                )
-            self._specs = dict(data.get("specs", {}))
-            self._build_specs = dict(data.get("build_specs", {}))
-            self._external_prefixes = dict(data.get("external_prefixes", {}))
-            sp.set(specs=len(self._specs))
-        logger.debug(
-            "loaded index %s: %d specs in %.4fs",
-            self.index_path, len(self._specs), sp.duration,
-        )
-
     def save_index(self) -> None:
-        """Persist the index; concurrent readers see old-or-new, never
-        a torn write."""
+        """Fold the push journal into shards and persist the manifest;
+        concurrent readers see old-or-new shards, never a torn write."""
         with trace.span("buildcache.index_save", cache=str(self.root)) as sp:
-            document = {
-                "version": INDEX_VERSION,
-                "specs": self._specs,
-                "build_specs": self._build_specs,
-                "external_prefixes": self._external_prefixes,
-            }
-            payload = _canonical(document)
-            _atomic_write(self.index_path, payload)
-            sp.set(specs=len(self._specs), bytes=len(payload))
+            written = self._index.save()
+            sp.set(specs=len(self), shards_written=written)
         logger.debug(
-            "saved index %s: %d specs, %d bytes in %.4fs",
-            self.index_path, len(self._specs), len(payload), sp.duration,
+            "saved index %s: %d specs, %d shard(s) written in %.4fs",
+            self.index_path, len(self), written, sp.duration,
         )
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._specs)
+        return self._index.spec_count()
 
     def __contains__(self, dag_hash: str) -> bool:
-        return dag_hash in self._specs
+        return self._index.has_spec(dag_hash)
 
     def __iter__(self):
-        return iter(self._specs)
+        return self._index.spec_hashes()
 
     def has_payload(self, dag_hash: str) -> bool:
         """Is the binary payload itself present (not just indexed)?"""
@@ -187,20 +182,23 @@ class BuildCache:
 
         These are the ``reusable_specs`` fed to the concretizer; splice
         provenance pointers are resolved through the index's build-spec
-        documents.
+        documents.  This is the full-enumeration path: it parses every
+        shard (single-spec consumers should use ``in`` + ``meta``).
         """
-        return [self._materialize(h) for h in sorted(self._specs)]
+        return [self._materialize(h) for h in self._index.spec_hashes()]
 
     def _materialize(self, dag_hash: str) -> Spec:
         spec = self._materialized.get(dag_hash)
         if spec is not None:
             return spec
-        document = self._specs.get(dag_hash) or self._build_specs.get(dag_hash)
+        document = self._index.get_spec(dag_hash)
+        if document is None:
+            document = self._index.get_build_spec(dag_hash)
         if document is None:
             raise BuildCacheError(f"unknown spec hash {dag_hash} in buildcache")
         spec = Spec.from_dict(document, build_spec_lookup=self._materialize)
         for node in spec.traverse():
-            prefix = self._external_prefixes.get(node.dag_hash())
+            prefix = self._index.external_prefix(node.dag_hash())
             if prefix is not None:
                 node.external_prefix = prefix
         self._materialized[dag_hash] = spec
@@ -216,6 +214,10 @@ class BuildCache:
         dependency occupied on the build machine; extraction uses it to
         rewrite dependency references for the consumer's store layout.
         Re-pushing an existing hash is an idempotent overwrite.
+
+        The push is durable on its own: the index entry is appended to
+        the journal (fsynced) and replayed on the next open, so a crash
+        before ``save_index`` loses nothing.
         """
         if not spec.concrete:
             raise BuildCacheError(f"cannot push abstract spec {spec}")
@@ -280,34 +282,60 @@ class BuildCache:
         )
 
     def _index_spec(self, spec: Spec) -> None:
-        self._specs[spec.dag_hash()] = spec.to_dict()
+        """Record one pushed spec: its document, the provenance documents
+        of any splice targets, and external prefixes — journaled through
+        the sharded index so the push is durable without ``save_index``."""
+        specs = {spec.dag_hash(): spec.to_dict()}
+        build_specs: Dict[str, dict] = {}
+        external_prefixes: Dict[str, str] = {}
         for node in spec.traverse():
             if node.external and node.external_prefix:
-                self._external_prefixes[node.dag_hash()] = node.external_prefix
+                external_prefixes[node.dag_hash()] = node.external_prefix
             # splice provenance targets live outside this DAG; record
             # their documents so all_specs() can resolve the pointers
             build = node.build_spec
             while build is not None:
                 build_hash = build.dag_hash()
-                if build_hash in self._build_specs:
+                if build_hash in build_specs or (
+                    self._index.get_build_spec(build_hash) is not None
+                ):
                     break
-                self._build_specs[build_hash] = build.to_dict()
+                build_specs[build_hash] = build.to_dict()
                 for sub in build.traverse():
                     if sub.external and sub.external_prefix:
-                        self._external_prefixes[sub.dag_hash()] = sub.external_prefix
+                        external_prefixes[sub.dag_hash()] = sub.external_prefix
                 build = build.build_spec
+        self._index.record_push(specs, build_specs, external_prefixes)
 
     # ------------------------------------------------------------------
     # verification
     # ------------------------------------------------------------------
     def _verify(self, dag_hash: str) -> None:
-        """Check signature and content digests before trusting an entry."""
+        """Check signature and content digests before trusting an entry
+        (reads payload bytes from disk; the staged pipeline verifies the
+        already-fetched bytes via :meth:`verify_payload` instead)."""
         assert self.trust is not None
         with trace.span("buildcache.verify", hash=dag_hash[:7]):
-            self._verify_inner(dag_hash)
+            files = self._entry_dir(dag_hash) / "files"
+            payload_files = {
+                path.relative_to(files).as_posix(): path.read_bytes()
+                for path in sorted(files.rglob("*"))
+                if path.is_file()
+            }
+            self._verify_files(dag_hash, payload_files)
         metrics.inc("buildcache.verifications")
 
-    def _verify_inner(self, dag_hash: str) -> None:
+    def verify_payload(self, payload: CachedPayload) -> CachedPayload:
+        """Verify an in-memory payload against its signed manifest."""
+        if self.trust is None:
+            return payload
+        with trace.span("buildcache.verify", hash=payload.dag_hash[:7]):
+            self._verify_files(payload.dag_hash, payload.files)
+        payload.verified = True
+        metrics.inc("buildcache.verifications")
+        return payload
+
+    def _verify_files(self, dag_hash: str, payload_files: Dict[str, bytes]) -> None:
         entry = self._entry_dir(dag_hash)
         manifest_path = entry / "manifest.json"
         if not manifest_path.exists():
@@ -340,19 +368,15 @@ class BuildCache:
             raise BuildCacheError(
                 f"cache entry {dag_hash}: metadata does not match its manifest"
             )
-        files = entry / "files"
         expected: Dict[str, str] = dict(manifest.get("files", {}))
-        for path in sorted(files.rglob("*")):
-            if not path.is_file():
-                continue
-            rel = path.relative_to(files).as_posix()
+        for rel, data in payload_files.items():
             digest = expected.pop(rel, None)
             if digest is None:
                 raise BuildCacheError(
                     f"cache entry {dag_hash}: unexpected file {rel!r} "
                     "not covered by the signed manifest"
                 )
-            if sha256_digest(path.read_bytes()) != digest:
+            if sha256_digest(data) != digest:
                 raise BuildCacheError(
                     f"cache entry {dag_hash}: payload file {rel!r} was "
                     "tampered with after signing"
@@ -364,8 +388,81 @@ class BuildCache:
             )
 
     # ------------------------------------------------------------------
-    # extract
+    # staged fetch / extract
     # ------------------------------------------------------------------
+    def fetch(self, dag_hash: str) -> CachedPayload:
+        """Read a cache entry's metadata and payload bytes into memory.
+
+        This is the I/O stage of the pipelined install path: it has no
+        ordering requirements, so the installer prefetches independent
+        DAG nodes concurrently while earlier nodes are still extracting.
+        """
+        meta = self.meta(dag_hash)  # raises BuildCacheError when absent
+        files = self._entry_dir(dag_hash) / "files"
+        if not files.is_dir():
+            raise BuildCacheError(f"cache entry {dag_hash} has no payload")
+        with trace.span(
+            "buildcache.fetch", name=meta.get("name"), hash=dag_hash[:7]
+        ) as sp:
+            payload = CachedPayload(dag_hash=dag_hash, meta=meta)
+            for path in sorted(files.rglob("*")):
+                rel = path.relative_to(files).as_posix()
+                if path.is_dir():
+                    payload.dirs.append(rel)
+                elif path.is_file():
+                    payload.files[rel] = path.read_bytes()
+            sp.set(files=len(payload.files), bytes=payload.size)
+        metrics.inc("buildcache.fetches")
+        metrics.inc("buildcache.fetched_bytes", payload.size)
+        return payload
+
+    def extract_payload(
+        self,
+        payload: CachedPayload,
+        prefix,
+        extra_prefix_map: Optional[Dict[str, str]] = None,
+    ) -> Path:
+        """Relocate an in-memory payload into ``prefix`` and write it."""
+        if self.trust is not None and not payload.verified:
+            self.verify_payload(payload)
+        with trace.span(
+            "buildcache.extract",
+            name=payload.meta.get("name"),
+            hash=payload.dag_hash[:7],
+        ) as sp:
+            prefix = Path(prefix)
+            prefix_map: Dict[str, str] = {}
+            recorded = payload.meta.get("prefix")
+            if recorded:
+                prefix_map[recorded] = str(prefix)
+            if extra_prefix_map:
+                prefix_map.update(extra_prefix_map)
+
+            prefix.mkdir(parents=True, exist_ok=True)
+            for rel in payload.dirs:
+                (prefix / rel).mkdir(parents=True, exist_ok=True)
+            extracted_bytes = 0
+            for rel, data in payload.files.items():
+                target = prefix / rel
+                target.parent.mkdir(parents=True, exist_ok=True)
+                extracted_bytes += len(data)
+                try:
+                    binary = MockBinary.from_bytes(data)
+                except BinaryFormatError:
+                    target.write_bytes(data)  # opaque payload: copy verbatim
+                    continue
+                relocated = relocate_binary(binary, prefix_map)
+                relocated.binary.write(target)
+            sp.set(files=len(payload.files), bytes=extracted_bytes)
+        metrics.inc("buildcache.extractions")
+        metrics.inc("buildcache.extracted_bytes", extracted_bytes)
+        logger.debug(
+            "extracted %s/%s to %s: %d files, %d bytes in %.4fs",
+            payload.meta.get("name"), payload.dag_hash[:7], prefix,
+            len(payload.files), extracted_bytes, sp.duration,
+        )
+        return prefix
+
     def extract(
         self,
         dag_hash: str,
@@ -378,61 +475,19 @@ class BuildCache:
         machine's prefix (and, via ``extra_prefix_map``, its dependency
         prefixes) point into the consumer's store.  Files that are not
         mock binaries are copied verbatim, like headers or docs in a
-        real package.
+        real package.  Fetch → verify → extract, in one call.
         """
-        meta = self.meta(dag_hash)  # raises BuildCacheError when absent
-        entry = self._entry_dir(dag_hash)
-        files = entry / "files"
-        if not files.is_dir():
-            raise BuildCacheError(f"cache entry {dag_hash} has no payload")
-        with trace.span(
-            "buildcache.extract", name=meta.get("name"), hash=dag_hash[:7]
-        ) as sp:
-            if self.trust is not None:
-                self._verify(dag_hash)
-
-            prefix = Path(prefix)
-            prefix_map: Dict[str, str] = {}
-            recorded = meta.get("prefix")
-            if recorded:
-                prefix_map[recorded] = str(prefix)
-            if extra_prefix_map:
-                prefix_map.update(extra_prefix_map)
-
-            prefix.mkdir(parents=True, exist_ok=True)
-            extracted_bytes = 0
-            file_count = 0
-            for path in sorted(files.rglob("*")):
-                rel = path.relative_to(files)
-                target = prefix / rel
-                if path.is_dir():
-                    target.mkdir(parents=True, exist_ok=True)
-                    continue
-                target.parent.mkdir(parents=True, exist_ok=True)
-                data = path.read_bytes()
-                extracted_bytes += len(data)
-                file_count += 1
-                try:
-                    binary = MockBinary.from_bytes(data)
-                except BinaryFormatError:
-                    target.write_bytes(data)  # opaque payload: copy verbatim
-                    continue
-                relocated = relocate_binary(binary, prefix_map)
-                relocated.binary.write(target)
-            sp.set(files=file_count, bytes=extracted_bytes)
-        metrics.inc("buildcache.extractions")
-        metrics.inc("buildcache.extracted_bytes", extracted_bytes)
-        logger.debug(
-            "extracted %s/%s to %s: %d files, %d bytes in %.4fs",
-            meta.get("name"), dag_hash[:7], prefix, file_count,
-            extracted_bytes, sp.duration,
+        payload = self.fetch(dag_hash)
+        if self.trust is not None:
+            self.verify_payload(payload)
+        return self.extract_payload(
+            payload, prefix, extra_prefix_map=extra_prefix_map
         )
-        return prefix
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
         signed = self.signing_key.name if self.signing_key else None
         return (
-            f"<BuildCache {self.root} specs={len(self._specs)} "
+            f"<BuildCache {self.root} specs={len(self)} "
             f"signing={signed!r} trusting={self.trust is not None}>"
         )

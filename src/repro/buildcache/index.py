@@ -1,0 +1,460 @@
+"""Sharded, journaled buildcache index (format v2).
+
+The paper's public cache holds ~20k specs.  A monolithic ``index.json``
+pays two quadratic-ish costs at that scale: every ``save_index`` rewrites
+the whole document, and every open re-parses all of it even when the
+consumer only asks about one hash.  Format v2 splits the index three ways:
+
+* ``index.json`` — a small *manifest of shards*: format version, shard
+  width, and per-shard spec counts.  Opening a cache parses only this.
+* ``index.d/<pp>.json`` — one shard per 2-hex-char ``dag_hash`` prefix
+  (256 shards, ~80 specs each at 20k).  Shards are parsed lazily, keyed
+  by the hashes actually requested, and written atomically (tmp+rename)
+  so concurrent readers see old-or-new, never torn.
+* ``journal.jsonl`` — an append-only journal of pushes not yet folded
+  into shards.  ``push`` appends one fsynced line instead of rewriting
+  anything; ``save_index`` folds the journal into the affected shards
+  and truncates it.  A process killed between ``push`` and
+  ``save_index`` loses nothing: the journal is replayed on open.
+
+v1 monolithic indexes are read transparently (everything loads into
+memory, exactly the old behaviour) and migrate to v2 on the next
+``save``.  Setting ``REPRO_BUILDCACHE_WRITE_V1=1`` forces ``save`` to
+emit the old monolithic format — the CI migration leg runs the whole
+suite under it to keep the v1 read path green.
+
+Entries in a shard are keyed by *their own* hash prefix: spec documents
+under the spec's ``dag_hash``, build-spec provenance documents under the
+build spec's hash, external prefixes under the owning node's hash.  A
+single-spec materialization therefore touches only the shards of the
+hashes it actually resolves (one per DAG node at worst), never all 256.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from ..obs import metrics, trace
+
+__all__ = [
+    "ShardedIndex",
+    "BuildCacheError",
+    "IndexFormatError",
+    "INDEX_VERSION",
+    "SHARD_WIDTH",
+]
+
+INDEX_VERSION = 2
+SHARD_WIDTH = 2  # hex chars of dag_hash per shard -> 256 shards
+INDEX_NAME = "index.json"
+SHARD_DIR = "index.d"
+JOURNAL_NAME = "journal.jsonl"
+
+#: the three entry tables every shard (and journal record) carries
+_TABLES = ("specs", "build_specs", "external_prefixes")
+
+
+class BuildCacheError(RuntimeError):
+    """Raised for corrupt, missing, unsigned, or untrusted cache state.
+
+    Lives here (the lowest-level buildcache module) so the lazy shard
+    loader can raise it without importing :mod:`repro.buildcache.cache`.
+    """
+
+
+class IndexFormatError(BuildCacheError):
+    """Raised for corrupt or unsupported index documents."""
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(path)
+
+
+class _Shard:
+    """One lazily-loaded hash-prefix bucket of the index."""
+
+    __slots__ = ("prefix", "specs", "build_specs", "external_prefixes",
+                 "loaded", "dirty")
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.specs: Dict[str, dict] = {}
+        self.build_specs: Dict[str, dict] = {}
+        self.external_prefixes: Dict[str, str] = {}
+        self.loaded = False
+        self.dirty = False
+
+    def table(self, name: str) -> dict:
+        return getattr(self, name)
+
+    def is_empty(self) -> bool:
+        return not (self.specs or self.build_specs or self.external_prefixes)
+
+    def to_document(self) -> dict:
+        return {
+            "specs": self.specs,
+            "build_specs": self.build_specs,
+            "external_prefixes": self.external_prefixes,
+        }
+
+
+class ShardedIndex:
+    """The buildcache's spec index: sharded storage + push journal.
+
+    All reads go through per-hash accessors so only the shards hosting
+    the requested hashes are parsed; ``load_all`` exists for the
+    full-enumeration consumers (``all_specs``, ``__iter__``).  Thread
+    safe: the parallel installer's fetch workers probe ``has_spec``
+    concurrently.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self._lock = threading.RLock()
+        self._shards: Dict[str, _Shard] = {}
+        #: per-shard spec counts from the manifest (authoritative for
+        #: unloaded shards; loaded shards are counted directly)
+        self._manifest_counts: Dict[str, int] = {}
+        #: shard prefixes that exist on disk (from the manifest)
+        self._on_disk: Set[str] = set()
+        #: True once every on-disk shard has been parsed
+        self._fully_loaded = False
+        self._journal_entries = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    @property
+    def shard_dir(self) -> Path:
+        return self.root / SHARD_DIR
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / JOURNAL_NAME
+
+    def _shard_path(self, prefix: str) -> Path:
+        return self.shard_dir / f"{prefix}.json"
+
+    @staticmethod
+    def shard_prefix(dag_hash: str) -> str:
+        return dag_hash[:SHARD_WIDTH].lower()
+
+    def _shard_for(self, dag_hash: str) -> _Shard:
+        prefix = self.shard_prefix(dag_hash)
+        shard = self._shards.get(prefix)
+        if shard is None:
+            shard = self._shards[prefix] = _Shard(prefix)
+        return shard
+
+    # ------------------------------------------------------------------
+    # open: manifest (or v1 monolith) + journal replay
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.manifest_path.exists():
+            self._fully_loaded = True  # empty cache: nothing on disk
+            self._replay_journal()
+            return
+        try:
+            data = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            raise IndexFormatError(
+                f"corrupt buildcache index at {self.manifest_path}: {e}"
+            ) from e
+        if not isinstance(data, dict):
+            raise IndexFormatError(
+                f"corrupt buildcache index at {self.manifest_path}: not an object"
+            )
+        version = data.get("version")
+        if version == 1:
+            self._load_v1(data)
+        elif version == INDEX_VERSION:
+            self._load_manifest(data)
+        else:
+            raise IndexFormatError(
+                f"buildcache index version {version!r} is not supported "
+                f"(expected 1 or {INDEX_VERSION})"
+            )
+        self._replay_journal()
+
+    def _load_v1(self, data: dict) -> None:
+        """Read a monolithic v1 index into memory (transparent migrate:
+        every shard becomes loaded + dirty, so the next save writes v2)."""
+        with trace.span("buildcache.index_migrate", cache=str(self.root)) as sp:
+            for table, key_kind in (
+                ("specs", "specs"),
+                ("build_specs", "build_specs"),
+                ("external_prefixes", "external_prefixes"),
+            ):
+                for key, value in dict(data.get(table, {})).items():
+                    shard = self._shard_for(key)
+                    shard.table(key_kind)[key] = value
+            for shard in self._shards.values():
+                shard.loaded = True
+                shard.dirty = True
+            self._fully_loaded = True
+            sp.set(specs=self.spec_count(), shards=len(self._shards))
+        metrics.inc("buildcache.v1_migrations")
+
+    def _load_manifest(self, data: dict) -> None:
+        with trace.span("buildcache.manifest_load", cache=str(self.root)) as sp:
+            shards = data.get("shards", {})
+            if not isinstance(shards, dict):
+                raise IndexFormatError(
+                    f"corrupt buildcache manifest at {self.manifest_path}: "
+                    "'shards' is not an object"
+                )
+            for prefix, entry in shards.items():
+                self._on_disk.add(prefix)
+                self._manifest_counts[prefix] = int(entry.get("specs", 0))
+            self._fully_loaded = not self._on_disk
+            sp.set(shards=len(self._on_disk), specs=sum(self._manifest_counts.values()))
+
+    def _replay_journal(self) -> None:
+        """Fold unflushed pushes back into the in-memory overlay.
+
+        Journal records land in their shards as *loaded-or-overlay*
+        entries: a shard that is not yet parsed keeps its journal
+        entries in memory and merges the on-disk document underneath
+        when (if) it is eventually loaded.
+        """
+        if not self.journal_path.exists():
+            return
+        with trace.span("buildcache.journal_replay", cache=str(self.root)) as sp:
+            entries = 0
+            for line in self.journal_path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # a torn final line is the expected crash artifact:
+                    # everything before it is intact, so keep going
+                    metrics.inc("buildcache.journal_torn_lines")
+                    continue
+                self._apply_record(record, mark_dirty=True)
+                entries += 1
+            self._journal_entries = entries
+            sp.set(entries=entries)
+        metrics.inc("buildcache.journal_replays")
+
+    def _apply_record(self, record: dict, mark_dirty: bool) -> None:
+        for table in _TABLES:
+            for key, value in dict(record.get(table, {})).items():
+                shard = self._shard_for(key)
+                shard.table(table)[key] = value
+                if mark_dirty:
+                    shard.dirty = True
+
+    # ------------------------------------------------------------------
+    # lazy shard loading
+    # ------------------------------------------------------------------
+    def _ensure_loaded(self, dag_hash: str) -> _Shard:
+        prefix = self.shard_prefix(dag_hash)
+        with self._lock:
+            shard = self._shard_for(dag_hash)
+            if shard.loaded or prefix not in self._on_disk:
+                shard.loaded = True
+                return shard
+            self._load_shard(shard)
+            return shard
+
+    def _load_shard(self, shard: _Shard) -> None:
+        path = self._shard_path(shard.prefix)
+        with trace.span("buildcache.shard_load", shard=shard.prefix) as sp:
+            try:
+                document = json.loads(path.read_text())
+            except FileNotFoundError:
+                document = {}
+            except (OSError, json.JSONDecodeError) as e:
+                raise IndexFormatError(
+                    f"corrupt buildcache index shard {path}: {e}"
+                ) from e
+            # journal overlay entries win over the on-disk document
+            for table in _TABLES:
+                disk = dict(document.get(table, {}))
+                disk.update(shard.table(table))
+                setattr(shard, table, disk)
+            shard.loaded = True
+            sp.set(specs=len(shard.specs))
+        metrics.inc("buildcache.shard_loads")
+
+    def load_all(self) -> None:
+        """Parse every on-disk shard (full-enumeration consumers only)."""
+        with self._lock:
+            if self._fully_loaded:
+                return
+            for prefix in sorted(self._on_disk):
+                shard = self._shards.get(prefix)
+                if shard is None:
+                    shard = self._shards[prefix] = _Shard(prefix)
+                if not shard.loaded:
+                    self._load_shard(shard)
+            self._fully_loaded = True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def has_spec(self, dag_hash: str) -> bool:
+        return self.get_spec(dag_hash) is not None
+
+    def get_spec(self, dag_hash: str) -> Optional[dict]:
+        shard = self._ensure_loaded(dag_hash)
+        return shard.specs.get(dag_hash)
+
+    def get_build_spec(self, dag_hash: str) -> Optional[dict]:
+        shard = self._ensure_loaded(dag_hash)
+        return shard.build_specs.get(dag_hash)
+
+    def external_prefix(self, node_hash: str) -> Optional[str]:
+        shard = self._ensure_loaded(node_hash)
+        return shard.external_prefixes.get(node_hash)
+
+    def spec_count(self) -> int:
+        """Number of indexed specs, without parsing clean shards."""
+        with self._lock:
+            total = 0
+            for prefix in self._on_disk | set(self._shards):
+                shard = self._shards.get(prefix)
+                if shard is not None and (shard.loaded or shard.dirty):
+                    if not shard.loaded and prefix in self._on_disk:
+                        # journal overlay on an unparsed shard: the disk
+                        # document may already hold some of these hashes,
+                        # so counting needs the real union
+                        self._load_shard(shard)
+                    total += len(shard.specs)
+                else:
+                    total += self._manifest_counts.get(prefix, 0)
+            return total
+
+    def spec_hashes(self) -> Iterator[str]:
+        """All indexed spec hashes (parses every shard)."""
+        self.load_all()
+        with self._lock:
+            hashes = sorted(
+                h for shard in self._shards.values() for h in shard.specs
+            )
+        return iter(hashes)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def record_push(
+        self,
+        specs: Dict[str, dict],
+        build_specs: Dict[str, dict],
+        external_prefixes: Dict[str, str],
+    ) -> None:
+        """Apply one push to the in-memory overlay and append it to the
+        durable journal (fsynced: survives an immediate process kill)."""
+        record = {
+            "specs": specs,
+            "build_specs": build_specs,
+            "external_prefixes": external_prefixes,
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._apply_record(record, mark_dirty=True)
+            with trace.span("buildcache.journal_append") as sp:
+                with open(self.journal_path, "a") as fh:
+                    fh.write(line)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self._journal_entries += 1
+                sp.set(bytes=len(line))
+        metrics.inc("buildcache.journal_appends")
+
+    def save(self) -> int:
+        """Fold the journal into shards, write dirty shards atomically,
+        rewrite the manifest, and truncate the journal.
+
+        Returns the number of shard files written.  With the
+        ``REPRO_BUILDCACHE_WRITE_V1`` env knob set, emits the old
+        monolithic v1 document instead (the CI migration leg).
+        """
+        if os.environ.get("REPRO_BUILDCACHE_WRITE_V1"):
+            return self._save_v1()
+        with self._lock:
+            written = 0
+            for prefix in sorted(self._shards):
+                shard = self._shards[prefix]
+                if not shard.dirty:
+                    continue
+                if not shard.loaded and prefix in self._on_disk:
+                    self._load_shard(shard)  # merge under the overlay
+                with trace.span("buildcache.shard_save", shard=prefix) as sp:
+                    payload = json.dumps(
+                        shard.to_document(), sort_keys=True, indent=1
+                    ).encode()
+                    self.shard_dir.mkdir(parents=True, exist_ok=True)
+                    _atomic_write(self._shard_path(prefix), payload)
+                    sp.set(specs=len(shard.specs), bytes=len(payload))
+                shard.dirty = False
+                self._on_disk.add(prefix)
+                self._manifest_counts[prefix] = len(shard.specs)
+                written += 1
+                metrics.inc("buildcache.shard_saves")
+            manifest = {
+                "version": INDEX_VERSION,
+                "shard_width": SHARD_WIDTH,
+                "shards": {
+                    prefix: {"specs": self._manifest_counts.get(prefix, 0)}
+                    for prefix in sorted(self._on_disk)
+                },
+            }
+            _atomic_write(
+                self.manifest_path,
+                json.dumps(manifest, sort_keys=True, indent=1).encode(),
+            )
+            self._truncate_journal()
+            return written
+
+    def _save_v1(self) -> int:
+        """Write the legacy monolithic document (env-gated compat path)."""
+        self.load_all()
+        with self._lock:
+            document = {"version": 1, "specs": {}, "build_specs": {},
+                        "external_prefixes": {}}
+            for shard in self._shards.values():
+                for table in _TABLES:
+                    document[table].update(shard.table(table))
+            _atomic_write(
+                self.manifest_path,
+                json.dumps(document, sort_keys=True, indent=1).encode(),
+            )
+            # the monolith subsumes the journal; shard files, if any,
+            # are ignored by the v1 read path and rewritten on the next
+            # v2 save (every shard stays marked dirty)
+            for shard in self._shards.values():
+                shard.dirty = True
+            self._on_disk.clear()
+            self._manifest_counts.clear()
+            self._truncate_journal()
+            return 1
+
+    def _truncate_journal(self) -> None:
+        if self.journal_path.exists():
+            self.journal_path.unlink()
+        self._journal_entries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def journal_entries(self) -> int:
+        return self._journal_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedIndex {self.root} shards={len(self._shards)} "
+            f"journal={self._journal_entries}>"
+        )

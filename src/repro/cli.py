@@ -114,7 +114,9 @@ def cmd_install(args) -> int:
     except UnsatisfiableError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
-    installer = Installer(Path(args.store), repo, caches=caches)
+    installer = Installer(
+        Path(args.store), repo, caches=caches, fetch_jobs=args.fetch_jobs
+    )
     for root in result.roots:
         report = installer.install(root)
         print(f"{root.name}: {report.summary()}")
@@ -241,7 +243,11 @@ def cmd_env(args) -> int:
         if not env.concretized:
             env.concretize(reusable_specs=_reusable(args))
             env.write()
-        installer = Installer(Path(args.store), repo)
+        caches = [BuildCache(Path(args.cache))] if args.cache else []
+        installer = Installer(
+            Path(args.store), repo, caches=caches,
+            fetch_jobs=getattr(args, "fetch_jobs", 1),
+        )
         report = installer.install_all(env.concrete_roots, jobs=args.jobs)
         print(report.summary())
         return 0
@@ -341,6 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_install.add_argument("--cache", help="buildcache to extract from")
     p_install.add_argument("--splice", action="store_true")
     p_install.add_argument("--forbid", action="append")
+    p_install.add_argument(
+        "--fetch-jobs", type=int, default=1, metavar="N",
+        help="pipeline cache fetch/verify/extract with N workers "
+             "(overlaps independent DAG nodes; default 1 = serial)",
+    )
     p_install.set_defaults(func=cmd_install)
 
     p_find = sub.add_parser("find", help="list installed specs", parents=[obs])
@@ -382,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_env.add_argument("--cache")
     p_env.add_argument("--store", help="install store (for env install)")
     p_env.add_argument("--jobs", type=int, default=1)
+    p_env.add_argument(
+        "--fetch-jobs", type=int, default=1, metavar="N",
+        help="pipeline cache fetch/verify/extract with N workers",
+    )
     p_env.set_defaults(func=cmd_env)
 
     p_diff = sub.add_parser("diff", help="compare two concretized specs",

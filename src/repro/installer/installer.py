@@ -70,13 +70,20 @@ class Installer:
         repo: Repository,
         caches: Sequence[BuildCache] = (),
         verify_abi: bool = True,
+        fetch_jobs: int = 1,
     ):
         self.store_root = Path(store_root)
         self.repo = repo
         self.caches = list(caches)
         self.verify_abi = verify_abi
+        #: workers for the pipelined cache fetch/verify stage (the
+        #: ``--fetch-jobs`` knob); >1 also runs node extraction through
+        #: the DAG scheduler so independent extracts overlap
+        self.fetch_jobs = max(int(fetch_jobs), 1)
         self.database = Database(self.store_root)
         self.builder = Builder(repo)
+        #: active PayloadPrefetcher during a pipelined wave (else None)
+        self._prefetcher = None
 
     # ------------------------------------------------------------------
     def prefix_for(self, spec: Spec) -> Path:
@@ -91,10 +98,14 @@ class Installer:
 
         ``jobs > 1`` builds independent DAG nodes concurrently (the
         ``spack install -j`` analogue, :mod:`repro.installer.parallel`).
+        An installer constructed with ``fetch_jobs > 1`` pipelines the
+        binary hot path: blob fetch + signature verify of cache hits
+        run on their own bounded pool while extraction of independent
+        nodes overlaps in the DAG scheduler.
         """
         if not spec.concrete:
             raise InstallError(f"cannot install abstract spec {spec}")
-        if jobs > 1:
+        if jobs > 1 or self.fetch_jobs > 1:
             return self._install_parallel([spec], jobs)
         report = InstallReport()
         with trace.span("install.run", root=spec.name, jobs=1):
@@ -106,7 +117,7 @@ class Installer:
         return report
 
     def install_all(self, specs: Sequence[Spec], jobs: int = 1) -> InstallReport:
-        if jobs > 1:
+        if jobs > 1 or self.fetch_jobs > 1:
             return self._install_parallel(specs, jobs)
         report = InstallReport()
         with trace.span("install.run", roots=len(specs), jobs=1):
@@ -122,7 +133,12 @@ class Installer:
         from .parallel import run_parallel_install
 
         report = InstallReport()
-        plan = run_parallel_install(self, specs, jobs, report=report)
+        # the fetch pipeline needs node-level concurrency for extraction
+        # overlap, so the worker pool is at least fetch_jobs wide
+        plan = run_parallel_install(
+            self, specs, max(jobs, self.fetch_jobs), report=report,
+            fetch_jobs=self.fetch_jobs,
+        )
         if plan.failed:
             failures = "; ".join(f"{k}: {v}" for k, v in plan.failed.items())
             raise InstallError(
@@ -186,21 +202,47 @@ class Installer:
         self.database.add(node, str(prefix), explicit)
         report.installed.append(node)
 
+    def _dep_prefix_map(self, meta: dict) -> Dict[str, str]:
+        """Build-machine dependency prefixes -> local store prefixes.
+
+        Dependency references in a cached binary point at the build
+        machine's prefixes; extraction rewrites them to the consumer's.
+        """
+        prefix_map: Dict[str, str] = {}
+        for dep_hash, old_prefix in meta.get("dep_prefixes", {}).items():
+            record = self.database.get(dep_hash)
+            if record is not None and old_prefix:
+                prefix_map[old_prefix] = record.prefix
+        return prefix_map
+
     def _try_extract(self, node: Spec, prefix: Path, report: InstallReport) -> bool:
         h = node.dag_hash()
+        prefetcher = self._prefetcher
+        if prefetcher is not None:
+            prefetched = prefetcher.take(h)
+            if prefetched is not None:
+                # fetch + verify already happened on the fetch pool;
+                # only relocation + writing remains on this worker
+                cache, payload = prefetched
+                metrics.inc("buildcache.hits")
+                with trace.span("install.extract", name=node.name):
+                    cache.extract_payload(
+                        payload, prefix,
+                        extra_prefix_map=self._dep_prefix_map(payload.meta),
+                    )
+                report.extracted.append(node.name)
+                logger.debug(
+                    "extracted %s/%s from prefetched payload", node.name, h[:7]
+                )
+                return True
         for cache in self.caches:
             if h in cache and cache.has_payload(h):
                 metrics.inc("buildcache.hits")
-                # dependency references in the cached binary point at the
-                # build machine's prefixes; rewrite them to local ones
                 with trace.span("install.extract", name=node.name):
                     meta = cache.meta(h)
-                    prefix_map = {}
-                    for dep_hash, old_prefix in meta.get("dep_prefixes", {}).items():
-                        record = self.database.get(dep_hash)
-                        if record is not None and old_prefix:
-                            prefix_map[old_prefix] = record.prefix
-                    cache.extract(h, prefix, extra_prefix_map=prefix_map)
+                    cache.extract(
+                        h, prefix, extra_prefix_map=self._dep_prefix_map(meta)
+                    )
                 report.extracted.append(node.name)
                 logger.debug("extracted %s/%s from cache", node.name, h[:7])
                 return True

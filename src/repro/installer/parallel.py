@@ -11,22 +11,100 @@ up to ``jobs`` simultaneous workers.  Correctness invariants:
   reported), but independent subtrees keep going — one broken package
   does not abort the whole wave, matching Spack's ``--keep-going``
   behaviour.
+
+The module also hosts :class:`PayloadPrefetcher`, the fetch half of the
+pipelined binary-install hot path (``--fetch-jobs``): blob fetch +
+signature verify of every cache-hit node starts immediately on its own
+bounded pool — those stages have no DAG-ordering requirement — while
+extraction (which needs dependency prefixes from the database) stays
+DAG-ordered in the install workers.  Fetching node B thus overlaps
+extracting node A even when B depends on A.
 """
 
 from __future__ import annotations
 
 import logging
 import threading
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..obs import metrics, trace
 from ..spec import Spec
 
-__all__ = ["ParallelPlan", "run_parallel_install"]
+__all__ = ["ParallelPlan", "PayloadPrefetcher", "run_parallel_install"]
 
 logger = logging.getLogger(__name__)
+
+
+class PayloadPrefetcher:
+    """Bounded-pool prefetch of cache payloads (fetch + verify stages).
+
+    For every wave node that is a buildcache hit and not already in the
+    install database, a fetch task reads the blob into memory and, when
+    the cache carries a trust policy, verifies the signed manifest over
+    those bytes.  The DAG-ordered install worker later collects the
+    payload with :meth:`take` and only pays relocation + writing.
+
+    Observability: each task runs under an ``installer.fetch`` span, and
+    the ``installer.fetch_occupancy`` histogram samples how many fetch
+    workers were busy at each task start — its max exceeding 1 is the
+    proof that stages overlapped.
+    """
+
+    def __init__(self, installer, nodes: Dict[str, Spec], fetch_jobs: int):
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._futures: Dict[str, "Future[Tuple[object, object]]"] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(fetch_jobs, 1), thread_name_prefix="fetch"
+        )
+        for h, node in nodes.items():
+            if installer.database.get(h) is not None or node.external:
+                continue
+            for cache in installer.caches:
+                if h in cache and cache.has_payload(h):
+                    self._futures[h] = self._pool.submit(
+                        self._fetch_one, cache, node, h
+                    )
+                    break
+
+    def _fetch_one(self, cache, node: Spec, h: str):
+        with self._lock:
+            self._busy += 1
+            occupancy = self._busy
+        metrics.observe("installer.fetch_occupancy", occupancy)
+        try:
+            with trace.span("installer.fetch", name=node.name, hash=h[:7]) as sp:
+                payload = cache.fetch(h)
+                cache.verify_payload(payload)
+                sp.set(bytes=payload.size)
+            return cache, payload
+        finally:
+            with self._lock:
+                self._busy -= 1
+
+    def take(self, dag_hash: str):
+        """The (cache, payload) pair for a prefetched node, or ``None``.
+
+        Blocks until the in-flight fetch finishes; re-raises its error
+        (a corrupt or tampered entry must fail the node exactly as the
+        serial path would).
+        """
+        future = self._futures.pop(dag_hash, None)
+        if future is None:
+            return None
+        return future.result()
+
+    @property
+    def prefetched(self) -> int:
+        return len(self._futures)
+
+    def close(self) -> None:
+        for future in self._futures.values():
+            future.cancel()
+        self._pool.shutdown(wait=False)
+        self._futures.clear()
 
 
 @dataclass
@@ -41,14 +119,18 @@ class ParallelPlan:
 
 
 def run_parallel_install(
-    installer, specs: Sequence[Spec], jobs: int, report=None
+    installer, specs: Sequence[Spec], jobs: int, report=None,
+    fetch_jobs: int = 1,
 ) -> ParallelPlan:
     """Install the merged DAG of ``specs`` with ``jobs`` workers.
 
     ``installer`` is a :class:`~repro.installer.installer.Installer`;
     its per-node entry point is invoked under a scheduler that releases
     a node once all its dependencies are installed.  Per-path counters
-    accumulate into ``report`` when given.
+    accumulate into ``report`` when given.  With ``fetch_jobs > 1`` a
+    :class:`PayloadPrefetcher` overlaps blob fetch + verify of cache
+    hits with the DAG-ordered extraction; database writes stay
+    serialized under the scheduler lock either way.
     """
     # ---- build the hash-level DAG (merged across roots) ---------------
     nodes: Dict[str, Spec] = {}
@@ -109,44 +191,54 @@ def run_parallel_install(
             with lock:
                 running -= 1
 
-    with trace.span(
-        "install.parallel", jobs=jobs, nodes=len(nodes)
-    ) as parallel_span:
-        with ThreadPoolExecutor(max_workers=max(jobs, 1)) as pool:
-            futures = {}
-            submitted: Set[str] = set()
+    prefetcher: Optional[PayloadPrefetcher] = None
+    if fetch_jobs > 1 and installer.caches:
+        prefetcher = PayloadPrefetcher(installer, nodes, fetch_jobs)
+        installer._prefetcher = prefetcher
+    try:
+        with trace.span(
+            "install.parallel", jobs=jobs, nodes=len(nodes),
+            fetch_jobs=fetch_jobs,
+        ) as parallel_span:
+            with ThreadPoolExecutor(max_workers=max(jobs, 1)) as pool:
+                futures = {}
+                submitted: Set[str] = set()
 
-            def submit_ready() -> None:
-                for h in ready_nodes():
-                    if h not in submitted:
-                        submitted.add(h)
-                        futures[pool.submit(install_one, h)] = h
+                def submit_ready() -> None:
+                    for h in ready_nodes():
+                        if h not in submitted:
+                            submitted.add(h)
+                            futures[pool.submit(install_one, h)] = h
 
-            submit_ready()
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    h = futures.pop(future)
-                    remaining.pop(h, None)
-                    error = future.result()
-                    node = nodes[h]
-                    if error is None:
-                        plan.installed.append(node.name)
-                        for dep in dependents.get(h, ()):  # release dependents
-                            if dep in remaining:
-                                remaining[dep] -= 1
-                    else:
-                        plan.failed[node.name] = error
-                        logger.warning(
-                            "install of %s failed: %s", node.name, error
-                        )
-                        _poison(h, dependents, poisoned)
                 submit_ready()
-        parallel_span.set(
-            installed=len(plan.installed),
-            failed=len(plan.failed),
-            max_concurrency=plan.max_concurrency,
-        )
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        h = futures.pop(future)
+                        remaining.pop(h, None)
+                        error = future.result()
+                        node = nodes[h]
+                        if error is None:
+                            plan.installed.append(node.name)
+                            for dep in dependents.get(h, ()):  # release dependents
+                                if dep in remaining:
+                                    remaining[dep] -= 1
+                        else:
+                            plan.failed[node.name] = error
+                            logger.warning(
+                                "install of %s failed: %s", node.name, error
+                            )
+                            _poison(h, dependents, poisoned)
+                    submit_ready()
+            parallel_span.set(
+                installed=len(plan.installed),
+                failed=len(plan.failed),
+                max_concurrency=plan.max_concurrency,
+            )
+    finally:
+        if prefetcher is not None:
+            installer._prefetcher = None
+            prefetcher.close()
     metrics.gauge("install.max_concurrency").max(plan.max_concurrency)
     metrics.inc("install.parallel_nodes", len(plan.installed))
     logger.info(

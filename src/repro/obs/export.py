@@ -22,7 +22,9 @@ __all__ = ["SCHEMA_VERSION", "chrome_trace", "write_chrome_trace", "phase_table"
 
 #: bumped whenever the exported span/metric naming or layout changes;
 #: embedded in traces and BENCH_*.json so tooling can tell vintages apart
-SCHEMA_VERSION = 1
+#: (2: buildcache.shard_*/journal_*/fetch and installer.fetch* names
+#: added with the sharded index + pipelined fetch path)
+SCHEMA_VERSION = 2
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:

@@ -1,0 +1,198 @@
+"""Single-pass relocation vs. the legacy per-prefix loop, byte for byte.
+
+The production path compiles every prefix map into one longest-first
+alternation regex (:class:`PrefixRewriter`); the legacy reference —
+one ``_replace_prefix`` pass per prefix, longest first — survives in
+:mod:`repro.binary.relocate` precisely so these tests can pin the new
+semantics to the old ones.
+
+The two implementations agree whenever the passes do not *interact*:
+no replacement value contains another old prefix (chained rewriting),
+and no replacement creates an occurrence of another old prefix across
+a seam with the surrounding text.  Interacting maps were
+order-dependent under the legacy loop (a pathology, not a feature), so
+the property tests filter them the same way the existing relocation
+property tests filter nested prefixes.
+"""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.binary.mockelf import MockBinary
+from repro.binary.relocate import (
+    PrefixRewriter,
+    _replace_prefix,
+    pad_prefix,
+    relocate_binary,
+    relocate_text,
+)
+
+path_segments = st.lists(
+    st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True), min_size=1, max_size=3
+)
+prefixes = path_segments.map(lambda parts: "/" + "/".join(parts))
+
+#: filler may contain path-ish characters, including boundary makers
+fillers = st.text(alphabet="abxy019/:._- \n", max_size=12)
+
+
+def legacy_rewrite(text: str, prefix_map: dict) -> str:
+    """The pre-single-pass implementation: one scan per prefix,
+    longest first (ties broken lexicographically for determinism)."""
+    for old in sorted(prefix_map, key=lambda o: (-len(o), o)):
+        text, _ = _replace_prefix(text, old, prefix_map[old])
+    return text
+
+
+def maps_interact(prefix_map: dict) -> bool:
+    """True when sequential passes could feed each other.
+
+    Interaction modes: a replacement value contains another old prefix
+    outright, or a replacement's edge combines with adjacent text to
+    spell an old prefix across the seam.  For such maps the legacy
+    loop's output depended on pass order; they are excluded from the
+    equivalence property (and were never produced by the installer,
+    whose maps translate between disjoint store roots).
+    """
+    olds = list(prefix_map)
+    for old in olds:
+        for other, new in prefix_map.items():
+            if old != other and old in new:
+                return True
+            # seam on the right: a proper head of `old` ends `new`
+            if any(new.endswith(old[:k]) for k in range(1, len(old))):
+                return True
+            # seam on the left: a proper tail of `old` starts `new`
+            if any(new.startswith(old[k:]) for k in range(1, len(old))):
+                return True
+    return False
+
+
+@st.composite
+def map_and_text(draw):
+    n = draw(st.integers(1, 3))
+    olds = draw(
+        st.lists(prefixes, min_size=n, max_size=n, unique=True)
+    )
+    news = draw(st.lists(prefixes, min_size=n, max_size=n))
+    mapping = dict(zip(olds, news))
+    assume(not maps_interact(mapping))
+    parts = draw(
+        st.lists(st.one_of(st.sampled_from(olds), fillers), max_size=8)
+    )
+    return mapping, "".join(parts)
+
+
+class TestPropertyEquivalence:
+    @given(map_and_text())
+    def test_single_pass_matches_legacy_loop(self, case):
+        mapping, text = case
+        assert relocate_text(text, mapping) == legacy_rewrite(text, mapping)
+
+    @given(map_and_text())
+    def test_padded_single_pass_matches_padded_legacy(self, case):
+        mapping, text = case
+        padded = {
+            old: pad_prefix(new, len(old)) if len(new) < len(old) else new
+            for old, new in mapping.items()
+        }
+        assume(not maps_interact(padded))
+        rewritten, _ = PrefixRewriter(mapping, pad=True).rewrite(text)
+        assert rewritten == legacy_rewrite(text, padded)
+
+    @given(map_and_text())
+    def test_hit_counts_match_legacy_counts(self, case):
+        mapping, text = case
+        _, hits = PrefixRewriter(mapping).rewrite(text)
+        # replay the legacy loop, collecting its per-prefix counts
+        legacy_hits = {}
+        scratch = text
+        for old in sorted(mapping, key=lambda o: (-len(o), o)):
+            scratch, count = _replace_prefix(scratch, old, mapping[old])
+            if count:
+                legacy_hits[old] = count
+        assert hits == legacy_hits
+
+
+class TestOverlappingPrefixes:
+    MAP = {"/store": "/new", "/store/pkg": "/other"}
+
+    def test_longest_prefix_wins_at_shared_position(self):
+        text = "/store/pkg/lib:/store/bin"
+        expected = "/other/lib:/new/bin"
+        assert relocate_text(text, self.MAP) == expected
+        assert legacy_rewrite(text, self.MAP) == expected
+
+    def test_shorter_prefix_inside_longer_occurrence_not_double_hit(self):
+        _, hits = PrefixRewriter(self.MAP).rewrite("/store/pkg")
+        assert hits == {"/store/pkg": 1}
+
+    def test_three_level_nesting(self):
+        mapping = {"/s": "/1", "/s/t": "/2", "/s/t/u": "/3"}
+        # the last token: /s/t/u fails its boundary ('v' continues the
+        # component), so the next-longest nested prefix /s/t wins there
+        text = "/s /s/t /s/t/u /s/t/uv /s/tv"
+        expected = "/1 /2 /3 /2/uv /1/tv"
+        assert relocate_text(text, mapping) == expected
+        assert legacy_rewrite(text, mapping) == expected
+
+
+class TestBoundarySemantics:
+    """The negative lookahead must reproduce ``_PATH_COMPONENT_CHARS``."""
+
+    def test_component_continuation_is_not_a_match(self):
+        for tail in ("x", "9", ".", "_", "-"):
+            text = f"/store{tail}"
+            assert relocate_text(text, {"/store": "/new"}) == text
+            assert legacy_rewrite(text, {"/store": "/new"}) == text
+
+    def test_separators_and_end_are_boundaries(self):
+        for tail in ("", "/lib", ":", " ", "\n", "="):
+            text = f"/store{tail}"
+            expected = f"/new{tail}"
+            assert relocate_text(text, {"/store": "/new"}) == expected
+            assert legacy_rewrite(text, {"/store": "/new"}) == expected
+
+    def test_no_left_boundary_check(self):
+        # neither implementation requires a boundary *before* the match
+        text = "ROOT=/store/lib"
+        assert relocate_text(text, {"/store": "/new"}) == "ROOT=/new/lib"
+
+
+class TestBinaryEquivalence:
+    def test_relocate_binary_matches_legacy_per_string(self):
+        mapping = {"/opt/storeroot/zlib": "/srv/z", "/opt/other": "/srv/much/longer"}
+        binary = MockBinary(
+            soname="libz.so",
+            rpaths=["/opt/storeroot/zlib/lib", "/opt/other/lib", "/usr/lib"],
+            path_blob=["/opt/storeroot/zlib", "/opt/other/share:/opt/storeroot/zlib"],
+        )
+        result = relocate_binary(binary, mapping, pad=True)
+        padded = {
+            old: pad_prefix(new, len(old)) if len(new) < len(old) else new
+            for old, new in mapping.items()
+        }
+        for before, after in zip(
+            binary.rpaths + binary.path_blob,
+            result.binary.rpaths + result.binary.path_blob,
+        ):
+            assert after == legacy_rewrite(before, padded)
+        # shorter replacement padded, longer lengthened, each string with
+        # a hit counted once per prefix (legacy counter semantics)
+        assert result.padded == 3
+        assert result.lengthened == 2
+        assert result.replacements == 5
+
+    def test_rewriter_is_cached_per_map(self):
+        from repro.binary.relocate import _rewriter_for
+
+        mapping = {"/a/b": "/c/d"}
+        assert _rewriter_for(mapping, True) is _rewriter_for(dict(mapping), True)
+        assert _rewriter_for(mapping, True) is not _rewriter_for(mapping, False)
+
+    def test_empty_map_is_identity(self):
+        text = "/store/lib"
+        assert relocate_text(text, {}) == text
+        binary = MockBinary(soname="a", rpaths=["/store/lib"])
+        result = relocate_binary(binary, {}, pad=True)
+        assert result.binary.rpaths == binary.rpaths
+        assert result.replacements == 0

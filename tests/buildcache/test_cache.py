@@ -108,11 +108,18 @@ class TestIndexPersistence:
         assert restored.dag_hash() == zlib.dag_hash()
         assert restored.concrete
 
-    def test_unsaved_index_is_not_persisted(self, zlib, tmp_path):
+    def test_push_is_durable_without_save_index(self, zlib, tmp_path):
+        """The journal closes the old durability gap: a push with no
+        later save_index() survives reopen."""
         src = fake_install(tmp_path / "build" / "zlib")
         cache = BuildCache(tmp_path / "cache")
         cache.push(zlib, src)  # no save_index()
-        assert len(BuildCache(tmp_path / "cache")) == 0
+        assert (tmp_path / "cache" / "journal.jsonl").exists()
+        reopened = BuildCache(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert zlib.dag_hash() in reopened
+        (restored,) = reopened.all_specs()
+        assert restored.dag_hash() == zlib.dag_hash()
 
     def test_corrupt_index_is_diagnosed(self, tmp_path):
         root = tmp_path / "cache"
