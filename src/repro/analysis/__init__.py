@@ -1,0 +1,91 @@
+"""repro.analysis — static analysis for repos, encodings, and DAGs.
+
+The paper's splicing machinery fails *silently* when declarations are
+wrong: a typo'd ``can_splice`` target or an unsatisfiable ``when``
+clause just removes the splice from the solver's choice space, and an
+encoding bug (unsafe variable, dead predicate) surfaces as a confusing
+UNSAT or a wrong model.  This package is the ``spack audit`` analogue:
+a checker registry producing structured diagnostics with stable codes
+(``SPL001``, ``ASP002``, ``DAG001``, ...), surfaced via ``repro audit``.
+
+Three checker families (see docs/static_analysis.md for the catalog):
+
+* ``directives.*`` — lints over a :class:`Repository`;
+* ``encoding.*``   — audits over the generated ASP program;
+* ``dag.*``        — invariant checks over concrete/spliced specs.
+
+Programmatic entry points::
+
+    from repro.analysis import audit_repository
+    report = audit_repository(make_mock_repo())
+    assert report.clean, report.render()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .diagnostics import Diagnostic, Report, Severity, REPORT_SCHEMA_VERSION
+from .registry import (
+    AnalysisError,
+    Analyzer,
+    AuditContext,
+    Checker,
+    all_checkers,
+    all_codes,
+    checker,
+)
+from .encoding import build_audit_program
+
+__all__ = [
+    "AnalysisError",
+    "Analyzer",
+    "AuditContext",
+    "Checker",
+    "Diagnostic",
+    "Report",
+    "REPORT_SCHEMA_VERSION",
+    "Severity",
+    "all_checkers",
+    "all_codes",
+    "audit_program",
+    "audit_repository",
+    "audit_specs",
+    "audit_store",
+    "build_audit_program",
+    "checker",
+]
+
+
+def audit_repository(repo, checks: Optional[Sequence[str]] = None) -> Report:
+    """Run the directive lints and encoding audits over ``repo``."""
+    return Analyzer(checks).run(AuditContext(repo=repo))
+
+
+def audit_program(program, checks: Optional[Sequence[str]] = None) -> Report:
+    """Run the encoding audits over an already-assembled ASP program."""
+    return Analyzer(checks or ["encoding"]).run(AuditContext(program=program))
+
+
+def audit_specs(
+    specs: Sequence, repo=None, checks: Optional[Sequence[str]] = None
+) -> Report:
+    """Run the concrete-DAG invariant checks over ``specs``."""
+    return Analyzer(checks or ["dag"]).run(
+        AuditContext(repo=repo, concrete_specs=specs)
+    )
+
+
+def audit_store(
+    database, repo=None, checks: Optional[Sequence[str]] = None
+) -> Report:
+    """Audit an install database: DAG invariants plus store prefixes."""
+    specs = database.all_specs()
+    return Analyzer(checks or ["dag"]).run(
+        AuditContext(
+            repo=repo,
+            concrete_specs=specs,
+            database=database,
+            store_root=getattr(database, "root", None),
+        )
+    )

@@ -1,0 +1,246 @@
+"""Concrete-DAG invariant checks over installed/cached/spliced specs.
+
+Splicing rewrites concrete DAGs after the solve (Section 4), so these
+invariants cannot be enforced by construction in one place — the audit
+re-derives them from first principles over whatever specs it is given
+(a buildcache, an install database, or both).
+
+Codes:
+
+* DAG001 (error) — broken ``build_spec`` provenance: a spliced node's
+  build spec must be concrete, name the same package, be provenance-
+  free itself (the chain is rooted at the original build, never
+  chained), and hash differently from the spliced node.
+* DAG002 (error) — a spliced node retains build-only dependency edges;
+  splicing must drop them from the runtime DAG (Section 4.1).
+* DAG003 (error) — a stored ``dag_hash`` differs from the hash
+  recomputed from the DAG's content (stale or tampered hash cache).
+* DAG004 (warning) — a concrete node carries a version or variant
+  value its package no longer declares (repo drift).
+* DAG005 (error) — an install-database record's prefix is missing on
+  disk or (for non-external specs) lies outside the store root.
+* DAG006 (error) — a node of a supposedly concrete DAG is not actually
+  concrete (missing name, version, os, or target).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple
+
+from ..spec import Spec
+from ..spec.spec import DEPTYPE_LINK_RUN
+from .diagnostics import Diagnostic, Severity
+from .registry import checker
+
+__all__ = []
+
+
+def _nodes(specs) -> Iterator[Tuple[Spec, Spec]]:
+    """(root, node) pairs over every node of every given DAG."""
+    for root in specs:
+        for node in root.traverse():
+            yield root, node
+
+
+@checker(
+    "dag.concreteness",
+    codes=("DAG006",),
+    requires=("concrete_specs",),
+    description="every node of a concrete DAG is fully concrete",
+)
+def check_concreteness(ctx) -> Iterable[Diagnostic]:
+    for root, node in _nodes(ctx.concrete_specs):
+        problems: List[str] = []
+        if node.name is None:
+            problems.append("has no name")
+        if not node.concrete:
+            problems.append("is not marked concrete")
+        if node.versions.concrete is None:
+            problems.append(f"has no concrete version ({node.versions})")
+        if node.os is None:
+            problems.append("has no os")
+        if node.target is None:
+            problems.append("has no target")
+        for problem in problems:
+            yield Diagnostic(
+                "DAG006",
+                Severity.ERROR,
+                f"node {node.name or '<anonymous>'} of "
+                f"{root.short_str()} {problem}",
+                package=node.name,
+            )
+
+
+@checker(
+    "dag.provenance",
+    codes=("DAG001",),
+    requires=("concrete_specs",),
+    description="build_spec provenance is closed, rooted, and distinct",
+)
+def check_provenance(ctx) -> Iterable[Diagnostic]:
+    for root, node in _nodes(ctx.concrete_specs):
+        build_spec = node.build_spec
+        if build_spec is None:
+            continue
+        if not build_spec.concrete:
+            yield Diagnostic(
+                "DAG001",
+                Severity.ERROR,
+                f"spliced node {node.short_str()} has a non-concrete "
+                "build_spec",
+                package=node.name,
+            )
+            continue
+        if build_spec.name != node.name:
+            yield Diagnostic(
+                "DAG001",
+                Severity.ERROR,
+                f"spliced node {node.short_str()} has build_spec "
+                f"{build_spec.short_str()} naming a different package",
+                package=node.name,
+            )
+        if build_spec.build_spec is not None:
+            yield Diagnostic(
+                "DAG001",
+                Severity.ERROR,
+                f"build_spec of {node.short_str()} itself carries "
+                "provenance; the chain must stay rooted at the original "
+                "build",
+                package=node.name,
+            )
+        if build_spec.dag_hash() == node.dag_hash():
+            yield Diagnostic(
+                "DAG001",
+                Severity.ERROR,
+                f"spliced node {node.short_str()} hashes identically to "
+                "its build_spec; the splice changed nothing or the hash "
+                "ignores provenance",
+                package=node.name,
+            )
+
+
+@checker(
+    "dag.build_edges",
+    codes=("DAG002",),
+    requires=("concrete_specs",),
+    description="spliced nodes carry no build-only dependency edges",
+)
+def check_build_edges(ctx) -> Iterable[Diagnostic]:
+    for root, node in _nodes(ctx.concrete_specs):
+        if not node.spliced:
+            continue
+        for edge in node.edges():
+            if DEPTYPE_LINK_RUN not in edge.deptypes:
+                yield Diagnostic(
+                    "DAG002",
+                    Severity.ERROR,
+                    f"spliced node {node.short_str()} retains build-only "
+                    f"edge to {edge.spec.name}; splicing must drop it "
+                    "from the runtime DAG",
+                    package=node.name,
+                )
+
+
+@checker(
+    "dag.hashes",
+    codes=("DAG003",),
+    requires=("concrete_specs",),
+    description="stored dag hashes match recomputation from content",
+)
+def check_hashes(ctx) -> Iterable[Diagnostic]:
+    for root in ctx.concrete_specs:
+        stored = root.dag_hash()
+        recomputed = root.copy().dag_hash()
+        if stored != recomputed:
+            yield Diagnostic(
+                "DAG003",
+                Severity.ERROR,
+                f"{root.short_str()}: stored dag_hash {stored[:10]} != "
+                f"{recomputed[:10]} recomputed from DAG content",
+                package=root.name,
+            )
+
+
+@checker(
+    "dag.repo_consistency",
+    codes=("DAG004",),
+    requires=("repo", "concrete_specs"),
+    description="concrete nodes use versions/variants the repo declares",
+)
+def check_repo_consistency(ctx) -> Iterable[Diagnostic]:
+    repo = ctx.repo
+    for root, node in _nodes(ctx.concrete_specs):
+        if node.name is None:
+            continue
+        if node.name not in repo:
+            yield Diagnostic(
+                "DAG004",
+                Severity.WARNING,
+                f"installed node {node.short_str()} is not in the "
+                "repository",
+                package=node.name,
+            )
+            continue
+        pkg_cls = repo.get(node.name)
+        version = node.versions.concrete
+        if version is not None and version not in pkg_cls.declared_versions():
+            yield Diagnostic(
+                "DAG004",
+                Severity.WARNING,
+                f"installed node {node.short_str()} has version {version} "
+                "which the repository no longer declares",
+                package=node.name,
+            )
+        declared = {d.name: d for d in pkg_cls.variant_decls}
+        for _, variant in node.variants.items():
+            decl = declared.get(variant.name)
+            if decl is None:
+                yield Diagnostic(
+                    "DAG004",
+                    Severity.WARNING,
+                    f"installed node {node.short_str()} sets variant "
+                    f"{variant.name!r} the repository does not declare",
+                    package=node.name,
+                )
+            elif variant.value not in decl.allowed_values():
+                yield Diagnostic(
+                    "DAG004",
+                    Severity.WARNING,
+                    f"installed node {node.short_str()} sets "
+                    f"{variant.name}={variant.value}, not an allowed value "
+                    f"of the declared variant",
+                    package=node.name,
+                )
+
+
+@checker(
+    "dag.store",
+    codes=("DAG005",),
+    requires=("database",),
+    description="install-database prefixes exist and resolve into the store",
+)
+def check_store(ctx) -> Iterable[Diagnostic]:
+    store_root = Path(ctx.store_root).resolve() if ctx.store_root else None
+    for record in ctx.database:
+        spec = record.spec
+        prefix = Path(record.prefix)
+        if not prefix.exists():
+            yield Diagnostic(
+                "DAG005",
+                Severity.ERROR,
+                f"installed prefix {prefix} of {spec.short_str()} is "
+                "missing on disk",
+                package=spec.name,
+            )
+            continue
+        if store_root is not None and not spec.external:
+            resolved = prefix.resolve()
+            if store_root != resolved and store_root not in resolved.parents:
+                yield Diagnostic(
+                    "DAG005",
+                    Severity.ERROR,
+                    f"installed prefix {prefix} of {spec.short_str()} "
+                    f"resolves outside the store root {store_root}",
+                    package=spec.name,
+                )

@@ -1,0 +1,194 @@
+"""Structured diagnostics: what an audit run produces.
+
+A :class:`Diagnostic` is one finding with a stable code (``SPL001``), a
+severity, a human message, and a source location expressed in package
+terms (class + directive index, e.g. ``example.can_splice[1]``) rather
+than file/line — package repos are Python classes, and the directive
+index is stable across reformatting.
+
+A :class:`Report` is an ordered collection with rendering helpers (human
+table and a versioned JSON document for CI consumption).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Severity", "Diagnostic", "Report", "REPORT_SCHEMA_VERSION"]
+
+#: bump when the JSON report shape changes incompatibly
+REPORT_SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    * ``ERROR`` — the declaration/encoding/DAG is wrong: a solve will
+      fail, silently drop a choice, or admit an unsafe substitution.
+    * ``WARNING`` — almost certainly a mistake (dead directive,
+      shadowed splice, dead predicate) but nothing crashes.
+    * ``NOTE`` — informational (e.g. a package skipped by the encoder).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "note": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One audit finding with a stable, documented code."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: package name the finding anchors to (None for repo/program level)
+    package: Optional[str] = None
+    #: directive location within the package, e.g. ``can_splice[1]``
+    directive: Optional[str] = None
+    #: registry name of the checker that produced this (set by Analyzer)
+    checker: str = ""
+
+    @property
+    def location(self) -> str:
+        """``package.directive[index]`` or ``<program>``/``<dag>``."""
+        if self.package and self.directive:
+            return f"{self.package}.{self.directive}"
+        if self.package:
+            return self.package
+        return "-"
+
+    def sort_key(self) -> Tuple:
+        return (self.severity.rank, self.code, self.location, self.message)
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "package": self.package,
+            "directive": self.directive,
+            "location": self.location,
+            "checker": self.checker,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.code}: {self.location}: {self.message}"
+
+
+@dataclass
+class Report:
+    """The result of one audit run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: checker registry names that actually ran
+    checkers_run: List[str] = field(default_factory=list)
+    #: checkers skipped because their required inputs were absent
+    checkers_skipped: List[str] = field(default_factory=list)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def finalize(self) -> "Report":
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
+
+    # ------------------------------------------------------------------
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def notes(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.NOTE)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def clean(self) -> bool:
+        """No findings of any severity."""
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "note": len(self.notes),
+        }
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable table plus a one-line summary."""
+        lines: List[str] = []
+        if self.diagnostics:
+            rows = [
+                (str(d.severity), d.code, d.location, d.message)
+                for d in self.diagnostics
+            ]
+            headers = ("SEVERITY", "CODE", "LOCATION", "MESSAGE")
+            widths = [
+                max(len(headers[i]), *(len(r[i]) for r in rows))
+                for i in range(3)
+            ]
+            fmt = "{:<%d}  {:<%d}  {:<%d}  {}" % tuple(widths)
+            lines.append(fmt.format(*headers))
+            for row in rows:
+                lines.append(fmt.format(*row))
+            lines.append("")
+        counts = self.counts()
+        summary = ", ".join(
+            f"{n} {sev}{'s' if n != 1 else ''}"
+            for sev, n in counts.items()
+            if n
+        )
+        if not summary:
+            summary = "clean"
+        lines.append(
+            f"audit: {summary} "
+            f"({len(self.checkers_run)} checkers run"
+            + (
+                f", {len(self.checkers_skipped)} skipped"
+                if self.checkers_skipped
+                else ""
+            )
+            + ")"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "clean": self.clean,
+            "summary": self.counts(),
+            "codes": self.codes(),
+            "checkers_run": list(self.checkers_run),
+            "checkers_skipped": list(self.checkers_skipped),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

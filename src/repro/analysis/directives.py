@@ -1,0 +1,475 @@
+"""Directive lints: static checks over a :class:`Repository`.
+
+These run before any encoding.  They catch the declaration mistakes the
+paper's splicing machinery is most sensitive to: a typo'd ``can_splice``
+target or an unsatisfiable ``when`` clause does not fail a solve — it
+silently removes the splice from the solver's choice space (Fig. 4), so
+nothing but an auditor ever notices.
+
+Codes (catalog in docs/static_analysis.md):
+
+* PKG001/PKG002/VER001 — version declarations
+* VAR001/VAR002       — variant declarations
+* DEP001–DEP004       — depends_on targets and constraints
+* WHN001–WHN004       — ``when`` clauses on any directive
+* CON001              — conflicts that exclude every version
+* VIR001/VIR002       — virtual/provider consistency
+* SPL001–SPL003       — can_splice declarations
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..spec import Spec
+from ..spec.version import VersionList
+from .diagnostics import Diagnostic, Severity
+from .registry import checker
+
+__all__ = []
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+def _version_satisfiable(pkg_cls, versions: VersionList) -> bool:
+    """Does any declared version of ``pkg_cls`` satisfy ``versions``?"""
+    if versions.is_any:
+        return True
+    return any(
+        decl.version.satisfies(versions) for decl in pkg_cls.version_decls
+    )
+
+
+def _variant_problems(pkg_cls, spec: Spec) -> Iterator[str]:
+    """Human descriptions of variant constraints in ``spec`` that no
+    declaration of ``pkg_cls`` can ever satisfy."""
+    decls_by_name: dict = {}
+    for decl in pkg_cls.variant_decls:
+        decls_by_name.setdefault(decl.name, []).append(decl)
+    for _, variant in spec.variants.items():
+        decls = decls_by_name.get(variant.name)
+        if not decls:
+            yield (
+                f"constrains variant {variant.name!r} which "
+                f"{pkg_cls.name!r} does not declare"
+            )
+        elif not any(variant.value in d.allowed_values() for d in decls):
+            allowed = sorted({v for d in decls for v in d.allowed_values()})
+            yield (
+                f"requires {variant.name}={variant.value} but "
+                f"{pkg_cls.name!r} only allows {allowed}"
+            )
+
+
+def _node_problems(pkg_cls, spec: Spec) -> List[str]:
+    """Version + variant constraints of ``spec`` that can never hold on
+    a node of ``pkg_cls`` (ignores os/target: those come from requests)."""
+    problems: List[str] = []
+    if not _version_satisfiable(pkg_cls, spec.versions):
+        declared = ", ".join(str(v) for v in pkg_cls.declared_versions())
+        problems.append(
+            f"version constraint {spec.versions} matches none of "
+            f"{pkg_cls.name!r}'s declared versions ({declared or 'none'})"
+        )
+    problems.extend(_variant_problems(pkg_cls, spec))
+    return problems
+
+
+def _directives(pkg_cls) -> Iterator[Tuple[str, int, object]]:
+    """Every directive on a package as (kind, index, decl)."""
+    for kind, attr in (
+        ("version", "version_decls"),
+        ("variant", "variant_decls"),
+        ("depends_on", "dependency_decls"),
+        ("provides", "provides_decls"),
+        ("conflicts", "conflict_decls"),
+        ("requires", "requires_decls"),
+        ("can_splice", "can_splice_decls"),
+    ):
+        for index, decl in enumerate(getattr(pkg_cls, attr, ())):
+            yield kind, index, decl
+
+
+def _loc(kind: str, index: int) -> str:
+    return f"{kind}[{index}]"
+
+
+# ---------------------------------------------------------------------------
+# versions
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.versions",
+    codes=("PKG001", "PKG002", "VER001"),
+    description="every package declares usable, non-duplicate versions",
+)
+def check_versions(ctx) -> Iterable[Diagnostic]:
+    for pkg_cls in ctx.repo:
+        decls = pkg_cls.version_decls
+        if not decls:
+            yield Diagnostic(
+                "PKG001",
+                Severity.ERROR,
+                "package declares no versions; it can never concretize",
+                package=pkg_cls.name,
+            )
+            continue
+        if all(d.deprecated for d in decls):
+            yield Diagnostic(
+                "PKG002",
+                Severity.WARNING,
+                "every declared version is deprecated; "
+                "preferred_version() will fail",
+                package=pkg_cls.name,
+            )
+        seen: dict = {}
+        for index, decl in enumerate(decls):
+            first = seen.setdefault(decl.version, index)
+            if first != index:
+                yield Diagnostic(
+                    "VER001",
+                    Severity.WARNING,
+                    f"version {decl.version} already declared at "
+                    f"version[{first}]",
+                    package=pkg_cls.name,
+                    directive=_loc("version", index),
+                )
+
+
+# ---------------------------------------------------------------------------
+# variants
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.variants",
+    codes=("VAR001", "VAR002"),
+    description="variant defaults are allowed values; no duplicate variants",
+)
+def check_variants(ctx) -> Iterable[Diagnostic]:
+    for pkg_cls in ctx.repo:
+        seen: dict = {}
+        for index, decl in enumerate(pkg_cls.variant_decls):
+            if not decl.is_bool:
+                allowed = decl.allowed_values()
+                if str(decl.default) not in allowed:
+                    yield Diagnostic(
+                        "VAR001",
+                        Severity.ERROR,
+                        f"variant {decl.name!r} default {decl.default!r} "
+                        f"is not among allowed values {sorted(allowed)}",
+                        package=pkg_cls.name,
+                        directive=_loc("variant", index),
+                    )
+            key = (decl.name, str(decl.when))
+            first = seen.setdefault(key, index)
+            if first != index:
+                yield Diagnostic(
+                    "VAR002",
+                    Severity.WARNING,
+                    f"variant {decl.name!r} already declared at "
+                    f"variant[{first}] with the same `when`",
+                    package=pkg_cls.name,
+                    directive=_loc("variant", index),
+                )
+
+
+# ---------------------------------------------------------------------------
+# dependencies
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.dependencies",
+    codes=("DEP001", "DEP002", "DEP003", "DEP004"),
+    description="depends_on names known packages and satisfiable constraints",
+)
+def check_dependencies(ctx) -> Iterable[Diagnostic]:
+    repo = ctx.repo
+    for pkg_cls in repo:
+        for index, decl in enumerate(pkg_cls.dependency_decls):
+            loc = _loc("depends_on", index)
+            for dep in [decl.spec] + list(decl.spec.traverse(root=False)):
+                name = dep.name
+                if name is None:
+                    yield Diagnostic(
+                        "DEP001",
+                        Severity.ERROR,
+                        "dependency spec does not name a package",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )
+                    continue
+                if repo.is_virtual(name):
+                    if not dep.versions.is_any or len(dep.variants):
+                        yield Diagnostic(
+                            "DEP004",
+                            Severity.ERROR,
+                            f"constraints on virtual dependency {name!r} are "
+                            "not supported; constrain a provider instead",
+                            package=pkg_cls.name,
+                            directive=loc,
+                        )
+                    continue
+                if name not in repo:
+                    yield Diagnostic(
+                        "DEP001",
+                        Severity.ERROR,
+                        f"depends on {name!r}, which is neither a package "
+                        "nor a provided virtual in this repository",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )
+                    continue
+                dep_cls = repo.get(name)
+                if not _version_satisfiable(dep_cls, dep.versions):
+                    declared = ", ".join(
+                        str(v) for v in dep_cls.declared_versions()
+                    )
+                    yield Diagnostic(
+                        "DEP002",
+                        Severity.ERROR,
+                        f"requires {name}@{dep.versions} but {name!r} only "
+                        f"declares [{declared or 'no versions'}]",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )
+                for problem in _variant_problems(dep_cls, dep):
+                    yield Diagnostic(
+                        "DEP003",
+                        Severity.ERROR,
+                        f"dependency on {name!r} {problem}",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# when clauses (all directives)
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.when",
+    codes=("WHN001", "WHN002", "WHN003", "WHN004"),
+    description="`when` clauses can actually hold on their own package",
+)
+def check_when_clauses(ctx) -> Iterable[Diagnostic]:
+    repo = ctx.repo
+    for pkg_cls in repo:
+        for kind, index, decl in _directives(pkg_cls):
+            when: Optional[Spec] = getattr(decl, "when", None)
+            if when is None:
+                continue
+            loc = _loc(kind, index)
+            if when.name is not None and when.name != pkg_cls.name:
+                yield Diagnostic(
+                    "WHN001",
+                    Severity.ERROR,
+                    f"`when` spec names {when.name!r}, not the package it "
+                    "guards; the encoder rejects this",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+                continue
+            if not _version_satisfiable(pkg_cls, when.versions):
+                yield Diagnostic(
+                    "WHN002",
+                    Severity.WARNING,
+                    f"`when` version constraint {when.versions} matches no "
+                    "declared version; the directive can never apply",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+            for problem in _variant_problems(pkg_cls, when):
+                yield Diagnostic(
+                    "WHN003",
+                    Severity.WARNING,
+                    f"`when` clause {problem}; the directive can never apply",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+            for dep in when.dependencies():
+                if dep.name is None:
+                    continue
+                if repo.is_virtual(dep.name):
+                    continue
+                if dep.name not in repo:
+                    yield Diagnostic(
+                        "WHN004",
+                        Severity.WARNING,
+                        f"`when` clause constrains unknown package "
+                        f"{dep.name!r}; the condition can never hold",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )
+                    continue
+                for problem in _node_problems(repo.get(dep.name), dep):
+                    yield Diagnostic(
+                        "WHN004",
+                        Severity.WARNING,
+                        f"`when` clause on ^{dep.name}: {problem}",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# conflicts
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.conflicts",
+    codes=("CON001",),
+    description="no unconditional conflict excludes every configuration",
+)
+def check_conflicts(ctx) -> Iterable[Diagnostic]:
+    for pkg_cls in ctx.repo:
+        declared = [d.version for d in pkg_cls.version_decls]
+        for index, decl in enumerate(pkg_cls.conflict_decls):
+            spec = decl.spec
+            if decl.when is not None:
+                continue
+            if spec.name is not None and spec.name != pkg_cls.name:
+                continue
+            # the conflict is node-local and unconditional: if it covers
+            # every declared version with no other constraint, the
+            # package can never concretize at all
+            unconstrained = (
+                not len(spec.variants)
+                and spec.os is None
+                and spec.target is None
+                and not spec.dependencies()
+            )
+            covers_all = bool(declared) and all(
+                v.satisfies(spec.versions) for v in declared
+            )
+            if unconstrained and covers_all:
+                yield Diagnostic(
+                    "CON001",
+                    Severity.ERROR,
+                    f"unconditional conflict {spec} matches every declared "
+                    "version; the package can never concretize",
+                    package=pkg_cls.name,
+                    directive=_loc("conflicts", index),
+                )
+
+
+# ---------------------------------------------------------------------------
+# virtuals and providers
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.virtuals",
+    codes=("VIR001", "VIR002"),
+    description="virtual names and provider preferences are consistent",
+)
+def check_virtuals(ctx) -> Iterable[Diagnostic]:
+    repo = ctx.repo
+    for pkg_cls in repo:
+        for index, decl in enumerate(pkg_cls.provides_decls):
+            virtual = decl.virtual.name
+            loc = _loc("provides", index)
+            if virtual is None:
+                yield Diagnostic(
+                    "VIR001",
+                    Severity.ERROR,
+                    "provides() spec does not name a virtual",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+            elif virtual in repo:
+                yield Diagnostic(
+                    "VIR001",
+                    Severity.ERROR,
+                    f"provides {virtual!r}, which is also a real package; "
+                    "the name cannot be both",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+    for virtual, preferences in sorted(repo.provider_preferences.items()):
+        providers = set(repo.providers(virtual)) if repo.is_virtual(virtual) else set()
+        if not repo.is_virtual(virtual):
+            yield Diagnostic(
+                "VIR002",
+                Severity.WARNING,
+                f"provider preference for {virtual!r}, which no package "
+                "provides",
+            )
+            continue
+        for name in preferences:
+            if name not in providers:
+                yield Diagnostic(
+                    "VIR002",
+                    Severity.WARNING,
+                    f"preferred provider {name!r} for {virtual!r} "
+                    "does not provide it",
+                )
+
+
+# ---------------------------------------------------------------------------
+# can_splice
+# ---------------------------------------------------------------------------
+@checker(
+    "directives.can_splice",
+    codes=("SPL001", "SPL002", "SPL003"),
+    description="can_splice targets exist and are satisfiable; no shadowed decls",
+)
+def check_can_splice(ctx) -> Iterable[Diagnostic]:
+    repo = ctx.repo
+    for pkg_cls in repo:
+        seen: dict = {}
+        unconditional: dict = {}
+        for index, decl in enumerate(pkg_cls.can_splice_decls):
+            if decl.when is None and decl.target.name is not None:
+                unconditional.setdefault(str(decl.target), index)
+        for index, decl in enumerate(pkg_cls.can_splice_decls):
+            loc = _loc("can_splice", index)
+            target = decl.target
+            name = target.name
+            if name is None:
+                yield Diagnostic(
+                    "SPL001",
+                    Severity.ERROR,
+                    f"can_splice target {target} does not name a package; "
+                    "the rule compiler rejects it",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+                continue
+            if name not in repo:
+                kind = "a virtual" if repo.is_virtual(name) else "unknown"
+                yield Diagnostic(
+                    "SPL001",
+                    Severity.ERROR,
+                    f"can_splice target names {kind} package {name!r}; the "
+                    "splice can never enter the solver's choice space",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+                continue
+            for problem in _node_problems(repo.get(name), target):
+                yield Diagnostic(
+                    "SPL002",
+                    Severity.ERROR,
+                    f"can_splice target {problem}; no hash_attr fact can "
+                    "ever match, so the rule never fires",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+            key = (str(target), str(decl.when))
+            first = seen.setdefault(key, index)
+            if first != index:
+                yield Diagnostic(
+                    "SPL003",
+                    Severity.WARNING,
+                    f"duplicate can_splice declaration (same target and "
+                    f"`when` as can_splice[{first}])",
+                    package=pkg_cls.name,
+                    directive=loc,
+                )
+                continue
+            if decl.when is not None:
+                broader = unconditional.get(str(target))
+                if broader is not None:
+                    yield Diagnostic(
+                        "SPL003",
+                        Severity.WARNING,
+                        f"conditional can_splice is shadowed by the "
+                        f"unconditional can_splice[{broader}] on the same "
+                        "target",
+                        package=pkg_cls.name,
+                        directive=loc,
+                    )

@@ -1,0 +1,207 @@
+"""Checker registry and the Analyzer that drives an audit run.
+
+Checkers are plain functions registered with the :func:`checker`
+decorator.  Each declares which inputs it needs (``repo``, ``program``,
+``concrete_specs``, ``reusable_specs``, ``database``); the
+:class:`Analyzer` runs every applicable checker against an
+:class:`AuditContext` and collects the findings into a
+:class:`~repro.analysis.diagnostics.Report`.
+
+Every checker executes under an ``analysis.<name>`` obs span, so
+``repro audit --profile`` prints per-checker timings for free, and
+``analysis.*`` counters record diagnostics by severity (see
+docs/observability.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..asp.syntax import Program
+from ..obs import metrics, trace
+from ..package.repository import Repository
+from .diagnostics import Diagnostic, Report, Severity
+
+__all__ = [
+    "AnalysisError",
+    "AuditContext",
+    "Analyzer",
+    "Checker",
+    "checker",
+    "all_checkers",
+    "all_codes",
+]
+
+
+class AnalysisError(RuntimeError):
+    """Raised for misuse of the analysis framework itself (unknown
+    checker names, duplicate registrations) — never for findings."""
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered checker function plus its metadata."""
+
+    name: str
+    family: str
+    codes: Tuple[str, ...]
+    requires: Tuple[str, ...]
+    description: str
+    func: Callable
+
+    def applicable(self, context: "AuditContext") -> bool:
+        return all(getattr(context, attr) is not None for attr in self.requires)
+
+
+#: name → Checker; populated by the @checker decorator at import time
+_REGISTRY: Dict[str, Checker] = {}
+
+
+def checker(
+    name: str,
+    *,
+    codes: Sequence[str],
+    requires: Sequence[str] = ("repo",),
+    description: str = "",
+) -> Callable:
+    """Register a checker.  ``name`` is ``family.checkname``; ``codes``
+    lists every diagnostic code the checker may emit (documented in
+    docs/static_analysis.md); ``requires`` names AuditContext attributes
+    that must be present for the checker to run."""
+
+    def register(func: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise AnalysisError(f"duplicate checker {name!r}")
+        family = name.split(".", 1)[0]
+        doc = (func.__doc__ or "").strip()
+        _REGISTRY[name] = Checker(
+            name=name,
+            family=family,
+            codes=tuple(codes),
+            requires=tuple(requires),
+            description=description or (doc.splitlines()[0] if doc else ""),
+            func=func,
+        )
+        return func
+
+    return register
+
+
+def all_checkers() -> List[Checker]:
+    """Every registered checker, sorted by name (import side effect:
+    loading this package registers the built-in families)."""
+    _ensure_builtin_checkers()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def all_codes() -> List[str]:
+    codes = set()
+    for chk in all_checkers():
+        codes.update(chk.codes)
+    return sorted(codes)
+
+
+def _ensure_builtin_checkers() -> None:
+    # late import so the registry module has no import cycle with the
+    # checker modules (they import `checker` from here)
+    from . import dag, directives, encoding  # noqa: F401
+
+
+class AuditContext:
+    """Everything an audit run can look at.
+
+    Only ``repo`` is commonly required; the ASP ``program`` is assembled
+    lazily from the repo on first access (mirroring the concretizer's
+    own program assembly), and DAG/store inputs are optional.
+    """
+
+    def __init__(
+        self,
+        repo: Optional[Repository] = None,
+        program: Optional[Program] = None,
+        concrete_specs: Optional[Sequence] = None,
+        reusable_specs: Optional[Sequence] = None,
+        database=None,
+        store_root=None,
+    ):
+        self.repo = repo
+        self._program = program
+        self.concrete_specs = (
+            list(concrete_specs) if concrete_specs is not None else None
+        )
+        self.reusable_specs = (
+            list(reusable_specs) if reusable_specs is not None else None
+        )
+        self.database = database
+        self.store_root = store_root
+        #: notes produced while assembling the program (ENC001)
+        self.assembly_diagnostics: List[Diagnostic] = []
+
+    @property
+    def program(self) -> Optional[Program]:
+        if self._program is None and self.repo is not None:
+            from .encoding import build_audit_program
+
+            with trace.span("analysis.assemble_program"):
+                self._program, notes = build_audit_program(self.repo)
+            self.assembly_diagnostics.extend(notes)
+        return self._program
+
+
+class Analyzer:
+    """Runs a (filtered) set of checkers against a context."""
+
+    def __init__(self, checks: Optional[Sequence[str]] = None):
+        selected = all_checkers()
+        if checks:
+            wanted = list(checks)
+            known = {c.name for c in selected}
+            families = {c.family for c in selected}
+            codes = {code for c in selected for code in c.codes}
+            for item in wanted:
+                if item not in known and item not in families and item not in codes:
+                    raise AnalysisError(
+                        f"unknown checker, family, or code {item!r} "
+                        f"(see `repro audit --list-checks`)"
+                    )
+            selected = [
+                c
+                for c in selected
+                if c.name in wanted
+                or c.family in wanted
+                or any(code in wanted for code in c.codes)
+            ]
+        self.checkers = selected
+
+    def run(self, context: AuditContext) -> Report:
+        report = Report()
+        with trace.span("analysis.audit", checkers=len(self.checkers)):
+            for chk in self.checkers:
+                if not chk.applicable(context):
+                    report.checkers_skipped.append(chk.name)
+                    continue
+                with trace.span(f"analysis.{chk.name}"):
+                    found = [
+                        Diagnostic(
+                            code=d.code,
+                            severity=d.severity,
+                            message=d.message,
+                            package=d.package,
+                            directive=d.directive,
+                            checker=chk.name,
+                        )
+                        for d in chk.func(context)
+                    ]
+                report.checkers_run.append(chk.name)
+                metrics.inc("analysis.checkers_run")
+                for diag in found:
+                    metrics.inc(f"analysis.diagnostics.{diag.severity}")
+                report.extend(found)
+            # program-assembly notes surface once, attributed to the
+            # encoding family (they only exist if some checker forced
+            # program assembly)
+            for diag in context.assembly_diagnostics:
+                metrics.inc(f"analysis.diagnostics.{diag.severity}")
+            report.extend(context.assembly_diagnostics)
+        return report.finalize()

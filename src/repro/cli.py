@@ -274,6 +274,49 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    """`repro audit`: static-analysis of the repo, encoding, and stores."""
+    from .analysis import AnalysisError, Analyzer, AuditContext, all_checkers
+
+    if args.list_checks:
+        for chk in all_checkers():
+            codes = ",".join(chk.codes)
+            print(f"{chk.name:<26} {codes:<24} {chk.description}")
+        return 0
+    repo = _load_repo(args.repo)
+    concrete: list = []
+    database = None
+    if args.cache:
+        concrete.extend(BuildCache(Path(args.cache)).all_specs())
+    if args.store:
+        store = Path(args.store)
+        if (store / "db.json").exists():
+            from .installer.database import Database
+
+            database = Database(store)
+            concrete.extend(database.all_specs())
+    auditing_specs = bool(args.cache or args.store)
+    context = AuditContext(
+        repo=repo,
+        concrete_specs=concrete if auditing_specs else None,
+        reusable_specs=concrete if auditing_specs else None,
+        database=database,
+        store_root=Path(args.store) if args.store else None,
+    )
+    try:
+        analyzer = Analyzer(args.checks)
+    except AnalysisError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    report = analyzer.run(context)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    failing = report.has_errors or (args.strict and report.warnings)
+    return 1 if failing else 0
+
+
 def cmd_suggest_splices(args) -> int:
     """`repro suggest-splices`: the automatic ABI-discovery report."""
     repo = _load_repo(args.repo)
@@ -406,6 +449,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--cache")
     p_diff.add_argument("--store")
     p_diff.set_defaults(func=cmd_diff)
+
+    p_audit = sub.add_parser(
+        "audit", help="static-analysis of repo, encoding, and stores",
+        parents=[obs],
+    )
+    p_audit.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON report")
+    p_audit.add_argument("--cache", help="buildcache whose specs to audit")
+    p_audit.add_argument("--store", help="install store to audit")
+    p_audit.add_argument(
+        "--check", action="append", dest="checks", metavar="NAME",
+        help="run only this checker, family, or code (repeatable)",
+    )
+    p_audit.add_argument("--strict", action="store_true",
+                         help="exit nonzero on warnings, not just errors")
+    p_audit.add_argument("--list-checks", action="store_true",
+                         help="list registered checkers and exit")
+    p_audit.set_defaults(func=cmd_audit)
 
     p_suggest = sub.add_parser(
         "suggest-splices", help="automatic ABI discovery report", parents=[obs]

@@ -34,10 +34,10 @@ class CanSpliceCompiler:
         rules: List[Rule] = []
         for pkg_cls in self.repo:
             for index, decl in enumerate(pkg_cls.can_splice_decls):
-                rules.append(self._compile(pkg_cls, decl, index))
+                rules.append(self.compile_decl(pkg_cls, decl, index))
         return rules
 
-    def _compile(
+    def compile_decl(
         self, pkg_cls: Type[PackageBase], decl, index: int
     ) -> Rule:
         splicer = pkg_cls.name

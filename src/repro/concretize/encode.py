@@ -125,6 +125,9 @@ class Encoder:
     def encode_repository(self) -> None:
         for pkg_cls in self.repo:
             self.encode_package(pkg_cls)
+        self.encode_virtuals()
+
+    def encode_virtuals(self) -> None:
         for virtual in self.repo.virtual_names():
             self.facts.append(atom("virtual", s(virtual)))
             for provider in self.repo.providers(virtual):

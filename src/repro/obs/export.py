@@ -24,7 +24,8 @@ __all__ = ["SCHEMA_VERSION", "chrome_trace", "write_chrome_trace", "phase_table"
 #: embedded in traces and BENCH_*.json so tooling can tell vintages apart
 #: (2: buildcache.shard_*/journal_*/fetch and installer.fetch* names
 #: added with the sharded index + pipelined fetch path)
-SCHEMA_VERSION = 2
+#: (3: analysis.* spans and counters added with the audit subsystem)
+SCHEMA_VERSION = 3
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:

@@ -37,7 +37,10 @@ class Repository:
             raise RepositoryError(f"duplicate package {name!r}")
         self._packages[name] = pkg_cls
         for decl in pkg_cls.provides_decls:
-            self._providers.setdefault(decl.virtual.name, []).append(name)
+            # an anonymous provides spec has no name to index under; the
+            # audit lints (VIR001) report it rather than poisoning the index
+            if decl.virtual.name:
+                self._providers.setdefault(decl.virtual.name, []).append(name)
         return pkg_cls
 
     def extend(self, other: "Repository") -> None:

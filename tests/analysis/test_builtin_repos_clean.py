@@ -1,0 +1,72 @@
+"""Regression: the shipped repositories are audit-clean, and audits are
+observable through the standard obs substrate."""
+
+import pytest
+
+from repro.analysis import Analyzer, AuditContext, all_checkers, audit_repository
+from repro.obs import metrics, trace
+from repro.repos.mock import make_mock_repo
+from repro.repos.radiuss import make_radiuss_repo
+
+
+class TestBuiltinReposClean:
+    """The tentpole guarantee: zero diagnostics of ANY severity on the
+    repos we ship.  If a change to mock.py/radiuss.py (or to a checker)
+    trips this, either the repo or the checker is wrong — fix it, do
+    not relax this test."""
+
+    def test_mock_repo_is_clean(self):
+        report = audit_repository(make_mock_repo())
+        assert report.clean, report.render()
+
+    def test_radiuss_repo_is_clean(self):
+        report = audit_repository(make_radiuss_repo())
+        assert report.clean, report.render()
+
+    def test_repo_level_audit_runs_all_applicable_checkers(self):
+        report = audit_repository(make_mock_repo())
+        ran = set(report.checkers_run)
+        assert {c.name for c in all_checkers() if c.requires == ("repo",)} <= ran
+        assert {c.name for c in all_checkers() if c.requires == ("program",)} <= ran
+        # DAG/store/reuse checkers wait for their inputs
+        assert "dag.provenance" in report.checkers_skipped
+        assert "encoding.splice_reach" in report.checkers_skipped
+
+
+class TestObservability:
+    def test_per_checker_spans_recorded(self):
+        audit_repository(make_mock_repo())
+        stats = trace.phase_stats()
+        assert "analysis.audit" in stats
+        assert "analysis.assemble_program" in stats
+        assert "analysis.directives.can_splice" in stats
+        assert "analysis.encoding.dataflow" in stats
+
+    def test_diagnostic_counters_by_severity(self):
+        from repro.package.package import Package
+        from repro.package.repository import Repository
+        from repro.package.directives import version, can_splice
+
+        class Bad(Package):
+            version("1.0")
+            can_splice("ghost@1")
+
+        repo = Repository("counted")
+        repo.add(Bad)
+        def counter(name):
+            return metrics.snapshot()["counters"].get(name, 0)
+
+        before = counter("analysis.diagnostics.error")
+        report = audit_repository(repo, checks=["directives.can_splice"])
+        assert report.has_errors
+        after = counter("analysis.diagnostics.error")
+        assert after == before + len(report.errors)
+
+    def test_checkers_run_counter(self):
+        def counter(name):
+            return metrics.snapshot()["counters"].get(name, 0)
+
+        before = counter("analysis.checkers_run")
+        report = audit_repository(make_mock_repo(), checks=["directives"])
+        after = counter("analysis.checkers_run")
+        assert after == before + len(report.checkers_run)

@@ -1,0 +1,120 @@
+"""`repro audit` CLI behavior: exit codes, JSON, filtering, --strict."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCleanRepos:
+    @pytest.mark.parametrize("repo", ["mock", "radiuss"])
+    def test_builtin_repo_exits_zero(self, capsys, repo):
+        code, out, _ = run(capsys, "--repo", repo, "audit")
+        assert code == 0
+        assert "audit: clean" in out
+
+    def test_json_output_is_parseable_and_clean(self, capsys):
+        code, out, _ = run(capsys, "--repo", "mock", "audit", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["clean"] is True
+        assert doc["schema_version"] == 1
+        assert doc["diagnostics"] == []
+        assert doc["checkers_run"]
+
+
+class TestSeededFailures:
+    @pytest.fixture
+    def broken_repo(self, tmp_path):
+        """An on-disk repo with a dangling dependency (DEP001)."""
+        pkg = tmp_path / "broken-repo" / "app"
+        pkg.mkdir(parents=True)
+        (pkg / "package.py").write_text(
+            'class App(Package):\n'
+            '    version("1.0")\n'
+            '    depends_on("ghost")\n'
+        )
+        return tmp_path / "broken-repo"
+
+    @pytest.fixture
+    def warning_repo(self, tmp_path):
+        """An on-disk repo with only a warning (PKG002: all deprecated)."""
+        pkg = tmp_path / "warn-repo" / "old"
+        pkg.mkdir(parents=True)
+        (pkg / "package.py").write_text(
+            'class Old(Package):\n'
+            '    version("1.0", deprecated=True)\n'
+        )
+        return tmp_path / "warn-repo"
+
+    def test_error_diagnostic_exits_one(self, capsys, broken_repo):
+        code, out, _ = run(capsys, "--repo", str(broken_repo), "audit")
+        assert code == 1
+        assert "DEP001" in out
+
+    def test_json_carries_the_diagnostics(self, capsys, broken_repo):
+        code, out, _ = run(capsys, "--repo", str(broken_repo), "audit", "--json")
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["clean"] is False
+        assert "DEP001" in doc["codes"]
+        (diag,) = [d for d in doc["diagnostics"] if d["code"] == "DEP001"]
+        assert diag["package"] == "app"
+        assert diag["severity"] == "error"
+
+    def test_warnings_pass_unless_strict(self, capsys, warning_repo):
+        code, out, _ = run(capsys, "--repo", str(warning_repo), "audit")
+        assert code == 0
+        assert "PKG002" in out
+
+    def test_strict_promotes_warnings(self, capsys, warning_repo):
+        code, _, _ = run(capsys, "--repo", str(warning_repo), "audit", "--strict")
+        assert code == 1
+
+
+class TestCheckSelection:
+    def test_list_checks(self, capsys):
+        code, out, _ = run(capsys, "--repo", "mock", "audit", "--list-checks")
+        assert code == 0
+        for name in ("directives.can_splice", "encoding.safety", "dag.hashes"):
+            assert name in out
+        assert "SPL001" in out
+
+    def test_check_filter_by_family(self, capsys):
+        code, out, _ = run(
+            capsys, "--repo", "mock", "audit", "--json", "--check", "dag"
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert all(name.startswith("dag.") for name in doc["checkers_run"])
+
+    def test_unknown_check_exits_two(self, capsys):
+        code, _, err = run(
+            capsys, "--repo", "mock", "audit", "--check", "nonsense"
+        )
+        assert code == 2
+        assert "nonsense" in err
+
+
+class TestStoreAudit:
+    def test_audit_with_store(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code, _, _ = run(
+            capsys, "--repo", "mock", "install", "--store", str(store), "zlib"
+        )
+        assert code == 0
+        code, out, _ = run(
+            capsys,
+            "--repo", "mock", "audit", "--store", str(store), "--json",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert "dag.store" in doc["checkers_run"]
+        assert "dag.provenance" in doc["checkers_run"]

@@ -1,0 +1,180 @@
+"""Concrete-DAG invariant checks: seeded corruption for every code."""
+
+import pytest
+
+from repro.analysis import AuditContext, Analyzer, Severity, audit_specs, audit_store
+from repro.buildcache.generate import greedy_concretize
+from repro.installer.database import Database
+from repro.package.directives import depends_on, variant, version
+from repro.package.package import Package
+from repro.package.repository import Repository
+from repro.repos.mock import make_mock_repo
+from repro.spec import parse_one
+
+
+def find(report, code):
+    return [d for d in report.diagnostics if d.code == code]
+
+
+def mock_dag(root="app", **kw):
+    return greedy_concretize(make_mock_repo(), root, **kw)
+
+
+class TestProvenance:
+    def test_healthy_splice_is_clean(self):
+        repo = make_mock_repo()
+        original = greedy_concretize(repo, "app", versions={"zlib": "1.2.11"})
+        replacement = greedy_concretize(repo, "zlib")
+        spliced = original.splice(replacement, transitive=False)
+        report = audit_specs([spliced])
+        assert report.clean, report.render()
+
+    def test_dag001_non_concrete_build_spec(self):
+        spec = mock_dag()
+        spec.build_spec = parse_one("app@2.0")  # abstract
+        (d,) = find(audit_specs([spec]), "DAG001")
+        assert "non-concrete" in d.message
+
+    def test_dag001_name_mismatch(self):
+        spec = mock_dag()
+        spec.build_spec = mock_dag("tool")
+        report = audit_specs([spec])
+        assert any("different package" in d.message for d in find(report, "DAG001"))
+
+    def test_dag001_chained_provenance(self):
+        spec = mock_dag()
+        middle = mock_dag("app", versions={"zlib": "1.2.11"})
+        middle.build_spec = mock_dag("app", versions={"zlib": "1.2"})
+        spec.build_spec = middle
+        report = audit_specs([spec])
+        assert any("rooted" in d.message for d in find(report, "DAG001"))
+
+    def test_dag001_identical_hash(self):
+        spec = mock_dag()
+        spec.dag_hash()  # cache the provenance-free hash...
+        spec.build_spec = spec.copy()  # ...then bolt on provenance
+        report = audit_specs([spec])
+        assert any("identically" in d.message for d in find(report, "DAG001"))
+
+
+class TestBuildEdges:
+    def test_dag002_spliced_node_keeps_build_edge(self):
+        spec = mock_dag(include_build_deps=True)  # app has a cmake build dep
+        assert any(
+            "link-run" not in e.deptypes for e in spec.edges()
+        ), "precondition: greedy DAG carries a build-only edge"
+        spec.build_spec = mock_dag(include_build_deps=True).copy()
+        (d,) = find(audit_specs([spec]), "DAG002")
+        assert "cmake" in d.message
+
+    def test_real_splice_output_is_clean(self):
+        spec = mock_dag(include_build_deps=False)  # runtime DAG only
+        spec.build_spec = mock_dag(include_build_deps=True)
+        assert not find(audit_specs([spec]), "DAG002")
+
+
+class TestHashes:
+    def test_dag003_stale_hash_cache(self):
+        spec = mock_dag()
+        spec.dag_hash()  # cache
+        spec._hash = "deadbeef" * 4  # simulate a tampered/stale cache
+        (d,) = find(audit_specs([spec]), "DAG003")
+        assert d.severity is Severity.ERROR
+
+    def test_fresh_dag_is_clean(self):
+        assert not find(audit_specs([mock_dag()]), "DAG003")
+
+
+class TestRepoConsistency:
+    def _drifted_repo(self):
+        class Zlib(Package):
+            version("9.0")  # 1.x withdrawn
+
+        repo = Repository("drifted")
+        repo.add(Zlib)
+        return repo
+
+    def test_dag004_version_no_longer_declared(self):
+        spec = greedy_concretize(make_mock_repo(), "zlib")  # zlib@1.3
+        context = AuditContext(repo=self._drifted_repo(), concrete_specs=[spec])
+        report = Analyzer(["dag.repo_consistency"]).run(context)
+        found = find(report, "DAG004")
+        assert all(d.severity is Severity.WARNING for d in found)
+        assert any("no longer declares" in d.message for d in found)
+
+    def test_dag004_unknown_package(self):
+        spec = greedy_concretize(make_mock_repo(), "tool")
+        context = AuditContext(repo=self._drifted_repo(), concrete_specs=[spec])
+        report = Analyzer(["dag.repo_consistency"]).run(context)
+        assert any("not in the" in d.message for d in find(report, "DAG004"))
+
+    def test_dag004_undeclared_variant(self):
+        class Example(Package):
+            version("1.1.0")
+
+        repo = Repository("novariant")
+        repo.add(Example)
+        spec = parse_one("example@1.1.0+bzip")
+        spec.os, spec.target = "centos8", "skylake"
+        spec._mark_concrete()
+        context = AuditContext(repo=repo, concrete_specs=[spec])
+        report = Analyzer(["dag.repo_consistency"]).run(context)
+        assert any("variant" in d.message for d in find(report, "DAG004"))
+
+    def test_matching_repo_is_clean(self):
+        spec = mock_dag()
+        context = AuditContext(repo=make_mock_repo(), concrete_specs=[spec])
+        report = Analyzer(["dag.repo_consistency"]).run(context)
+        assert report.clean, report.render()
+
+
+class TestStore:
+    def test_dag005_missing_prefix(self, tmp_path):
+        db = Database(tmp_path / "store")
+        db.add(mock_dag("zlib"), str(tmp_path / "store" / "zlib-nope"))
+        (d,) = find(audit_store(db), "DAG005")
+        assert "missing" in d.message
+
+    def test_dag005_prefix_outside_store(self, tmp_path):
+        db = Database(tmp_path / "store")
+        rogue = tmp_path / "elsewhere" / "zlib"
+        rogue.mkdir(parents=True)
+        db.add(mock_dag("zlib"), str(rogue))
+        (d,) = find(audit_store(db), "DAG005")
+        assert "outside the store" in d.message
+
+    def test_external_prefix_outside_store_is_fine(self, tmp_path):
+        db = Database(tmp_path / "store")
+        vendor = tmp_path / "opt" / "cray"
+        vendor.mkdir(parents=True)
+        spec = mock_dag("zlib")
+        spec.external = True
+        db.add(spec, str(vendor))
+        assert not find(audit_store(db), "DAG005")
+
+    def test_healthy_store_is_clean(self, tmp_path):
+        store = tmp_path / "store"
+        prefix = store / "zlib-1.3"
+        prefix.mkdir(parents=True)
+        db = Database(store)
+        db.add(mock_dag("zlib"), str(prefix))
+        report = audit_store(db, repo=make_mock_repo())
+        assert report.clean, report.render()
+
+
+class TestConcreteness:
+    def test_dag006_missing_os_and_target(self):
+        spec = parse_one("zlib@1.3")
+        spec._mark_concrete()
+        report = audit_specs([spec])
+        messages = [d.message for d in find(report, "DAG006")]
+        assert any("os" in m for m in messages)
+        assert any("target" in m for m in messages)
+
+    def test_dag006_not_marked_concrete(self):
+        spec = parse_one("zlib@1.3")
+        spec.os, spec.target = "centos8", "skylake"
+        report = audit_specs([spec])
+        assert any(
+            "not marked concrete" in d.message for d in find(report, "DAG006")
+        )

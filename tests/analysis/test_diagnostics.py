@@ -1,0 +1,87 @@
+"""The diagnostics data model: ordering, rendering, JSON schema."""
+
+import json
+
+from repro.analysis import Diagnostic, Report, Severity, REPORT_SCHEMA_VERSION
+
+
+def diag(code, severity, message="boom", **kw):
+    return Diagnostic(code, severity, message, **kw)
+
+
+class TestSeverity:
+    def test_rank_order(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.NOTE.rank
+
+    def test_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_location_with_directive(self):
+        d = diag("SPL001", Severity.ERROR, package="zlib",
+                 directive="can_splice[2]")
+        assert d.location == "zlib.can_splice[2]"
+
+    def test_location_package_only(self):
+        assert diag("PKG001", Severity.ERROR, package="zlib").location == "zlib"
+
+    def test_location_program_level(self):
+        assert diag("ASP002", Severity.WARNING).location == "-"
+
+    def test_to_dict_round_trips_through_json(self):
+        d = diag("DEP001", Severity.ERROR, package="app",
+                 directive="depends_on[0]", checker="directives.dependencies")
+        loaded = json.loads(json.dumps(d.to_dict()))
+        assert loaded["code"] == "DEP001"
+        assert loaded["severity"] == "error"
+        assert loaded["location"] == "app.depends_on[0]"
+        assert loaded["checker"] == "directives.dependencies"
+
+
+class TestReport:
+    def test_finalize_sorts_errors_first(self):
+        report = Report(diagnostics=[
+            diag("ZZZ001", Severity.NOTE),
+            diag("AAA002", Severity.WARNING),
+            diag("MMM003", Severity.ERROR),
+        ])
+        report.finalize()
+        assert [d.code for d in report.diagnostics] == [
+            "MMM003", "AAA002", "ZZZ001"
+        ]
+
+    def test_counts_and_flags(self):
+        report = Report(diagnostics=[
+            diag("A001", Severity.ERROR), diag("B001", Severity.WARNING)
+        ])
+        assert report.counts() == {"error": 1, "warning": 1, "note": 0}
+        assert report.has_errors
+        assert not report.clean
+
+    def test_clean_report(self):
+        report = Report(checkers_run=["directives.versions"])
+        assert report.clean
+        assert not report.has_errors
+        assert "clean" in report.render()
+
+    def test_render_contains_table_and_summary(self):
+        report = Report(diagnostics=[
+            diag("SPL001", Severity.ERROR, package="x", directive="can_splice[0]")
+        ], checkers_run=["a", "b"]).finalize()
+        text = report.render()
+        assert "SEVERITY" in text and "SPL001" in text
+        assert "x.can_splice[0]" in text
+        assert "1 error" in text and "2 checkers run" in text
+
+    def test_json_document_shape(self):
+        report = Report(diagnostics=[diag("A001", Severity.WARNING)],
+                        checkers_run=["x"], checkers_skipped=["y"])
+        doc = json.loads(report.finalize().to_json())
+        assert doc["schema_version"] == REPORT_SCHEMA_VERSION
+        assert doc["clean"] is False
+        assert doc["summary"] == {"error": 0, "warning": 1, "note": 0}
+        assert doc["codes"] == ["A001"]
+        assert doc["checkers_run"] == ["x"]
+        assert doc["checkers_skipped"] == ["y"]
+        assert doc["diagnostics"][0]["code"] == "A001"

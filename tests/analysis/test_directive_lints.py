@@ -1,0 +1,289 @@
+"""Seeded-bug corpus for the directive lints: every code fires."""
+
+import pytest
+
+from repro.analysis import Severity, audit_repository
+from repro.package.directives import (
+    CanSpliceDecl,
+    VariantDecl,
+    can_splice,
+    conflicts,
+    depends_on,
+    provides,
+    variant,
+    version,
+)
+from repro.package.package import Package
+from repro.package.repository import Repository
+from repro.spec import parse_one
+
+
+def repo_with(*classes, preferences=None):
+    repo = Repository("seeded")
+    for cls in classes:
+        repo.add(cls)
+    if preferences:
+        repo.provider_preferences.update(preferences)
+    return repo
+
+
+def codes(report, severity=None):
+    return {
+        d.code
+        for d in report.diagnostics
+        if severity is None or d.severity is severity
+    }
+
+
+def find(report, code):
+    return [d for d in report.diagnostics if d.code == code]
+
+
+class TestVersionLints:
+    def test_pkg001_no_versions(self):
+        class Empty(Package):
+            pass
+
+        report = audit_repository(repo_with(Empty), checks=["directives"])
+        (d,) = find(report, "PKG001")
+        assert d.severity is Severity.ERROR
+        assert d.package == "empty"
+
+    def test_pkg002_all_deprecated(self):
+        class Old(Package):
+            version("1.0", deprecated=True)
+            version("0.9", deprecated=True)
+
+        report = audit_repository(repo_with(Old), checks=["directives"])
+        assert codes(report) == {"PKG002"}
+
+    def test_ver001_duplicate_version(self):
+        class Dup(Package):
+            version("1.0")
+            version("1.0")
+
+        report = audit_repository(repo_with(Dup), checks=["directives"])
+        (d,) = find(report, "VER001")
+        assert d.directive == "version[1]"
+
+
+class TestVariantLints:
+    def test_var001_default_not_allowed(self):
+        class Bad(Package):
+            version("1.0")
+
+        # the variant() directive validates eagerly, so inject the decl
+        Bad.variant_decls = [VariantDecl("mode", "fast", ("safe", "slow"))]
+        report = audit_repository(repo_with(Bad), checks=["directives"])
+        (d,) = find(report, "VAR001")
+        assert d.severity is Severity.ERROR
+        assert d.directive == "variant[0]"
+
+    def test_var002_duplicate_variant(self):
+        class Dup(Package):
+            version("1.0")
+            variant("shared", default=True)
+            variant("shared", default=False)
+
+        report = audit_repository(repo_with(Dup), checks=["directives"])
+        (d,) = find(report, "VAR002")
+        assert d.directive == "variant[1]"
+
+
+class TestDependencyLints:
+    def test_dep001_dangling_dependency(self):
+        class App(Package):
+            version("1.0")
+            depends_on("ghost")
+
+        report = audit_repository(repo_with(App), checks=["directives"])
+        (d,) = find(report, "DEP001")
+        assert d.severity is Severity.ERROR
+        assert "ghost" in d.message
+
+    def test_dep002_unsatisfiable_version_range(self):
+        class Lib(Package):
+            version("2.0")
+
+        class App(Package):
+            version("1.0")
+            depends_on("lib@3:")
+
+        report = audit_repository(repo_with(Lib, App), checks=["directives"])
+        (d,) = find(report, "DEP002")
+        assert d.package == "app"
+
+    def test_dep003_undeclared_variant(self):
+        class Lib(Package):
+            version("2.0")
+
+        class App(Package):
+            version("1.0")
+            depends_on("lib+shared")
+
+        report = audit_repository(repo_with(Lib, App), checks=["directives"])
+        assert find(report, "DEP003")
+
+    def test_dep004_constrained_virtual(self):
+        class Mpich(Package):
+            version("3.4")
+            provides("mpi")
+
+        class App(Package):
+            version("1.0")
+            depends_on("mpi@3:")
+
+        report = audit_repository(repo_with(Mpich, App), checks=["directives"])
+        assert find(report, "DEP004")
+
+
+class TestWhenLints:
+    def test_whn001_when_names_other_package(self):
+        class Lib(Package):
+            version("1.0")
+
+        class App(Package):
+            version("1.0")
+            depends_on("lib", when=parse_one("lib@1.0"))
+
+        report = audit_repository(repo_with(Lib, App), checks=["directives"])
+        (d,) = find(report, "WHN001")
+        assert d.severity is Severity.ERROR
+
+    def test_whn002_unsatisfiable_when_version(self):
+        class App(Package):
+            version("2.0")
+            variant("shared", default=True)
+            depends_on("app", when="@1.0")  # no 1.x declared
+
+        report = audit_repository(repo_with(App), checks=["directives"])
+        (d,) = find(report, "WHN002")
+        assert "never apply" in d.message
+
+    def test_whn003_when_undeclared_variant(self):
+        class App(Package):
+            version("1.0")
+            conflicts("@1.0", when="+turbo")
+
+        report = audit_repository(repo_with(App), checks=["directives"])
+        assert find(report, "WHN003")
+
+    def test_whn004_when_dep_unknown(self):
+        class App(Package):
+            version("1.0")
+            conflicts("@1.0", when="@1.0 ^ghost@2")
+
+        report = audit_repository(repo_with(App), checks=["directives"])
+        assert find(report, "WHN004")
+
+
+class TestConflictLints:
+    def test_con001_conflict_covers_everything(self):
+        class App(Package):
+            version("1.0")
+            version("2.0")
+            conflicts("@1:2")
+
+        report = audit_repository(repo_with(App), checks=["directives"])
+        (d,) = find(report, "CON001")
+        assert d.severity is Severity.ERROR
+
+    def test_partial_conflict_is_fine(self):
+        class App(Package):
+            version("1.0")
+            version("2.0")
+            conflicts("@1.0")
+
+        report = audit_repository(repo_with(App), checks=["directives"])
+        assert not find(report, "CON001")
+
+
+class TestVirtualLints:
+    def test_vir001_virtual_shadows_package(self):
+        class Mpi(Package):
+            version("1.0")
+
+        class Mpich(Package):
+            version("3.4")
+            provides("mpi")
+
+        report = audit_repository(repo_with(Mpi, Mpich), checks=["directives"])
+        (d,) = find(report, "VIR001")
+        assert d.package == "mpich"
+
+    def test_vir002_preference_for_non_provider(self):
+        class Mpich(Package):
+            version("3.4")
+            provides("mpi")
+
+        repo = repo_with(Mpich, preferences={"mpi": ["openmpi"]})
+        report = audit_repository(repo, checks=["directives"])
+        assert find(report, "VIR002")
+
+    def test_vir002_preference_for_unprovided_virtual(self):
+        class Zlib(Package):
+            version("1.3")
+
+        repo = repo_with(Zlib, preferences={"blas": ["openblas"]})
+        report = audit_repository(repo, checks=["directives"])
+        assert find(report, "VIR002")
+
+
+class TestCanSpliceLints:
+    def test_spl001_unknown_target(self):
+        class Zlib(Package):
+            version("1.3")
+            can_splice("zlibb@1.2")  # typo'd target
+
+        report = audit_repository(repo_with(Zlib), checks=["directives"])
+        (d,) = find(report, "SPL001")
+        assert d.severity is Severity.ERROR
+        assert d.directive == "can_splice[0]"
+
+    def test_spl001_anonymous_target(self):
+        class Zlib(Package):
+            version("1.3")
+
+        Zlib.can_splice_decls = [CanSpliceDecl(parse_one("@1.2"))]
+        report = audit_repository(repo_with(Zlib), checks=["directives"])
+        assert find(report, "SPL001")
+
+    def test_spl002_target_version_never_declared(self):
+        class Zlib(Package):
+            version("1.3")
+            version("1.2.11")
+            can_splice("zlib@0.9")
+
+        report = audit_repository(repo_with(Zlib), checks=["directives"])
+        (d,) = find(report, "SPL002")
+        assert "never" in d.message
+
+    def test_spl003_duplicate_and_shadowed(self):
+        class Zlib(Package):
+            version("1.3")
+            version("1.2")
+            can_splice("zlib@1.2")
+            can_splice("zlib@1.2")              # exact duplicate
+            can_splice("zlib@1.2", when="@1.3")  # shadowed by [0]
+
+        report = audit_repository(repo_with(Zlib), checks=["directives"])
+        found = find(report, "SPL003")
+        assert {d.directive for d in found} == {
+            "can_splice[1]", "can_splice[2]"
+        }
+
+
+class TestCleanRepoStaysClean:
+    def test_well_formed_repo_no_directive_findings(self):
+        class Zlib(Package):
+            version("1.3")
+            version("1.2")
+            can_splice("zlib@1.2", when="@1.3")
+
+        class App(Package):
+            version("1.0")
+            variant("shared", default=True)
+            depends_on("zlib@1.2:")
+
+        report = audit_repository(repo_with(Zlib, App), checks=["directives"])
+        assert report.clean, report.render()

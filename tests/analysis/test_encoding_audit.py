@@ -1,0 +1,202 @@
+"""Encoding audits: unsafe variables, dataflow, splice reachability."""
+
+import pytest
+
+from repro.analysis import (
+    AuditContext,
+    Analyzer,
+    Severity,
+    audit_program,
+    audit_repository,
+    build_audit_program,
+)
+from repro.analysis.encoding import SOLVER_INPUTS, SOLVER_OUTPUTS
+from repro.asp.syntax import (
+    Atom,
+    ChoiceElement,
+    ChoiceHead,
+    Comparison,
+    Integer,
+    Literal,
+    Program,
+    Rule,
+    String,
+    Variable,
+)
+from repro.buildcache.generate import greedy_concretize
+from repro.package.directives import can_splice, depends_on, version
+from repro.package.package import Package
+from repro.package.repository import Repository
+from repro.repos.mock import make_mock_repo
+
+
+def atom(pred, *args):
+    return Atom(pred, args)
+
+
+def find(report, code):
+    return [d for d in report.diagnostics if d.code == code]
+
+
+class TestSafety:
+    def test_unsafe_head_variable(self):
+        # p(X) :- q("a").   X never bound
+        program = Program()
+        program.add_rule(
+            Rule(atom("p", Variable("X")), [Literal(atom("q", String("a")))])
+        )
+        program.add_rule(Rule(None, [Literal(atom("p", String("a")))]))
+        program.add_fact(atom("q", String("a")))
+        report = audit_program(program)
+        (d,) = find(report, "ASP001")
+        assert d.severity is Severity.ERROR
+        assert "X" in d.message
+
+    def test_unsafe_negative_literal_variable(self):
+        # :- not q(X).   X only occurs under negation
+        program = Program()
+        program.add_rule(
+            Rule(None, [Literal(atom("q", Variable("X")), positive=False)])
+        )
+        program.add_rule(Rule(atom("q", String("a")), [Literal(atom("q", String("a")))]))
+        report = audit_program(program)
+        assert find(report, "ASP001")
+
+    def test_assignment_comparison_binds(self):
+        # p(Y) :- q(X), Y = X.   safe via assignment
+        program = Program()
+        program.add_rule(
+            Rule(
+                atom("p", Variable("Y")),
+                [
+                    Literal(atom("q", Variable("X"))),
+                    Comparison("=", Variable("Y"), Variable("X")),
+                ],
+            )
+        )
+        program.add_rule(Rule(None, [Literal(atom("p", Variable("Z")))]))
+        program.add_fact(atom("q", String("a")))
+        report = audit_program(program)
+        assert not find(report, "ASP001")
+
+    def test_unsafe_choice_element_variable(self):
+        # { p(X, Z) : q(X) } :- r("a").   Z unbound
+        program = Program()
+        head = ChoiceHead(
+            [
+                ChoiceElement(
+                    atom("p", Variable("X"), Variable("Z")),
+                    [Literal(atom("q", Variable("X")))],
+                )
+            ]
+        )
+        program.add_rule(Rule(head, [Literal(atom("r", String("a")))]))
+        program.add_rule(Rule(None, [Literal(atom("p", Variable("A"), Variable("B")))]))
+        program.add_fact(atom("q", String("a")))
+        program.add_fact(atom("r", String("a")))
+        report = audit_program(program)
+        (d,) = find(report, "ASP001")
+        assert "['Z']" in d.message  # X is safely bound by the condition
+
+
+class TestDataflow:
+    def test_asp002_derived_never_consumed(self):
+        program = Program()
+        program.add_fact(atom("orphan", String("x")))
+        report = audit_program(program)
+        (d,) = find(report, "ASP002")
+        assert "orphan" in d.message
+        assert d.severity is Severity.WARNING
+
+    def test_asp003_consumed_never_derived(self):
+        # a typo'd predicate name in a body
+        program = Program()
+        program.add_rule(
+            Rule(atom("attr", String("node")), [Literal(atom("pkg_factt", Variable("P")))])
+        )
+        report = audit_program(program)
+        (d,) = find(report, "ASP003")
+        assert "pkg_factt" in d.message
+
+    def test_solver_io_whitelists_are_disjoint_from_findings(self):
+        program = Program()
+        # consuming a known input and deriving the known output is clean
+        program.add_rule(
+            Rule(
+                atom("attr", String("node"), Variable("P")),
+                [Literal(atom("pkg", Variable("P")))],
+            )
+        )
+        report = audit_program(program)
+        assert not find(report, "ASP002") and not find(report, "ASP003")
+        assert "pkg" in SOLVER_INPUTS and "attr" in SOLVER_OUTPUTS
+
+
+class TestAssembledBuiltinProgram:
+    def test_mock_program_is_safe_and_flow_clean(self):
+        report = audit_repository(make_mock_repo(), checks=["encoding"])
+        assert report.clean, report.render()
+
+    def test_assembly_is_fault_tolerant(self):
+        class Ok(Package):
+            version("1.0")
+
+        class Broken(Package):
+            version("1.0")
+            depends_on("ghost")  # encoder raises EncodingError
+
+        repo = Repository("partial")
+        repo.add(Ok)
+        repo.add(Broken)
+        program, notes = build_audit_program(repo)
+        assert program.rules, "healthy packages still encoded"
+        assert [n.code for n in notes] == ["ENC001"]
+        assert notes[0].package == "broken"
+
+    def test_enc001_surfaces_in_full_report(self):
+        class Broken(Package):
+            version("1.0")
+            depends_on("ghost")
+
+        repo = Repository("partial")
+        repo.add(Broken)
+        report = audit_repository(repo)
+        assert find(report, "ENC001")
+        # and the root cause is reported by the directive lints
+        assert find(report, "DEP001")
+
+
+class TestSpliceReach:
+    def _repo(self):
+        class Zlib(Package):
+            version("1.3")
+            version("1.2")
+            can_splice("zlib@1.2", when="@1.3")
+
+        class App(Package):
+            version("1.0")
+            depends_on("zlib")
+
+        repo = Repository("reach")
+        repo.add(Zlib)
+        repo.add(App)
+        return repo
+
+    def test_asp004_fires_without_matching_install(self):
+        repo = self._repo()
+        new = greedy_concretize(repo, "app")  # depends on zlib@1.3
+        context = AuditContext(repo=repo, reusable_specs=[new])
+        report = Analyzer(["encoding.splice_reach"]).run(context)
+        (d,) = find(report, "ASP004")
+        assert d.package == "zlib"
+
+    def test_asp004_silent_with_matching_install(self):
+        repo = self._repo()
+        old = greedy_concretize(repo, "app", versions={"zlib": "1.2"})
+        context = AuditContext(repo=repo, reusable_specs=[old])
+        report = Analyzer(["encoding.splice_reach"]).run(context)
+        assert not find(report, "ASP004")
+
+    def test_skipped_without_reusable_specs(self):
+        report = audit_repository(self._repo())
+        assert "encoding.splice_reach" in report.checkers_skipped

@@ -1,0 +1,138 @@
+"""Hypothesis fuzz: the auditor never crashes and never mutates state.
+
+Repositories are generated directive-by-directive, deliberately
+including pathology the directive functions themselves would reject
+(anonymous splice targets, defaults outside allowed values, dangling
+names) by constructing the decl dataclasses directly — exactly what a
+buggy or hostile package repo could hand the auditor.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import audit_repository
+from repro.package.directives import (
+    CanSpliceDecl,
+    ConflictDecl,
+    DependencyDecl,
+    ProvidesDecl,
+    VariantDecl,
+    VersionDecl,
+)
+from repro.package.package import DirectiveMeta, Package
+from repro.package.repository import Repository
+from repro.spec import Version, parse_one
+
+NAMES = ("alpha", "beta", "gamma", "delta", "ghost", "mpi")
+VERSIONS = ("1.0", "1.1", "1.2.3", "2.0", "3")
+VALUES = ("a", "b", "c")
+
+spec_texts = st.one_of(
+    st.sampled_from(NAMES),
+    st.builds(
+        lambda n, v: f"{n}@{v}", st.sampled_from(NAMES), st.sampled_from(VERSIONS)
+    ),
+    st.builds(
+        lambda n, v: f"{n}+{v}", st.sampled_from(NAMES), st.sampled_from(("x", "shared"))
+    ),
+    st.builds(lambda v: f"@{v}", st.sampled_from(VERSIONS)),  # anonymous!
+)
+specs = st.builds(parse_one, spec_texts)
+maybe_when = st.one_of(st.none(), specs)
+
+version_decls = st.builds(
+    VersionDecl,
+    st.builds(Version, st.sampled_from(VERSIONS)),
+    st.none(),
+    st.booleans(),
+    st.booleans(),
+)
+variant_decls = st.builds(
+    VariantDecl,
+    st.sampled_from(("x", "shared", "mode")),
+    st.one_of(st.booleans(), st.sampled_from(VALUES + ("rogue",))),
+    st.one_of(st.none(), st.tuples(*[st.sampled_from(VALUES)] * 2)),
+    st.just(""),
+    maybe_when,
+)
+dependency_decls = st.builds(
+    DependencyDecl, specs, maybe_when, st.sampled_from((("link-run",), ("build",)))
+)
+provides_decls = st.builds(ProvidesDecl, specs, maybe_when)
+conflict_decls = st.builds(ConflictDecl, specs, maybe_when, st.just(""))
+can_splice_decls = st.builds(CanSpliceDecl, specs, maybe_when)
+
+
+@st.composite
+def repositories(draw):
+    repo = Repository("fuzz")
+    package_names = draw(
+        st.lists(st.sampled_from(NAMES[:4]), min_size=1, max_size=3, unique=True)
+    )
+    for name in package_names:
+        cls = DirectiveMeta(name.title(), (Package,), {"name": name})
+        cls.version_decls = draw(st.lists(version_decls, max_size=3))
+        cls.variant_decls = draw(st.lists(variant_decls, max_size=2))
+        cls.dependency_decls = draw(st.lists(dependency_decls, max_size=2))
+        cls.provides_decls = draw(st.lists(provides_decls, max_size=1))
+        cls.conflict_decls = draw(st.lists(conflict_decls, max_size=1))
+        cls.can_splice_decls = draw(st.lists(can_splice_decls, max_size=2))
+        repo.add(cls)
+    if draw(st.booleans()):
+        repo.provider_preferences[draw(st.sampled_from(NAMES))] = [
+            draw(st.sampled_from(NAMES))
+        ]
+    return repo
+
+
+def snapshot(repo):
+    """Deep observable state of a repository, for mutation detection."""
+    state = {"preferences": {k: list(v) for k, v in repo.provider_preferences.items()}}
+    for pkg_cls in repo:
+        state[pkg_cls.name] = {
+            "versions": [repr(d) for d in pkg_cls.version_decls],
+            "variants": [repr(d) for d in pkg_cls.variant_decls],
+            "dependencies": [repr(d) for d in pkg_cls.dependency_decls],
+            "provides": [repr(d) for d in pkg_cls.provides_decls],
+            "conflicts": [repr(d) for d in pkg_cls.conflict_decls],
+            "can_splice": [repr(d) for d in pkg_cls.can_splice_decls],
+            "providers": {
+                v: list(repo.providers(v)) for v in repo.virtual_names()
+            },
+        }
+    return state
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(repositories())
+def test_auditor_never_crashes_and_never_mutates(repo):
+    before = snapshot(repo)
+    report = audit_repository(repo)
+    # 1. no crash (we got here) and a well-formed, sorted report
+    keys = [d.sort_key() for d in report.diagnostics]
+    assert keys == sorted(keys)
+    for diag in report.diagnostics:
+        assert diag.code and diag.message
+    # 2. deterministic: a second run sees identical findings
+    again = audit_repository(repo)
+    assert [str(d) for d in again.diagnostics] == [
+        str(d) for d in report.diagnostics
+    ]
+    # 3. the repository is untouched
+    assert snapshot(repo) == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(repositories())
+def test_json_report_always_serializes(repo):
+    import json
+
+    doc = json.loads(audit_repository(repo).to_json())
+    assert doc["schema_version"] == 1
+    assert set(doc["summary"]) == {"error", "warning", "note"}

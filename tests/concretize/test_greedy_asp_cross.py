@@ -1,0 +1,119 @@
+"""Greedy/ASP cross-validation (the ROADMAP hypothesis candidate).
+
+Two independent concretizer implementations exist: the ASP solver and
+the greedy walker the buildcache generator uses to mass-produce specs.
+Property: for any root (optionally version-pinned) in the shipped
+repositories, both produce the *same* concrete DAG — and a greedy
+runtime DAG is always admissible as a full-reuse input to the solver.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.buildcache.generate import greedy_concretize
+from repro.concretize import Concretizer
+from repro.repos.mock import make_mock_repo
+from repro.repos.radiuss import RADIUSS_ROOTS, make_radiuss_repo
+
+MOCK_ROOTS = sorted(p.name for p in make_mock_repo())
+
+
+def canon(spec):
+    """Order-independent canonical form of a concrete DAG."""
+    nodes = {}
+    for node in spec.traverse():
+        nodes[node.name] = (
+            str(node.version),
+            tuple(sorted((k, str(v)) for k, v in node.variants.items())),
+            node.os,
+            node.target,
+            tuple(
+                sorted(
+                    (e.spec.name, tuple(sorted(e.deptypes)))
+                    for e in node.edges()
+                )
+            ),
+        )
+    return nodes
+
+
+@st.composite
+def root_requests(draw, repo_factory, roots):
+    """A root name plus an optional declared-version pin for it."""
+    repo = repo_factory()
+    root = draw(st.sampled_from(roots))
+    versions = {}
+    if draw(st.booleans()):
+        declared = [
+            d.version for d in repo.get(root).version_decls if not d.deprecated
+        ]
+        # a greedy pin is exact, but the spec request "@1.2" is a
+        # prefix-closed range — only sample pins the range semantics
+        # cannot widen (no other declared version has the pin as prefix)
+        exact = [
+            str(v)
+            for v in declared
+            if not any(o != v and v.is_prefix_of(o) for o in declared)
+        ]
+        if exact:
+            versions[root] = draw(st.sampled_from(exact))
+    return repo, root, versions
+
+
+class TestDagEquality:
+    """greedy(root) == asp(root), node for node, edge for edge."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(root_requests(make_mock_repo, MOCK_ROOTS))
+    def test_mock(self, request):
+        repo, root, versions = request
+        self._check(repo, root, versions)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(root_requests(make_radiuss_repo, RADIUSS_ROOTS))
+    def test_radiuss(self, request):
+        repo, root, versions = request
+        self._check(repo, root, versions)
+
+    def _check(self, repo, root, versions):
+        greedy = greedy_concretize(repo, root, versions=versions)
+        request = f"{root}@{versions[root]}" if versions else root
+        result = Concretizer(repo).solve([request])
+        (solved,) = result.roots
+        assert canon(greedy) == canon(solved)
+
+
+class TestReuseAdmissibility:
+    """A greedy runtime DAG offered as a reusable spec is taken whole:
+    the solver builds nothing and lands on the same root."""
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(root_requests(make_radiuss_repo, RADIUSS_ROOTS))
+    def test_full_reuse(self, request):
+        repo, root, versions = request
+        installed = greedy_concretize(
+            repo, root, versions=versions, include_build_deps=False
+        )
+        query = f"{root}@{versions[root]}" if versions else root
+        result = Concretizer(repo, reusable_specs=[installed]).solve([query])
+        assert result.built == []
+        (solved,) = result.roots
+        assert solved.dag_hash() == installed.dag_hash()
+
+
+def test_every_root_exhaustively():
+    """Non-hypothesis belt-and-braces: all roots of both repos agree."""
+    for factory, roots in (
+        (make_mock_repo, MOCK_ROOTS),
+        (make_radiuss_repo, RADIUSS_ROOTS),
+    ):
+        repo = factory()
+        for root in roots:
+            greedy = greedy_concretize(repo, root)
+            (solved,) = Concretizer(repo).solve([root]).roots
+            assert canon(greedy) == canon(solved), root
