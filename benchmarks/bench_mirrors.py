@@ -1,0 +1,264 @@
+"""Mirror fallback cost at public-mirror scale (~20k specs).
+
+The paper's Section 6 setup is a ~200-spec local buildcache in front of
+a ~20,000-spec public one; Guix's substitutes model says the public
+half must be treated as an unreliable remote.  This bench builds that
+pair — the public mirror wrapped in a :class:`SimulatedRemoteBackend`
+with per-op latency — and measures what the mirror seam costs:
+
+* **local hit** — a lookup served by the primary must cost *zero*
+  remote round-trips (asserted via the simulated backend's op counts);
+* **remote fallback lookup** — a local index miss pays one latency-
+  bounded walk down the mirror list;
+* **fetch fallback** — the stale-primary pathology (index hit, payload
+  missing) versus fetching directly from the public mirror: the price
+  of degrading instead of failing;
+* **union enumeration** — the concretizer's reuse corpus across both
+  indexes at full scale.
+
+Per-mirror per-phase numbers land in ``bench_results/mirrors.json``.
+
+Run:   pytest benchmarks/bench_mirrors.py
+Scale: REPRO_MIRROR_SCALE_SPECS (default 20000; CI smoke uses less)
+       REPRO_MIRROR_LATENCY_S   (default 0.002 per simulated round-trip)
+"""
+
+import hashlib
+import os
+import shutil
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.bench import FigureReport, write_results
+from repro.buildcache import (
+    BuildCache,
+    LocalFSBackend,
+    MirrorGroup,
+    SimulatedRemoteBackend,
+)
+from repro.concretize import Concretizer
+from repro.installer import Installer
+from repro.obs import metrics
+from repro.repos.mock import make_mock_repo
+
+SPEC_COUNT = int(os.environ.get("REPRO_MIRROR_SCALE_SPECS", "20000"))
+LOCAL_COUNT = 200
+LATENCY_S = float(os.environ.get("REPRO_MIRROR_LATENCY_S", "0.002"))
+
+_results = {}
+_counters = {}
+
+
+def fake_entry(i: int, population: str):
+    h = hashlib.sha256(f"{population}-{i}".encode()).hexdigest()[:32]
+    doc = {
+        "root": h,
+        "nodes": [
+            {"name": f"pkg{i}", "version": "1.0.0", "hash": h,
+             "prefix": f"/opt/store/pkg{i}-1.0.0-{h[:7]}"},
+        ],
+    }
+    return h, doc
+
+
+def populate(cache: BuildCache, count: int, population: str) -> None:
+    """Bulk-load fabricated index entries (batched journal pushes)."""
+    batch = {}
+    for i in range(count):
+        h, doc = fake_entry(i, population)
+        batch[h] = doc
+        if len(batch) >= 1000:
+            cache._index.record_push(batch, {}, {})
+            batch = {}
+    if batch:
+        cache._index.record_push(batch, {}, {})
+    cache.save_index()
+
+
+@pytest.fixture(scope="module")
+def mirrors(tmp_path_factory):
+    """The Section-6 pair: a small local cache and a big, slow public
+    mirror holding the real payload stack + ``SPEC_COUNT`` index
+    entries, plus a stale local copy (index without payloads)."""
+    ws = tmp_path_factory.mktemp("mirrors")
+    repo = make_mock_repo()
+    spec = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+    seed = Installer(ws / "seed", repo)
+    seed.install(spec)
+
+    public_root = ws / "public"
+    public = BuildCache(public_root, name="public")
+    seed.push_to_cache(public, spec)
+    populate(public, SPEC_COUNT, "public")
+
+    local_root = ws / "local"
+    local = BuildCache(local_root, name="local")
+    populate(local, LOCAL_COUNT, "local")
+
+    # the stale primary: advertises the payload stack, holds no blobs
+    stale_root = ws / "stale"
+    shutil.copytree(public_root / "index.d", stale_root / "index.d")
+    shutil.copy(public_root / "index.json", stale_root / "index.json")
+    return ws, repo, spec, local_root, public_root, stale_root
+
+
+def remote_cache(root, name, **kwargs):
+    backend = SimulatedRemoteBackend(
+        LocalFSBackend(root), name=name, latency=LATENCY_S, **kwargs
+    )
+    return BuildCache(backend=backend, name=name), backend
+
+
+class TestLookupCost:
+    def test_local_hit_costs_zero_remote_ops(self, benchmark, mirrors):
+        ws, repo, spec, local_root, public_root, stale_root = mirrors
+        benchmark.group = "lookup"
+        local = BuildCache(local_root, name="local")
+        public, backend = remote_cache(public_root, "public")
+        group = MirrorGroup([local, public], backoff=0)
+        h = fake_entry(LOCAL_COUNT // 2, "local")[0]
+        assert h in group  # warm the local shard
+        before = dict(backend.op_counts)
+
+        benchmark.pedantic(lambda: h in group, rounds=3, iterations=10)
+        _results["lookup_local_hit_s"] = benchmark.stats.stats.mean
+        # first-hit-wins: the public mirror was never consulted
+        assert backend.op_counts == before
+
+    def test_remote_fallback_lookup(self, benchmark, mirrors):
+        """A local index miss walks to the public mirror; shards are
+        memory-cached after the first load, so each round gets a cold
+        group to pay the real remote round-trips."""
+        ws, repo, spec, local_root, public_root, stale_root = mirrors
+        benchmark.group = "lookup"
+        h = fake_entry(SPEC_COUNT // 2, "public")[0]
+
+        def cold_group():
+            local = BuildCache(local_root, name="local")
+            public, _ = remote_cache(public_root, "public")
+            return (MirrorGroup([local, public], backoff=0),), {}
+
+        def lookup(group):
+            assert h in group
+
+        benchmark.pedantic(lookup, setup=cold_group, rounds=3, iterations=1)
+        _results["lookup_remote_fallback_s"] = benchmark.stats.stats.mean
+        assert _results["lookup_remote_fallback_s"] >= LATENCY_S
+
+
+class TestFetchFallback:
+    def test_fetch_direct_from_public(self, benchmark, mirrors):
+        ws, repo, spec, local_root, public_root, stale_root = mirrors
+        benchmark.group = "fetch"
+        public, _ = remote_cache(public_root, "public")
+        group = MirrorGroup([public], backoff=0)
+        h = spec.dag_hash()
+
+        benchmark.pedantic(lambda: group.fetch(h), rounds=3, iterations=1)
+        _results["fetch_direct_s"] = benchmark.stats.stats.mean
+
+    def test_fetch_via_stale_primary_fallback(self, benchmark, mirrors):
+        """The acceptance scenario: the primary indexes the spec but
+        lost the payload; the fetch degrades to the public mirror."""
+        ws, repo, spec, local_root, public_root, stale_root = mirrors
+        benchmark.group = "fetch"
+        stale = BuildCache(stale_root, name="stale")
+        public, _ = remote_cache(public_root, "public")
+        group = MirrorGroup([stale, public], backoff=0)
+        h = spec.dag_hash()
+        obs.reset()
+
+        payload = benchmark.pedantic(
+            lambda: group.fetch(h), rounds=3, iterations=1
+        )
+        _results["fetch_fallback_s"] = benchmark.stats.stats.mean
+        assert payload.source == "public"
+        snap = metrics.snapshot()["counters"]
+        assert snap["buildcache.mirror_fallbacks.stale"] > 0
+        assert snap["buildcache.mirror_hits.public"] > 0
+        for name, value in snap.items():
+            if name.startswith("buildcache.mirror_"):
+                _counters[name] = value
+
+    def test_flaky_mirror_retries_then_serves(self, mirrors):
+        """A transient timeout on the public mirror is retried with
+        backoff, not surfaced: the same fetch still succeeds."""
+        ws, repo, spec, local_root, public_root, stale_root = mirrors
+        public, backend = remote_cache(public_root, "public")
+        group = MirrorGroup([public], retries=2, backoff=0)
+        backend.fail("get", times=1)
+        obs.reset()
+        start = time.perf_counter()
+        payload = group.fetch(spec.dag_hash())
+        _results["fetch_retry_s"] = time.perf_counter() - start
+        assert payload.source == "public"
+        assert metrics.counter("buildcache.mirror_retries.public").value >= 1
+
+
+class TestUnionEnumeration:
+    def test_union_len_at_scale(self, benchmark, mirrors):
+        ws, repo, spec, local_root, public_root, stale_root = mirrors
+        benchmark.group = "union"
+        count = {}
+
+        def cold_group():
+            local = BuildCache(local_root, name="local")
+            public, _ = remote_cache(public_root, "public")
+            return (MirrorGroup([local, public], backoff=0),), {}
+
+        def union_len(group):
+            count["n"] = len(group)
+            return count["n"]
+
+        benchmark.pedantic(union_len, setup=cold_group, rounds=3, iterations=1)
+        _results["union_len_s"] = benchmark.stats.stats.mean
+        # real stack (4 specs) + fabricated publics + fabricated locals
+        assert count["n"] == SPEC_COUNT + LOCAL_COUNT + 4
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end(mirrors):
+    yield
+    report = FigureReport(
+        "mirrors",
+        f"mirror fallback cost at {SPEC_COUNT} public + "
+        f"{LOCAL_COUNT} local specs",
+    )
+    phase_mirror = {
+        "lookup_local_hit_s": "local",
+        "lookup_remote_fallback_s": "public",
+        "fetch_direct_s": "public",
+        "fetch_fallback_s": "stale->public",
+        "fetch_retry_s": "public",
+        "union_len_s": "local+public",
+    }
+    for key, mirror in phase_mirror.items():
+        if key in _results:
+            report.rows.append(
+                {"phase": key.removesuffix("_s"), "mirror": mirror,
+                 "ms": round(_results[key] * 1000, 4)}
+            )
+    for name in sorted(_counters):
+        parts = name.split(".")  # buildcache.mirror_<kind>[.<mirror>]
+        report.rows.append(
+            {"phase": "counters",
+             "mirror": parts[2] if len(parts) > 2 else "all",
+             "counter": name, "value": _counters[name]}
+        )
+    report.headline("spec_count", SPEC_COUNT)
+    report.headline("latency_ms", LATENCY_S * 1000)
+    if "fetch_direct_s" in _results and "fetch_fallback_s" in _results:
+        report.headline(
+            "fallback_overhead_ms",
+            (_results["fetch_fallback_s"] - _results["fetch_direct_s"]) * 1000,
+        )
+    if "lookup_local_hit_s" in _results and "lookup_remote_fallback_s" in _results:
+        # warm local hit vs cold remote walk: the price of consulting
+        # the public mirror at all
+        report.headline(
+            "remote_lookup_penalty_ms",
+            _results["lookup_remote_fallback_s"] * 1000,
+        )
+    write_results(report)

@@ -9,8 +9,25 @@ Two halves:
   greedy non-ASP concretizer and the local/public cache populations
   (``generate_cache_specs``/``vary_configurations``), plus vendor
   externals (``external_spec``).
+
+Plus the mirror seam of Section 6's two-cache evaluation:
+
+* :mod:`.backend` — pluggable byte storage under the cache
+  (``LocalFSBackend``, ``SimulatedRemoteBackend``) with the durable
+  atomic-write and atomic-publish contracts.
+* :mod:`.mirror` — ``MirrorGroup``: an ordered list of caches consulted
+  first-hit-wins with retry/fallback, pushes going to the primary.
 """
 
+from .backend import (
+    BackendError,
+    LocalFSBackend,
+    MissingBlobError,
+    ReadOnlyBackendError,
+    SimulatedRemoteBackend,
+    StorageBackend,
+    TransientBackendError,
+)
 from .cache import BuildCache, BuildCacheError, CachedPayload, SigningKey, TrustStore
 from .generate import (
     external_spec,
@@ -19,6 +36,7 @@ from .generate import (
     vary_configurations,
 )
 from .index import IndexFormatError, ShardedIndex
+from .mirror import MirrorGroup
 from .signing import SignatureError
 
 __all__ = [
@@ -27,6 +45,14 @@ __all__ = [
     "CachedPayload",
     "ShardedIndex",
     "IndexFormatError",
+    "BackendError",
+    "MissingBlobError",
+    "TransientBackendError",
+    "ReadOnlyBackendError",
+    "StorageBackend",
+    "LocalFSBackend",
+    "SimulatedRemoteBackend",
+    "MirrorGroup",
     "SigningKey",
     "TrustStore",
     "SignatureError",

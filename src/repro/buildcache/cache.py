@@ -31,13 +31,22 @@ those bytes), :meth:`BuildCache.extract_payload` (relocate + write) —
 so the installer's fetch pipeline can overlap the stages of independent
 DAG nodes; :meth:`BuildCache.extract` composes all three for the
 serial callers.
+
+All storage I/O goes through a :class:`~repro.buildcache.backend.
+StorageBackend` (a local directory by default), so the same cache
+logic runs against a simulated flaky remote or any future S3/HTTP
+backend, and several caches compose into an ordered mirror list via
+:class:`~repro.buildcache.mirror.MirrorGroup`.  A push publishes the
+*entire* entry (payload + metadata + manifest + signature) through the
+backend's atomic-publish contract, so an interrupted re-push leaves
+the previous entry fully intact — never a signed manifest over a
+partial payload.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
@@ -46,6 +55,12 @@ from ..binary.mockelf import BinaryFormatError, MockBinary
 from ..binary.relocate import relocate_binary
 from ..obs import metrics, trace
 from ..spec import Spec
+from .backend import (
+    LocalFSBackend,
+    MissingBlobError,
+    ReadOnlyBackendError,
+    StorageBackend,
+)
 from .index import BuildCacheError, ShardedIndex
 from .signing import SignatureError, SigningKey, TrustStore, sha256_digest
 
@@ -66,12 +81,6 @@ def _canonical(document: dict) -> bytes:
     return json.dumps(document, sort_keys=True, indent=1).encode()
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
-    tmp.replace(path)
-
-
 @dataclass
 class CachedPayload:
     """One cache entry fetched into memory, ready to verify and extract."""
@@ -84,6 +93,9 @@ class CachedPayload:
     dirs: List[str] = field(default_factory=list)
     #: set by :meth:`BuildCache.verify_payload`
     verified: bool = False
+    #: label of the cache/mirror that served this payload (attribution
+    #: in the installer's fetch pipeline and MirrorGroup fallback)
+    source: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -97,23 +109,34 @@ class BuildCache:
     CI/publisher role); ``trust`` makes every extract verify the entry
     against a :class:`TrustStore` first (the consumer role).  A cache
     opened with neither behaves like a local scratch mirror.
+
+    ``backend`` swaps the storage substrate (default: a
+    :class:`LocalFSBackend` over ``root``); ``name`` sets the label
+    used in mirror spans, per-mirror counters, and error messages.
     """
 
     def __init__(
         self,
-        root,
+        root=None,
         signing_key: Optional[SigningKey] = None,
         trust: Optional[TrustStore] = None,
+        backend: Optional[StorageBackend] = None,
+        name: Optional[str] = None,
     ):
-        self.root = Path(root)
+        if backend is None:
+            if root is None:
+                raise BuildCacheError("BuildCache needs a root or a backend")
+            backend = LocalFSBackend(root)
+        self.backend = backend
+        root = root if root is not None else getattr(backend, "root", None)
+        self.root = Path(root) if root is not None else None
+        self.label = name or backend.name
         self.signing_key = signing_key
         self.trust = trust
-        self.root.mkdir(parents=True, exist_ok=True)
-        self.blobs.mkdir(parents=True, exist_ok=True)
         #: reconstruction memo shared across all_specs() calls
         self._materialized: Dict[str, Spec] = {}
-        with trace.span("buildcache.index_load", cache=str(self.root)) as sp:
-            self._index = ShardedIndex(self.root)
+        with trace.span("buildcache.index_load", cache=backend.describe()) as sp:
+            self._index = ShardedIndex(backend)
             sp.set(journal_entries=self._index.journal_entries)
         logger.debug(
             "opened index %s (journal entries replayed: %d) in %.4fs",
@@ -121,18 +144,20 @@ class BuildCache:
         )
 
     # ------------------------------------------------------------------
-    # layout
+    # layout (Path properties serve local-filesystem callers; all I/O
+    # inside the cache goes through string keys on the backend)
     # ------------------------------------------------------------------
     @property
-    def blobs(self) -> Path:
-        return self.root / "blobs"
+    def blobs(self):
+        return self.root / "blobs" if self.root else f"{self.label}/blobs"
 
     @property
-    def index_path(self) -> Path:
-        return self.root / INDEX_NAME
+    def index_path(self):
+        return self.root / INDEX_NAME if self.root else f"{self.label}/{INDEX_NAME}"
 
-    def _entry_dir(self, dag_hash: str) -> Path:
-        return self.blobs / dag_hash
+    @staticmethod
+    def _entry_key(dag_hash: str) -> str:
+        return f"blobs/{dag_hash}"
 
     # ------------------------------------------------------------------
     # index persistence
@@ -140,7 +165,7 @@ class BuildCache:
     def save_index(self) -> None:
         """Fold the push journal into shards and persist the manifest;
         concurrent readers see old-or-new shards, never a torn write."""
-        with trace.span("buildcache.index_save", cache=str(self.root)) as sp:
+        with trace.span("buildcache.index_save", cache=self.backend.describe()) as sp:
             written = self._index.save()
             sp.set(specs=len(self), shards_written=written)
         logger.debug(
@@ -162,17 +187,18 @@ class BuildCache:
 
     def has_payload(self, dag_hash: str) -> bool:
         """Is the binary payload itself present (not just indexed)?"""
-        return (self._entry_dir(dag_hash) / "files").is_dir()
+        return self.backend.tree_exists(f"{self._entry_key(dag_hash)}/files")
 
     def meta(self, dag_hash: str) -> dict:
-        path = self._entry_dir(dag_hash) / "meta.json"
+        key = f"{self._entry_key(dag_hash)}/meta.json"
         try:
-            return json.loads(path.read_text())
-        except FileNotFoundError:
+            return json.loads(self.backend.get(key))
+        except MissingBlobError:
             raise BuildCacheError(
-                f"cache entry {dag_hash} has no metadata ({path} missing)"
+                f"cache entry {dag_hash} has no metadata ({key} missing "
+                f"from {self.label})"
             ) from None
-        except (OSError, json.JSONDecodeError) as e:
+        except json.JSONDecodeError as e:
             raise BuildCacheError(
                 f"cache entry {dag_hash} has corrupt metadata: {e}"
             ) from e
@@ -228,12 +254,23 @@ class BuildCache:
             )
         dag_hash = spec.dag_hash()
         with trace.span("buildcache.push", name=spec.name, hash=dag_hash[:7]) as sp:
-            entry = self._entry_dir(dag_hash)
-            files = entry / "files"
-            if files.exists():
-                shutil.rmtree(files)
-            entry.mkdir(parents=True, exist_ok=True)
-            shutil.copytree(prefix, files)
+            # Read the install tree into memory first, then publish the
+            # whole entry (payload + meta + manifest + signature) through
+            # the backend's atomic-publish contract: a crash mid-push
+            # leaves the previous entry fully intact.
+            entry_files: Dict[str, bytes] = {}
+            entry_dirs: List[str] = ["files"]
+            digests: Dict[str, str] = {}
+            payload_bytes = 0
+            for path in sorted(prefix.rglob("*")):
+                rel = path.relative_to(prefix).as_posix()
+                if path.is_dir():
+                    entry_dirs.append(f"files/{rel}")
+                elif path.is_file():
+                    data = path.read_bytes()
+                    payload_bytes += len(data)
+                    entry_files[f"files/{rel}"] = data
+                    digests[rel] = sha256_digest(data)
 
             meta = {
                 "name": spec.name,
@@ -244,32 +281,31 @@ class BuildCache:
                 "spliced": spec.spliced,
             }
             meta_bytes = _canonical(meta)
-            _atomic_write(entry / "meta.json", meta_bytes)
+            entry_files["meta.json"] = meta_bytes
 
-            digests = {}
-            payload_bytes = 0
-            for path in sorted(files.rglob("*")):
-                if path.is_file():
-                    data = path.read_bytes()
-                    payload_bytes += len(data)
-                    digests[path.relative_to(files).as_posix()] = sha256_digest(
-                        data
-                    )
             manifest = {
                 "hash": dag_hash,
                 "meta": sha256_digest(meta_bytes),
                 "files": digests,
             }
             manifest_bytes = _canonical(manifest)
-            _atomic_write(entry / "manifest.json", manifest_bytes)
-
-            sig_path = entry / "manifest.sig"
+            entry_files["manifest.json"] = manifest_bytes
             if self.signing_key is not None:
-                _atomic_write(
-                    sig_path, _canonical(self.signing_key.sign(manifest_bytes))
+                entry_files["manifest.sig"] = _canonical(
+                    self.signing_key.sign(manifest_bytes)
                 )
-            elif sig_path.exists():
-                sig_path.unlink()  # a stale signature would cover nothing
+            # no signing key: the published tree simply carries no
+            # manifest.sig — a stale signature can never survive a re-push
+
+            try:
+                self.backend.publish_tree(
+                    self._entry_key(dag_hash), entry_files, entry_dirs
+                )
+            except ReadOnlyBackendError as e:
+                raise BuildCacheError(
+                    f"cannot push {spec.name} to read-only cache "
+                    f"{self.label}: {e}"
+                ) from e
 
             self._index_spec(spec)
             self._materialized.pop(dag_hash, None)
@@ -316,11 +352,13 @@ class BuildCache:
         already-fetched bytes via :meth:`verify_payload` instead)."""
         assert self.trust is not None
         with trace.span("buildcache.verify", hash=dag_hash[:7]):
-            files = self._entry_dir(dag_hash) / "files"
+            files_key = f"{self._entry_key(dag_hash)}/files"
+            try:
+                names, _dirs = self.backend.list_tree(files_key)
+            except MissingBlobError:
+                names = []
             payload_files = {
-                path.relative_to(files).as_posix(): path.read_bytes()
-                for path in sorted(files.rglob("*"))
-                if path.is_file()
+                rel: self.backend.get(f"{files_key}/{rel}") for rel in names
             }
             self._verify_files(dag_hash, payload_files)
         metrics.inc("buildcache.verifications")
@@ -336,19 +374,18 @@ class BuildCache:
         return payload
 
     def _verify_files(self, dag_hash: str, payload_files: Dict[str, bytes]) -> None:
-        entry = self._entry_dir(dag_hash)
-        manifest_path = entry / "manifest.json"
-        if not manifest_path.exists():
+        entry = self._entry_key(dag_hash)
+        try:
+            manifest_bytes = self.backend.get(f"{entry}/manifest.json")
+        except MissingBlobError:
             raise BuildCacheError(
                 f"cache entry {dag_hash} has no manifest — refusing to extract"
-            )
-        manifest_bytes = manifest_path.read_bytes()
-        sig_path = entry / "manifest.sig"
+            ) from None
         signature = None
-        if sig_path.exists():
+        if self.backend.exists(f"{entry}/manifest.sig"):
             try:
-                signature = json.loads(sig_path.read_text())
-            except (OSError, json.JSONDecodeError) as e:
+                signature = json.loads(self.backend.get(f"{entry}/manifest.sig"))
+            except (MissingBlobError, json.JSONDecodeError) as e:
                 raise BuildCacheError(
                     f"cache entry {dag_hash} has a corrupt signature: {e}"
                 ) from e
@@ -363,8 +400,16 @@ class BuildCache:
             raise BuildCacheError(
                 f"cache entry {dag_hash} has a corrupt manifest: {e}"
             ) from e
-        meta_path = entry / "meta.json"
-        if sha256_digest(meta_path.read_bytes()) != manifest.get("meta"):
+        try:
+            meta_bytes = self.backend.get(f"{entry}/meta.json")
+        except MissingBlobError:
+            # a manifest without its meta.json is a torn/corrupt entry,
+            # not a crash-worthy FileNotFoundError
+            raise BuildCacheError(
+                f"cache entry {dag_hash} has no metadata ({entry}/meta.json "
+                "missing) — refusing to extract"
+            ) from None
+        if sha256_digest(meta_bytes) != manifest.get("meta"):
             raise BuildCacheError(
                 f"cache entry {dag_hash}: metadata does not match its manifest"
             )
@@ -398,19 +443,22 @@ class BuildCache:
         DAG nodes concurrently while earlier nodes are still extracting.
         """
         meta = self.meta(dag_hash)  # raises BuildCacheError when absent
-        files = self._entry_dir(dag_hash) / "files"
-        if not files.is_dir():
-            raise BuildCacheError(f"cache entry {dag_hash} has no payload")
+        files_key = f"{self._entry_key(dag_hash)}/files"
         with trace.span(
             "buildcache.fetch", name=meta.get("name"), hash=dag_hash[:7]
         ) as sp:
-            payload = CachedPayload(dag_hash=dag_hash, meta=meta)
-            for path in sorted(files.rglob("*")):
-                rel = path.relative_to(files).as_posix()
-                if path.is_dir():
-                    payload.dirs.append(rel)
-                elif path.is_file():
-                    payload.files[rel] = path.read_bytes()
+            try:
+                names, dirs = self.backend.list_tree(files_key)
+            except MissingBlobError:
+                raise BuildCacheError(
+                    f"cache entry {dag_hash} has no payload"
+                ) from None
+            payload = CachedPayload(
+                dag_hash=dag_hash, meta=meta, source=self.label
+            )
+            payload.dirs = sorted(dirs)
+            for rel in sorted(names):
+                payload.files[rel] = self.backend.get(f"{files_key}/{rel}")
             sp.set(files=len(payload.files), bytes=payload.size)
         metrics.inc("buildcache.fetches")
         metrics.inc("buildcache.fetched_bytes", payload.size)
@@ -488,6 +536,6 @@ class BuildCache:
     def __repr__(self) -> str:
         signed = self.signing_key.name if self.signing_key else None
         return (
-            f"<BuildCache {self.root} specs={len(self)} "
+            f"<BuildCache {self.backend.describe()} specs={len(self)} "
             f"signing={signed!r} trusting={self.trust is not None}>"
         )

@@ -28,6 +28,14 @@ under the spec's ``dag_hash``, build-spec provenance documents under the
 build spec's hash, external prefixes under the owning node's hash.  A
 single-spec materialization therefore touches only the shards of the
 hashes it actually resolves (one per DAG node at worst), never all 256.
+
+All persistence goes through a :class:`~repro.buildcache.backend.
+StorageBackend` (``ShardedIndex(path)`` wraps the path in a
+:class:`~repro.buildcache.backend.LocalFSBackend`), so the same index
+logic serves a local directory, a simulated flaky remote, or any
+future S3/HTTP-style backend unchanged.  Shard and manifest writes use
+the backend's atomic+durable ``put`` (tmp write, fsync, rename, dir
+fsync) — matching the durability the fsynced journal always had.
 """
 
 from __future__ import annotations
@@ -36,9 +44,17 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Set
+from typing import Dict, Iterable, Iterator, Optional, Set, Union
 
 from ..obs import metrics, trace
+from .backend import (
+    BackendError,
+    BuildCacheError,
+    LocalFSBackend,
+    MissingBlobError,
+    StorageBackend,
+    TransientBackendError,
+)
 
 __all__ = [
     "ShardedIndex",
@@ -58,22 +74,8 @@ JOURNAL_NAME = "journal.jsonl"
 _TABLES = ("specs", "build_specs", "external_prefixes")
 
 
-class BuildCacheError(RuntimeError):
-    """Raised for corrupt, missing, unsigned, or untrusted cache state.
-
-    Lives here (the lowest-level buildcache module) so the lazy shard
-    loader can raise it without importing :mod:`repro.buildcache.cache`.
-    """
-
-
 class IndexFormatError(BuildCacheError):
     """Raised for corrupt or unsupported index documents."""
-
-
-def _atomic_write(path: Path, data: bytes) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
-    tmp.replace(path)
 
 
 class _Shard:
@@ -114,8 +116,15 @@ class ShardedIndex:
     concurrently.
     """
 
-    def __init__(self, root: Path):
-        self.root = Path(root)
+    def __init__(self, root: Union[Path, str, StorageBackend]):
+        if isinstance(root, StorageBackend):
+            self.backend = root
+            self.root = getattr(root, "root", None)
+        else:
+            self.root = Path(root)
+            self.backend = LocalFSBackend(self.root)
+        #: display string for spans and error messages
+        self._desc = self.backend.describe()
         self._lock = threading.RLock()
         self._shards: Dict[str, _Shard] = {}
         #: per-shard spec counts from the manifest (authoritative for
@@ -129,22 +138,26 @@ class ShardedIndex:
         self._load()
 
     # ------------------------------------------------------------------
-    # layout
+    # layout (string keys into the backend; the Path properties remain
+    # for local-filesystem callers and error messages)
     # ------------------------------------------------------------------
     @property
-    def manifest_path(self) -> Path:
-        return self.root / INDEX_NAME
+    def manifest_path(self):
+        return self.root / INDEX_NAME if self.root else f"{self._desc}/{INDEX_NAME}"
 
     @property
-    def shard_dir(self) -> Path:
-        return self.root / SHARD_DIR
+    def shard_dir(self):
+        return self.root / SHARD_DIR if self.root else f"{self._desc}/{SHARD_DIR}"
 
     @property
-    def journal_path(self) -> Path:
-        return self.root / JOURNAL_NAME
+    def journal_path(self):
+        return (
+            self.root / JOURNAL_NAME if self.root else f"{self._desc}/{JOURNAL_NAME}"
+        )
 
-    def _shard_path(self, prefix: str) -> Path:
-        return self.shard_dir / f"{prefix}.json"
+    @staticmethod
+    def _shard_key(prefix: str) -> str:
+        return f"{SHARD_DIR}/{prefix}.json"
 
     @staticmethod
     def shard_prefix(dag_hash: str) -> str:
@@ -161,13 +174,15 @@ class ShardedIndex:
     # open: manifest (or v1 monolith) + journal replay
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        if not self.manifest_path.exists():
+        try:
+            data = json.loads(self.backend.get(INDEX_NAME))
+        except MissingBlobError:
             self._fully_loaded = True  # empty cache: nothing on disk
             self._replay_journal()
             return
-        try:
-            data = json.loads(self.manifest_path.read_text())
-        except (OSError, json.JSONDecodeError) as e:
+        except TransientBackendError:
+            raise  # flaky, not corrupt: let MirrorGroup retry/degrade
+        except (BackendError, json.JSONDecodeError) as e:
             raise IndexFormatError(
                 f"corrupt buildcache index at {self.manifest_path}: {e}"
             ) from e
@@ -190,7 +205,7 @@ class ShardedIndex:
     def _load_v1(self, data: dict) -> None:
         """Read a monolithic v1 index into memory (transparent migrate:
         every shard becomes loaded + dirty, so the next save writes v2)."""
-        with trace.span("buildcache.index_migrate", cache=str(self.root)) as sp:
+        with trace.span("buildcache.index_migrate", cache=self._desc) as sp:
             for table, key_kind in (
                 ("specs", "specs"),
                 ("build_specs", "build_specs"),
@@ -207,7 +222,7 @@ class ShardedIndex:
         metrics.inc("buildcache.v1_migrations")
 
     def _load_manifest(self, data: dict) -> None:
-        with trace.span("buildcache.manifest_load", cache=str(self.root)) as sp:
+        with trace.span("buildcache.manifest_load", cache=self._desc) as sp:
             shards = data.get("shards", {})
             if not isinstance(shards, dict):
                 raise IndexFormatError(
@@ -228,11 +243,13 @@ class ShardedIndex:
         entries in memory and merges the on-disk document underneath
         when (if) it is eventually loaded.
         """
-        if not self.journal_path.exists():
+        try:
+            journal = self.backend.get(JOURNAL_NAME)
+        except MissingBlobError:
             return
-        with trace.span("buildcache.journal_replay", cache=str(self.root)) as sp:
+        with trace.span("buildcache.journal_replay", cache=self._desc) as sp:
             entries = 0
-            for line in self.journal_path.read_text().splitlines():
+            for line in journal.decode().splitlines():
                 line = line.strip()
                 if not line:
                     continue
@@ -271,15 +288,17 @@ class ShardedIndex:
             return shard
 
     def _load_shard(self, shard: _Shard) -> None:
-        path = self._shard_path(shard.prefix)
+        key = self._shard_key(shard.prefix)
         with trace.span("buildcache.shard_load", shard=shard.prefix) as sp:
             try:
-                document = json.loads(path.read_text())
-            except FileNotFoundError:
+                document = json.loads(self.backend.get(key))
+            except MissingBlobError:
                 document = {}
-            except (OSError, json.JSONDecodeError) as e:
+            except TransientBackendError:
+                raise
+            except (BackendError, json.JSONDecodeError) as e:
                 raise IndexFormatError(
-                    f"corrupt buildcache index shard {path}: {e}"
+                    f"corrupt buildcache index shard {self._desc}/{key}: {e}"
                 ) from e
             # journal overlay entries win over the on-disk document
             for table in _TABLES:
@@ -367,10 +386,7 @@ class ShardedIndex:
         with self._lock:
             self._apply_record(record, mark_dirty=True)
             with trace.span("buildcache.journal_append") as sp:
-                with open(self.journal_path, "a") as fh:
-                    fh.write(line)
-                    fh.flush()
-                    os.fsync(fh.fileno())
+                self.backend.append_line(JOURNAL_NAME, line.encode())
                 self._journal_entries += 1
                 sp.set(bytes=len(line))
         metrics.inc("buildcache.journal_appends")
@@ -397,8 +413,7 @@ class ShardedIndex:
                     payload = json.dumps(
                         shard.to_document(), sort_keys=True, indent=1
                     ).encode()
-                    self.shard_dir.mkdir(parents=True, exist_ok=True)
-                    _atomic_write(self._shard_path(prefix), payload)
+                    self.backend.put(self._shard_key(prefix), payload)
                     sp.set(specs=len(shard.specs), bytes=len(payload))
                 shard.dirty = False
                 self._on_disk.add(prefix)
@@ -413,8 +428,8 @@ class ShardedIndex:
                     for prefix in sorted(self._on_disk)
                 },
             }
-            _atomic_write(
-                self.manifest_path,
+            self.backend.put(
+                INDEX_NAME,
                 json.dumps(manifest, sort_keys=True, indent=1).encode(),
             )
             self._truncate_journal()
@@ -429,8 +444,8 @@ class ShardedIndex:
             for shard in self._shards.values():
                 for table in _TABLES:
                     document[table].update(shard.table(table))
-            _atomic_write(
-                self.manifest_path,
+            self.backend.put(
+                INDEX_NAME,
                 json.dumps(document, sort_keys=True, indent=1).encode(),
             )
             # the monolith subsumes the journal; shard files, if any,
@@ -444,8 +459,7 @@ class ShardedIndex:
             return 1
 
     def _truncate_journal(self) -> None:
-        if self.journal_path.exists():
-            self.journal_path.unlink()
+        self.backend.delete(JOURNAL_NAME)
         self._journal_entries = 0
 
     # ------------------------------------------------------------------
@@ -455,6 +469,6 @@ class ShardedIndex:
 
     def __repr__(self) -> str:
         return (
-            f"<ShardedIndex {self.root} shards={len(self._shards)} "
+            f"<ShardedIndex {self._desc} shards={len(self._shards)} "
             f"journal={self._journal_entries}>"
         )

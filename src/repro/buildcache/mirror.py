@@ -1,0 +1,331 @@
+"""Mirror groups: an ordered list of buildcaches, consulted in order.
+
+This is the substitutes model of Guix ("Reproducible and
+User-Controlled Software Environments in HPC with Guix") applied to the
+paper's Section 6 evaluation, which runs against *two* caches at once —
+a small local buildcache and a ~20k-spec public one.  A
+:class:`MirrorGroup` composes any number of :class:`~repro.buildcache.
+cache.BuildCache` instances into one cache-shaped object:
+
+* **reads** (``in`` / ``meta`` / ``fetch`` / ``has_payload``) are
+  first-hit-wins down the mirror list;
+* ``all_specs`` is the union over all mirrors, de-duplicated by
+  ``dag_hash`` with the *first* mirror that indexes a hash winning —
+  so the concretizer's reuse corpus spans every mirror;
+* **writes** (``push`` / ``save_index``) go to the primary (the first
+  mirror) only — the local scratch cache, never the public one;
+* a mirror that fails **transiently** (:class:`~repro.buildcache.
+  backend.TransientBackendError`, e.g. a simulated timeout) is retried
+  with exponential backoff, then the group *degrades* to the next
+  mirror instead of failing the install;
+* a mirror whose index advertises a hash but whose payload fetch then
+  fails (the "index says yes, blob 404s" pathology of real binary
+  mirrors) falls through to the next mirror and bumps the
+  ``buildcache.mirror_fallbacks`` counter.
+
+Observability: every read runs under a ``buildcache.mirror_fetch`` /
+``buildcache.mirror_lookup`` span carrying the serving mirror's label,
+and per-mirror counters ``buildcache.mirror_{hits,misses,fallbacks,
+retries}.<label>`` (plus label-less aggregates) make the fallback
+behaviour visible in ``--profile`` output and bench JSON.
+
+The group quacks like a single ``BuildCache`` — ``Installer(caches=
+[group])`` and the pipelined :class:`~repro.installer.parallel.
+PayloadPrefetcher` work unchanged, with ``CachedPayload.source``
+carrying which mirror actually served each payload.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
+
+from ..obs import metrics, trace
+from ..spec import Spec
+from .backend import BuildCacheError, TransientBackendError
+from .cache import BuildCache, CachedPayload
+
+__all__ = ["MirrorGroup"]
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+
+class MirrorGroup:
+    """An ordered list of buildcaches with first-hit-wins fallback.
+
+    ``retries`` is the number of *extra* attempts per mirror when an
+    operation raises :class:`TransientBackendError`; ``backoff`` is the
+    base delay in seconds, doubled per retry (tests pass 0).
+    """
+
+    def __init__(
+        self,
+        mirrors: Sequence[BuildCache],
+        retries: int = 2,
+        backoff: float = 0.05,
+    ):
+        if not mirrors:
+            raise BuildCacheError("a MirrorGroup needs at least one mirror")
+        self.mirrors: List[BuildCache] = list(mirrors)
+        self.retries = max(int(retries), 0)
+        self.backoff = float(backoff)
+        labels = [m.label for m in self.mirrors]
+        if len(set(labels)) != len(labels):
+            raise BuildCacheError(
+                f"mirror labels must be unique, got {labels} "
+                "(pass name=... to BuildCache)"
+            )
+        self._by_label: Dict[str, BuildCache] = {
+            m.label: m for m in self.mirrors
+        }
+
+    @property
+    def primary(self) -> BuildCache:
+        """The write target: the first mirror in the list."""
+        return self.mirrors[0]
+
+    @property
+    def label(self) -> str:
+        return "+".join(m.label for m in self.mirrors)
+
+    # ------------------------------------------------------------------
+    # retry / degrade machinery
+    # ------------------------------------------------------------------
+    def _with_retries(self, mirror: BuildCache, fn: Callable[[], T]) -> T:
+        """Run ``fn``, retrying transient faults with backoff.
+
+        Only :class:`TransientBackendError` is retried — corruption and
+        missing blobs are deterministic, retrying them wastes
+        round-trips.  The exhausted error propagates to the caller,
+        which decides whether the next mirror can take over.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientBackendError as e:
+                if attempt >= self.retries:
+                    raise
+                metrics.inc("buildcache.mirror_retries")
+                metrics.inc(f"buildcache.mirror_retries.{mirror.label}")
+                delay = self.backoff * (2 ** attempt)
+                logger.debug(
+                    "mirror %s: transient fault (%s), retry %d/%d in %.3fs",
+                    mirror.label, e, attempt + 1, self.retries, delay,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+
+    def _fallback(self, mirror: BuildCache, op: str, error: Exception) -> None:
+        metrics.inc("buildcache.mirror_fallbacks")
+        metrics.inc(f"buildcache.mirror_fallbacks.{mirror.label}")
+        logger.warning(
+            "mirror %s failed during %s (%s) — degrading to the next mirror",
+            mirror.label, op, error,
+        )
+
+    # ------------------------------------------------------------------
+    # first-hit-wins reads
+    # ------------------------------------------------------------------
+    def __contains__(self, dag_hash: str) -> bool:
+        for mirror in self.mirrors:
+            try:
+                if self._with_retries(mirror, lambda: dag_hash in mirror):
+                    return True
+            except BuildCacheError as e:
+                self._fallback(mirror, "lookup", e)
+        return False
+
+    def has_payload(self, dag_hash: str) -> bool:
+        for mirror in self.mirrors:
+            try:
+                if self._with_retries(
+                    mirror, lambda: mirror.has_payload(dag_hash)
+                ):
+                    return True
+            except BuildCacheError as e:
+                self._fallback(mirror, "has_payload", e)
+        return False
+
+    def meta(self, dag_hash: str) -> dict:
+        with trace.span("buildcache.mirror_lookup", hash=dag_hash[:7]) as sp:
+            for mirror in self.mirrors:
+                try:
+                    if not self._with_retries(
+                        mirror, lambda: dag_hash in mirror
+                    ):
+                        continue
+                    document = self._with_retries(
+                        mirror, lambda: mirror.meta(dag_hash)
+                    )
+                except BuildCacheError as e:
+                    self._fallback(mirror, "meta", e)
+                    continue
+                sp.set(mirror=mirror.label)
+                return document
+        raise BuildCacheError(
+            f"cache entry {dag_hash} has no metadata on any mirror "
+            f"({self.label})"
+        )
+
+    def fetch(self, dag_hash: str) -> CachedPayload:
+        """Fetch the payload from the first mirror that can serve it.
+
+        A mirror whose index advertises the hash but whose payload
+        fetch fails — missing blob, exhausted retries, corrupt entry —
+        is *not* fatal: the group falls through and only raises when
+        every mirror has been tried.
+        """
+        with trace.span(
+            "buildcache.mirror_fetch",
+            hash=dag_hash[:7], mirrors=len(self.mirrors),
+        ) as sp:
+            last_error: Optional[Exception] = None
+            for mirror in self.mirrors:
+                try:
+                    indexed = self._with_retries(
+                        mirror, lambda: dag_hash in mirror
+                    )
+                except BuildCacheError as e:
+                    self._fallback(mirror, "lookup", e)
+                    last_error = e
+                    continue
+                if not indexed:
+                    metrics.inc("buildcache.mirror_misses")
+                    metrics.inc(f"buildcache.mirror_misses.{mirror.label}")
+                    continue
+                try:
+                    payload = self._with_retries(
+                        mirror, lambda: mirror.fetch(dag_hash)
+                    )
+                except BuildCacheError as e:
+                    # index hit, payload unfetchable: the classic
+                    # stale-mirror pathology — fall through
+                    self._fallback(mirror, "fetch", e)
+                    last_error = e
+                    continue
+                metrics.inc("buildcache.mirror_hits")
+                metrics.inc(f"buildcache.mirror_hits.{mirror.label}")
+                sp.set(mirror=mirror.label, bytes=payload.size)
+                return payload
+        detail = f" (last error: {last_error})" if last_error else ""
+        raise BuildCacheError(
+            f"no mirror in {self.label} could serve cache entry "
+            f"{dag_hash}{detail}"
+        )
+
+    def all_specs(self) -> List[Spec]:
+        """Union of every mirror's reusable specs, de-duplicated by
+        ``dag_hash`` — the first mirror indexing a hash provides its
+        document (so a local override shadows the public copy)."""
+        seen: set = set()
+        specs: List[Spec] = []
+        with trace.span(
+            "buildcache.mirror_all_specs", mirrors=len(self.mirrors)
+        ) as sp:
+            for mirror in self.mirrors:
+                try:
+                    mirror_specs = self._with_retries(mirror, mirror.all_specs)
+                except BuildCacheError as e:
+                    self._fallback(mirror, "all_specs", e)
+                    continue
+                for spec in mirror_specs:
+                    h = spec.dag_hash()
+                    if h in seen:
+                        continue
+                    seen.add(h)
+                    specs.append(spec)
+            sp.set(specs=len(specs))
+        return specs
+
+    def __len__(self) -> int:
+        seen: set = set()
+        for mirror in self.mirrors:
+            try:
+                seen.update(self._with_retries(mirror, lambda: set(mirror)))
+            except BuildCacheError as e:
+                self._fallback(mirror, "len", e)
+        return len(seen)
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set = set()
+        for mirror in self.mirrors:
+            try:
+                hashes = self._with_retries(mirror, lambda: list(mirror))
+            except BuildCacheError as e:
+                self._fallback(mirror, "iter", e)
+                continue
+            for h in hashes:
+                if h not in seen:
+                    seen.add(h)
+                    yield h
+
+    # ------------------------------------------------------------------
+    # verify / extract dispatch to the serving mirror
+    # ------------------------------------------------------------------
+    def _serving(self, payload: CachedPayload) -> BuildCache:
+        """The mirror that produced ``payload`` (by its ``source``
+        label), defaulting to the primary for foreign payloads."""
+        if payload.source is not None:
+            mirror = self._by_label.get(payload.source)
+            if mirror is not None:
+                return mirror
+        return self.primary
+
+    def verify_payload(self, payload: CachedPayload) -> CachedPayload:
+        return self._serving(payload).verify_payload(payload)
+
+    def extract_payload(
+        self,
+        payload: CachedPayload,
+        prefix,
+        extra_prefix_map: Optional[Dict[str, str]] = None,
+    ):
+        return self._serving(payload).extract_payload(
+            payload, prefix, extra_prefix_map=extra_prefix_map
+        )
+
+    def extract(
+        self,
+        dag_hash: str,
+        prefix,
+        extra_prefix_map: Optional[Dict[str, str]] = None,
+    ):
+        payload = self.fetch(dag_hash)
+        serving = self._serving(payload)
+        if serving.trust is not None:
+            serving.verify_payload(payload)
+        return serving.extract_payload(
+            payload, prefix, extra_prefix_map=extra_prefix_map
+        )
+
+    # ------------------------------------------------------------------
+    # push-to-primary writes
+    # ------------------------------------------------------------------
+    def push(self, spec, prefix, dep_prefixes: Optional[Dict[str, str]] = None):
+        """Writes always target the primary mirror; a read-only primary
+        surfaces the backend's clear :class:`~repro.buildcache.backend.
+        ReadOnlyBackendError`-derived message instead of a partial
+        write further down."""
+        return self.primary.push(spec, prefix, dep_prefixes=dep_prefixes)
+
+    def save_index(self) -> None:
+        self.primary.save_index()
+
+    @property
+    def trust(self):
+        """The primary's trust policy (duck-type parity with
+        ``BuildCache``; per-payload verification dispatches to the
+        serving mirror's own policy)."""
+        return self.primary.trust
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"<MirrorGroup [{', '.join(m.label for m in self.mirrors)}] "
+            f"retries={self.retries}>"
+        )

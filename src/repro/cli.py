@@ -14,6 +14,13 @@ Packages come from the built-in RADIUSS repository by default
 A ``--cache DIR`` buildcache and the ``--store DIR`` install database
 both contribute reusable specs to the concretizer.
 
+Multiple binary mirrors (the local + public two-cache setup of the
+paper's Section 6) compose with ``--mirror [NAME=]DIR[:ro]``
+(repeatable; ``:ro`` marks a mirror read-only) or ``--mirrors-file
+FILE`` (one mirror per line, ``#`` comments).  Mirrors are consulted
+in order, first-hit-wins, with ``--cache`` as the primary write
+target; see docs/buildcache.md.
+
 Observability flags (every subcommand, see docs/observability.md):
 
 * ``--trace FILE`` — write a Chrome trace-event JSON of all spans
@@ -30,10 +37,16 @@ from pathlib import Path
 from typing import List, Optional
 
 from .binary.discovery import discover_provider_splices
-from .buildcache import BuildCache
+from .buildcache import BuildCache, LocalFSBackend, MirrorGroup
 from .concretize import Concretizer, UnsatisfiableError
 from .installer import InstallError, Installer
-from .obs import configure_logging, phase_table, trace, write_chrome_trace
+from .obs import (
+    configure_logging,
+    metrics_table,
+    phase_table,
+    trace,
+    write_chrome_trace,
+)
 from .package.repository import Repository
 from .repos.mock import make_mock_repo
 from .repos.radiuss import make_radiuss_repo
@@ -58,10 +71,62 @@ def _load_repo(name: str) -> Repository:
     )
 
 
-def _reusable(args) -> list:
-    specs = []
+def _parse_mirror(entry: str):
+    """``[NAME=]PATH[:ro]`` -> ``(name_or_None, path, read_only)``."""
+    entry = entry.strip()
+    read_only = False
+    if entry.endswith(":ro"):
+        read_only = True
+        entry = entry[: -len(":ro")]
+    name = None
+    if "=" in entry:
+        name, entry = entry.split("=", 1)
+        name = name.strip()
+    if not entry:
+        raise SystemExit(f"invalid mirror entry {entry!r}")
+    return name, entry.strip(), read_only
+
+
+def _open_caches(args) -> list:
+    """Open ``--cache`` plus every ``--mirror``/``--mirrors-file`` entry.
+
+    One source -> ``[BuildCache]``; several -> a single-element list
+    holding a :class:`MirrorGroup` (first entry = primary write
+    target), so the installer and concretizer see one cache object
+    either way.
+    """
+    entries = []
     if getattr(args, "cache", None):
-        cache = BuildCache(Path(args.cache))
+        entries.append((None, str(args.cache), False))
+    for raw in getattr(args, "mirror", None) or []:
+        entries.append(_parse_mirror(raw))
+    mirrors_file = getattr(args, "mirrors_file", None)
+    if mirrors_file:
+        for line in Path(mirrors_file).read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            entries.append(_parse_mirror(line))
+    caches = []
+    used: set = set()
+    for name, path, read_only in entries:
+        label = name or Path(path).name or str(path)
+        base, n = label, 2
+        while label in used:  # keep MirrorGroup labels unique
+            label, n = f"{base}-{n}", n + 1
+        used.add(label)
+        backend = LocalFSBackend(Path(path), name=label, writable=not read_only)
+        caches.append(BuildCache(backend=backend, name=label))
+    if len(caches) > 1:
+        return [MirrorGroup(caches)]
+    return caches
+
+
+def _reusable(args, caches=None) -> list:
+    specs = []
+    if caches is None:
+        caches = _open_caches(args)
+    for cache in caches:
         specs.extend(cache.all_specs())
     if getattr(args, "store", None):
         store = Path(args.store)
@@ -77,7 +142,7 @@ def cmd_spec(args) -> int:
     repo = _load_repo(args.repo)
     concretizer = Concretizer(
         repo,
-        reusable_specs=_reusable(args),
+        reusable_specs=_reusable(args, _open_caches(args)),
         splicing=args.splice,
     )
     try:
@@ -103,10 +168,10 @@ def cmd_spec(args) -> int:
 def cmd_install(args) -> int:
     """`repro install`: concretize then build/extract/rewire into a store."""
     repo = _load_repo(args.repo)
-    caches = [BuildCache(Path(args.cache))] if args.cache else []
+    caches = _open_caches(args)
     concretizer = Concretizer(
         repo,
-        reusable_specs=_reusable(args),
+        reusable_specs=_reusable(args, caches),
         splicing=args.splice,
     )
     try:
@@ -233,17 +298,17 @@ def cmd_env(args) -> int:
         print(f"roots: {env.roots}")
         return 0
     if args.action == "concretize":
-        env.concretize(reusable_specs=_reusable(args))
+        env.concretize(reusable_specs=_reusable(args, _open_caches(args)))
         env.write()
         for root in env.concrete_roots:
             print(tree(root))
             print()
         return 0
     if args.action == "install":
+        caches = _open_caches(args)
         if not env.concretized:
-            env.concretize(reusable_specs=_reusable(args))
+            env.concretize(reusable_specs=_reusable(args, caches))
             env.write()
-        caches = [BuildCache(Path(args.cache))] if args.cache else []
         installer = Installer(
             Path(args.store), repo, caches=caches,
             fetch_jobs=getattr(args, "fetch_jobs", 1),
@@ -332,6 +397,19 @@ def cmd_suggest_splices(args) -> int:
     return 0
 
 
+def _add_mirror_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mirror", action="append", metavar="[NAME=]DIR[:ro]",
+        help="additional binary mirror, consulted after --cache in "
+             "first-hit-wins order (repeatable; ':ro' = read-only)",
+    )
+    parser.add_argument(
+        "--mirrors-file", metavar="FILE",
+        help="file listing one mirror per line (same syntax as --mirror; "
+             "blank lines and # comments ignored)",
+    )
+
+
 def _obs_parent() -> argparse.ArgumentParser:
     """Observability flags shared by every subcommand.
 
@@ -351,7 +429,8 @@ def _add_obs_arguments(parser: argparse.ArgumentParser, default) -> None:
     parser.add_argument(
         "--profile", action="store_true",
         default=False if default is None else default,
-        help="print a per-phase time table when the command finishes",
+        help="print per-phase time and metrics tables when the command "
+             "finishes",
     )
     parser.add_argument(
         "-v", "--verbose", action="count",
@@ -379,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_spec.add_argument("--splice", action="store_true", help="enable splicing")
     p_spec.add_argument("--forbid", action="append", help="forbid a package")
     p_spec.add_argument("--cache", help="buildcache directory to reuse from")
+    _add_mirror_arguments(p_spec)
     p_spec.add_argument("--store", help="install store to reuse from")
     p_spec.add_argument("--time", action="store_true", help="print solve time")
     p_spec.set_defaults(func=cmd_spec)
@@ -388,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_install.add_argument("specs", nargs="+")
     p_install.add_argument("--store", required=True, help="install store root")
     p_install.add_argument("--cache", help="buildcache to extract from")
+    _add_mirror_arguments(p_install)
     p_install.add_argument("--splice", action="store_true")
     p_install.add_argument("--forbid", action="append")
     p_install.add_argument(
@@ -434,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_env.add_argument("specs", nargs="*")
     p_env.add_argument("--splice", action="store_true")
     p_env.add_argument("--cache")
+    _add_mirror_arguments(p_env)
     p_env.add_argument("--store", help="install store (for env install)")
     p_env.add_argument("--jobs", type=int, default=1)
     p_env.add_argument(
@@ -496,6 +578,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if getattr(args, "profile", False):
             print()
             print(phase_table())
+            print()
+            print(metrics_table())
 
 
 if __name__ == "__main__":

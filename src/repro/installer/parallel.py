@@ -78,7 +78,9 @@ class PayloadPrefetcher:
             with trace.span("installer.fetch", name=node.name, hash=h[:7]) as sp:
                 payload = cache.fetch(h)
                 cache.verify_payload(payload)
-                sp.set(bytes=payload.size)
+                # per-mirror attribution: which cache/mirror actually
+                # served the bytes (a MirrorGroup may have fallen back)
+                sp.set(bytes=payload.size, mirror=payload.source)
             return cache, payload
         finally:
             with self._lock:

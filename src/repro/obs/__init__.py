@@ -32,6 +32,7 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metrics
 from .export import (
     SCHEMA_VERSION,
     chrome_trace,
+    metrics_table,
     phase_table,
     write_chrome_trace,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "phase_table",
+    "metrics_table",
     "snapshot",
     "reset",
     "configure_logging",

@@ -16,16 +16,25 @@ import json
 from pathlib import Path
 from typing import Dict, Optional
 
+from .metrics import metrics as _global_metrics
 from .trace import Tracer, trace as _global_trace
 
-__all__ = ["SCHEMA_VERSION", "chrome_trace", "write_chrome_trace", "phase_table"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "chrome_trace",
+    "write_chrome_trace",
+    "phase_table",
+    "metrics_table",
+]
 
 #: bumped whenever the exported span/metric naming or layout changes;
 #: embedded in traces and BENCH_*.json so tooling can tell vintages apart
 #: (2: buildcache.shard_*/journal_*/fetch and installer.fetch* names
 #: added with the sharded index + pipelined fetch path)
 #: (3: analysis.* spans and counters added with the audit subsystem)
-SCHEMA_VERSION = 3
+#: (4: buildcache.mirror_* spans and per-mirror hit/miss/fallback/retry
+#: counters added with storage backends + MirrorGroup)
+SCHEMA_VERSION = 4
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:
@@ -98,4 +107,42 @@ def phase_table(tracer: Optional[Tracer] = None) -> str:
     ]
     for row in rows:
         lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def metrics_table(registry=None) -> str:
+    """Counters and gauges as an aligned text table (for --profile).
+
+    Complements :func:`phase_table`: phases say where the time went,
+    counters say what happened — cache hits, mirror fallbacks, bytes
+    moved.  Histograms are summarized by count/p50/max.
+    """
+    registry = registry if registry is not None else _global_metrics
+    snap = registry.snapshot()
+    rows = []
+    for name, value in snap["counters"].items():
+        rows.append({"metric": name, "kind": "counter", "value": str(value)})
+    for name, value in snap["gauges"].items():
+        rows.append({"metric": name, "kind": "gauge", "value": f"{value:g}"})
+    for name, summary in snap["histograms"].items():
+        rows.append(
+            {
+                "metric": name,
+                "kind": "histogram",
+                "value": (
+                    f"n={summary['count']} p50={summary['p50']:g} "
+                    f"max={summary['max']:g}"
+                ),
+            }
+        )
+    if not rows:
+        return "(no metrics recorded)"
+    columns = ["metric", "kind", "value"]
+    widths = {c: max(len(c), *(len(r[c]) for r in rows)) for c in columns}
+    lines = [
+        "  ".join(c.ljust(widths[c]) for c in columns),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for row in sorted(rows, key=lambda r: r["metric"]):
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
     return "\n".join(lines)

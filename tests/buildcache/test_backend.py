@@ -1,0 +1,190 @@
+"""Storage-backend tests: durable writes, atomic publish, fault simulation."""
+
+import pytest
+
+from repro.buildcache import (
+    BackendError,
+    LocalFSBackend,
+    MissingBlobError,
+    ReadOnlyBackendError,
+    SimulatedRemoteBackend,
+    TransientBackendError,
+)
+from repro.buildcache.backend import fsync_write
+
+
+class TestLocalFSBackend:
+    def test_put_get_round_trip(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put("index.d/ab.json", b"{}")
+        assert backend.get("index.d/ab.json") == b"{}"
+        assert backend.exists("index.d/ab.json")
+        assert not backend.exists("index.d/cd.json")
+
+    def test_get_missing_raises_missing_blob(self, tmp_path):
+        with pytest.raises(MissingBlobError, match="no blob"):
+            LocalFSBackend(tmp_path).get("nope.json")
+
+    def test_put_leaves_no_tmp_droppings(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put("meta.json", b"one")
+        backend.put("meta.json", b"two")
+        assert backend.get("meta.json") == b"two"
+        assert [p.name for p in tmp_path.iterdir()] == ["meta.json"]
+
+    def test_key_escape_is_rejected(self, tmp_path):
+        backend = LocalFSBackend(tmp_path / "cache")
+        with pytest.raises(BackendError, match="escapes"):
+            backend.get("../outside.txt")
+
+    def test_delete_is_idempotent(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.put("journal.jsonl", b"line\n")
+        backend.delete("journal.jsonl")
+        backend.delete("journal.jsonl")  # missing key: not an error
+        assert not backend.exists("journal.jsonl")
+
+    def test_append_line_accumulates(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.append_line("journal.jsonl", b"one\n")
+        backend.append_line("journal.jsonl", b"two\n")
+        assert backend.get("journal.jsonl") == b"one\ntwo\n"
+
+    def test_list_tree_includes_empty_dirs(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.publish_tree(
+            "blobs/abc",
+            {"files/lib/libz.so": b"elf", "meta.json": b"{}"},
+            dirs=["files", "files/lib", "files/include"],
+        )
+        files, dirs = backend.list_tree("blobs/abc")
+        assert files == ["files/lib/libz.so", "meta.json"]
+        assert "files/include" in dirs
+
+    def test_list_tree_missing_prefix(self, tmp_path):
+        with pytest.raises(MissingBlobError, match="no tree"):
+            LocalFSBackend(tmp_path).list_tree("blobs/nope")
+
+    def test_read_only_rejects_writes(self, tmp_path):
+        backend = LocalFSBackend(tmp_path, writable=False)
+        for op in (
+            lambda: backend.put("k", b"v"),
+            lambda: backend.delete("k"),
+            lambda: backend.append_line("k", b"v\n"),
+            lambda: backend.publish_tree("t", {"f": b"v"}),
+        ):
+            with pytest.raises(ReadOnlyBackendError, match="read-only"):
+                op()
+
+    def test_fsync_write_replaces_atomically(self, tmp_path):
+        target = tmp_path / "shard.json"
+        fsync_write(target, b"old")
+        fsync_write(target, b"new")
+        assert target.read_bytes() == b"new"
+        assert not target.with_name("shard.json.tmp").exists()
+
+
+class TestPublishTree:
+    def test_replaces_previous_tree_completely(self, tmp_path):
+        backend = LocalFSBackend(tmp_path)
+        backend.publish_tree("blobs/h", {"files/a": b"1", "stale.json": b"x"})
+        backend.publish_tree("blobs/h", {"files/b": b"2"})
+        files, _ = backend.list_tree("blobs/h")
+        # nothing from the first publish survives (no stale signatures)
+        assert files == ["files/b"]
+
+    def test_fault_mid_publish_preserves_old_tree(self, tmp_path, monkeypatch):
+        """The torn-push regression: a copy dying mid-publish must leave
+        the previous tree fully intact — old-entry-or-new-entry."""
+        backend = LocalFSBackend(tmp_path)
+        backend.publish_tree("blobs/h", {"files/a": b"old", "meta.json": b"m1"})
+
+        real_stage = LocalFSBackend._stage_file
+        calls = {"n": 0}
+
+        def flaky_stage(self, path, data):
+            calls["n"] += 1
+            if calls["n"] == 2:  # die after the first staged file
+                raise OSError("disk full")
+            real_stage(self, path, data)
+
+        monkeypatch.setattr(LocalFSBackend, "_stage_file", flaky_stage)
+        with pytest.raises(OSError, match="disk full"):
+            backend.publish_tree(
+                "blobs/h", {"files/a": b"new", "meta.json": b"m2"}
+            )
+        monkeypatch.undo()
+
+        files, _ = backend.list_tree("blobs/h")
+        assert sorted(files) == ["files/a", "meta.json"]
+        assert backend.get("blobs/h/files/a") == b"old"
+        assert backend.get("blobs/h/meta.json") == b"m1"
+        # no staging droppings left behind
+        leftovers = [p.name for p in (tmp_path / "blobs").iterdir()]
+        assert leftovers == ["h"]
+
+        # and the re-push goes through cleanly
+        backend.publish_tree("blobs/h", {"files/a": b"new", "meta.json": b"m2"})
+        assert backend.get("blobs/h/files/a") == b"new"
+
+    def test_crash_between_rename_and_swap_heals_on_reentry(self, tmp_path):
+        """Simulate the one crash window of the swap: the old tree was
+        moved aside but the new one never landed."""
+        backend = LocalFSBackend(tmp_path)
+        backend.publish_tree("blobs/h", {"files/a": b"old"})
+        (tmp_path / "blobs" / "h").rename(tmp_path / "blobs" / "h.publish.old")
+        # reader-visible state is "entry missing"; the next publish heals
+        backend.publish_tree("blobs/h", {"files/a": b"new"})
+        assert backend.get("blobs/h/files/a") == b"new"
+        assert not (tmp_path / "blobs" / "h.publish.old").exists()
+
+
+class TestSimulatedRemoteBackend:
+    def make(self, tmp_path, **kwargs):
+        inner = LocalFSBackend(tmp_path, name="inner")
+        return SimulatedRemoteBackend(inner, name="sim", **kwargs)
+
+    def test_delegates_and_counts_ops(self, tmp_path):
+        sim = self.make(tmp_path)
+        sim.put("k", b"v")
+        assert sim.get("k") == b"v"
+        assert sim.op_counts == {"put": 1, "get": 1}
+
+    def test_fail_queue_raises_then_recovers(self, tmp_path):
+        sim = self.make(tmp_path)
+        sim.put("k", b"v")
+        sim.fail("get", times=2)
+        for _ in range(2):
+            with pytest.raises(TransientBackendError, match="timeout"):
+                sim.get("k")
+        assert sim.get("k") == b"v"  # faults exhausted
+
+    def test_fail_accepts_error_class(self, tmp_path):
+        sim = self.make(tmp_path)
+        sim.fail("get", error=MissingBlobError)
+        with pytest.raises(MissingBlobError):
+            sim.get("k")
+
+    def test_drop_hides_present_blobs(self, tmp_path):
+        sim = self.make(tmp_path)
+        sim.put("blobs/h/files/a", b"v")
+        sim.drop("blobs/h")
+        assert not sim.exists("blobs/h/files/a")
+        assert not sim.tree_exists("blobs/h/files")
+        with pytest.raises(MissingBlobError):
+            sim.get("blobs/h/files/a")
+
+    def test_read_only_mode(self, tmp_path):
+        sim = self.make(tmp_path, read_only=True)
+        assert not sim.writable
+        with pytest.raises(ReadOnlyBackendError, match="read-only"):
+            sim.put("k", b"v")
+
+    def test_latency_is_applied(self, tmp_path):
+        import time
+
+        sim = self.make(tmp_path, latency_per_op={"get": 0.01})
+        sim.put("k", b"v")
+        start = time.monotonic()
+        sim.get("k")
+        assert time.monotonic() - start >= 0.01

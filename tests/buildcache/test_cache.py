@@ -207,3 +207,83 @@ class TestSigning:
         # no trust policy: extraction proceeds (local scratch mirror)
         dest = BuildCache(tmp_path / "cache").extract(h, tmp_path / "out")
         assert (dest / "README").read_text() == "tampered"
+
+
+class TestCorruptEntries:
+    def test_manifest_without_meta_is_a_cache_error(self, zlib, tmp_path):
+        """An entry whose meta.json vanished must surface as a
+        BuildCacheError, not a raw FileNotFoundError, on both the meta
+        and the verify paths."""
+        key = SigningKey.generate("publisher")
+        src = fake_install(tmp_path / "build" / "zlib")
+        cache = BuildCache(tmp_path / "cache", signing_key=key)
+        cache.push(zlib, src)
+        h = zlib.dag_hash()
+        (cache.blobs / h / "meta.json").unlink()
+
+        with pytest.raises(BuildCacheError, match="no metadata"):
+            cache.meta(h)
+
+        trust = TrustStore()
+        trust.trust(key)
+        consumer = BuildCache(tmp_path / "cache", trust=trust)
+        with pytest.raises(BuildCacheError, match="no metadata"):
+            consumer._verify_files(h, {})
+
+    def test_corrupt_meta_json_is_diagnosed(self, zlib, tmp_path):
+        src = fake_install(tmp_path / "build" / "zlib")
+        cache = BuildCache(tmp_path / "cache")
+        cache.push(zlib, src)
+        h = zlib.dag_hash()
+        (cache.blobs / h / "meta.json").write_text("{torn")
+        with pytest.raises(BuildCacheError, match="corrupt metadata"):
+            cache.meta(h)
+
+
+class TestTornPush:
+    def test_interrupted_repush_preserves_previous_entry(
+        self, zlib, tmp_path, monkeypatch
+    ):
+        """The torn-push regression: a re-push dying mid-copy used to
+        leave the old signed manifest over a partial new payload.  The
+        entry now publishes atomically — after the fault the previous
+        entry is intact and still extracts."""
+        from repro.buildcache.backend import LocalFSBackend
+
+        key = SigningKey.generate("publisher")
+        src = fake_install(tmp_path / "build" / "zlib")
+        cache = BuildCache(tmp_path / "cache", signing_key=key)
+        cache.push(zlib, src)
+        h = zlib.dag_hash()
+
+        new_src = fake_install(tmp_path / "build2" / "zlib")
+        (new_src / "EXTRA").write_text("second revision\n")
+
+        real_stage = LocalFSBackend._stage_file
+        calls = {"n": 0}
+
+        def flaky_stage(self, path, data):
+            calls["n"] += 1
+            if calls["n"] == 3:  # die partway through the payload copy
+                raise OSError("connection reset")
+            real_stage(self, path, data)
+
+        monkeypatch.setattr(LocalFSBackend, "_stage_file", flaky_stage)
+        with pytest.raises(OSError, match="connection reset"):
+            cache.push(zlib, new_src)
+        monkeypatch.undo()
+
+        # the old entry is byte-for-byte intact and still verifies
+        trust = TrustStore()
+        trust.trust(key)
+        consumer = BuildCache(tmp_path / "cache", trust=trust)
+        dest = consumer.extract(h, tmp_path / "out")
+        assert (dest / "README").read_text() == "not a binary\n"
+        assert not (dest / "EXTRA").exists()
+
+        # and the re-push completes cleanly afterwards
+        cache.push(zlib, new_src)
+        dest2 = BuildCache(tmp_path / "cache", trust=trust).extract(
+            h, tmp_path / "out2"
+        )
+        assert (dest2 / "EXTRA").read_text() == "second revision\n"

@@ -1,0 +1,288 @@
+"""Mirror-group tests: ordering, fallback, retries, and the install path."""
+
+import shutil
+
+import pytest
+
+import repro.obs as obs
+from repro.buildcache import (
+    BuildCache,
+    BuildCacheError,
+    LocalFSBackend,
+    MirrorGroup,
+    SimulatedRemoteBackend,
+)
+from repro.cli import main
+from repro.concretize import Concretizer
+from repro.installer import Installer
+from repro.obs import metrics
+from repro.repos.mock import make_mock_repo
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+@pytest.fixture()
+def spec(repo):
+    return Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+
+
+def make_cache(repo, spec, root, name, seed_dir):
+    """A populated buildcache holding ``spec``'s full stack."""
+    source = Installer(seed_dir, repo)
+    source.install(spec)
+    cache = BuildCache(root, name=name)
+    source.push_to_cache(cache, spec)
+    cache.save_index()
+    return cache
+
+
+def sim_cache(root, name, **kwargs):
+    """A cache over an existing directory wrapped as a flaky remote."""
+    backend = SimulatedRemoteBackend(LocalFSBackend(root), name=name, **kwargs)
+    return BuildCache(backend=backend, name=name), backend
+
+
+def tree_digest(root) -> dict:
+    digest = {}
+    for path in sorted(p for p in root.rglob("*") if p.is_file()):
+        text = path.read_text().replace(str(root), "@ROOT@")
+        digest[str(path.relative_to(root))] = text
+    return digest
+
+
+class TestMirrorSemantics:
+    def test_first_hit_wins_ordering(self, repo, spec, tmp_path):
+        """Both mirrors hold the hash; the first one serves it."""
+        first = make_cache(repo, spec, tmp_path / "first", "first",
+                           tmp_path / "seed")
+        shutil.copytree(tmp_path / "first", tmp_path / "second")
+        second = BuildCache(tmp_path / "second", name="second")
+        group = MirrorGroup([first, second], backoff=0)
+        obs.reset()
+        payload = group.fetch(spec.dag_hash())
+        assert payload.source == "first"
+        assert metrics.counter("buildcache.mirror_hits.first").value == 1
+        assert metrics.counter("buildcache.mirror_hits.second").value == 0
+
+    def test_index_hit_payload_missing_falls_through(self, repo, spec, tmp_path):
+        """Mirror A indexes the spec but lost the blob (the stale-mirror
+        pathology): the group degrades to B and bumps the fallback
+        counter."""
+        make_cache(repo, spec, tmp_path / "a", "a", tmp_path / "seed")
+        shutil.copytree(tmp_path / "a", tmp_path / "b")
+        shutil.rmtree(tmp_path / "a" / "blobs")
+        a = BuildCache(tmp_path / "a", name="a")
+        b = BuildCache(tmp_path / "b", name="b")
+        group = MirrorGroup([a, b], backoff=0)
+        h = spec.dag_hash()
+        assert h in group  # the index still advertises it
+        obs.reset()
+        payload = group.fetch(h)
+        assert payload.source == "b"
+        assert metrics.counter("buildcache.mirror_fallbacks").value > 0
+        assert metrics.counter("buildcache.mirror_fallbacks.a").value > 0
+        assert metrics.counter("buildcache.mirror_hits.b").value == 1
+
+    def test_read_only_mirror_rejects_push(self, repo, spec, tmp_path):
+        primary = BuildCache(
+            backend=LocalFSBackend(tmp_path / "ro", writable=False),
+            name="ro",
+        )
+        group = MirrorGroup([primary], backoff=0)
+        seed = Installer(tmp_path / "seed", repo)
+        seed.install(spec)
+        with pytest.raises(BuildCacheError, match="read-only"):
+            group.push(spec, seed.database.prefix_of(spec))
+
+    def test_all_specs_union_dedupes_preferring_first(self, repo, spec, tmp_path):
+        """A hash in both mirrors appears once; hashes unique to either
+        mirror all appear."""
+        first = make_cache(repo, spec, tmp_path / "first", "first",
+                           tmp_path / "seed1")
+        shutil.copytree(tmp_path / "first", tmp_path / "second")
+        second = BuildCache(tmp_path / "second", name="second")
+        # give the second mirror one extra spec the first lacks
+        extra = Concretizer(repo).solve(["example@1.1.0 ^openmpi"]).roots[0]
+        seed2 = Installer(tmp_path / "seed2", repo)
+        seed2.install(extra)
+        seed2.push_to_cache(second, extra)
+        second.save_index()
+
+        group = MirrorGroup([first, second], backoff=0)
+        specs = group.all_specs()
+        hashes = [s.dag_hash() for s in specs]
+        assert len(hashes) == len(set(hashes)), "duplicate hash in union"
+        assert set(hashes) == (
+            {n.dag_hash() for n in spec.traverse()}
+            | {n.dag_hash() for n in extra.traverse()}
+        )
+        assert len(group) == len(hashes)
+
+    def test_push_goes_to_primary_only(self, repo, spec, tmp_path):
+        primary = BuildCache(tmp_path / "primary", name="primary")
+        secondary = BuildCache(tmp_path / "secondary", name="secondary")
+        group = MirrorGroup([primary, secondary], backoff=0)
+        seed = Installer(tmp_path / "seed", repo)
+        seed.install(spec)
+        for node in spec.traverse(order="post"):
+            group.push(node, seed.database.prefix_of(node))
+        group.save_index()
+        assert len(primary) == 4
+        assert len(secondary) == 0
+
+    def test_duplicate_labels_rejected(self, tmp_path):
+        a = BuildCache(tmp_path / "x" / "cache", name="same")
+        b = BuildCache(tmp_path / "y" / "cache", name="same")
+        with pytest.raises(BuildCacheError, match="unique"):
+            MirrorGroup([a, b])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(BuildCacheError, match="at least one"):
+            MirrorGroup([])
+
+
+class TestRetryAndDegrade:
+    def test_transient_fault_is_retried_on_same_mirror(self, repo, spec, tmp_path):
+        make_cache(repo, spec, tmp_path / "m", "seedcache", tmp_path / "seed")
+        cache, backend = sim_cache(tmp_path / "m", "flaky")
+        group = MirrorGroup([cache], retries=2, backoff=0)
+        h = spec.dag_hash()
+        backend.fail("get", times=1)  # first meta read times out
+        obs.reset()
+        payload = group.fetch(h)
+        assert payload.source == "flaky"
+        assert metrics.counter("buildcache.mirror_retries.flaky").value >= 1
+        assert metrics.counter("buildcache.mirror_hits.flaky").value == 1
+
+    def test_exhausted_retries_degrade_to_next_mirror(self, repo, spec, tmp_path):
+        make_cache(repo, spec, tmp_path / "m", "seedcache", tmp_path / "seed")
+        flaky, backend = sim_cache(tmp_path / "m", "flaky")
+        shutil.copytree(tmp_path / "m", tmp_path / "good")
+        good = BuildCache(tmp_path / "good", name="good")
+        group = MirrorGroup([flaky, good], retries=1, backoff=0)
+        backend.fail("get", times=50)  # more faults than retries
+        obs.reset()
+        payload = group.fetch(spec.dag_hash())
+        assert payload.source == "good"
+        assert metrics.counter("buildcache.mirror_fallbacks.flaky").value > 0
+
+    def test_every_mirror_failing_raises(self, repo, spec, tmp_path):
+        make_cache(repo, spec, tmp_path / "m", "seedcache", tmp_path / "seed")
+        cache, backend = sim_cache(tmp_path / "m", "flaky")
+        group = MirrorGroup([cache], retries=0, backoff=0)
+        backend.fail("get", times=50)
+        with pytest.raises(BuildCacheError, match="no mirror"):
+            group.fetch(spec.dag_hash())
+
+    def test_unknown_hash_raises_after_all_misses(self, repo, spec, tmp_path):
+        cache = make_cache(repo, spec, tmp_path / "m", "m", tmp_path / "seed")
+        group = MirrorGroup([cache], backoff=0)
+        with pytest.raises(BuildCacheError, match="no mirror"):
+            group.fetch("deadbeef" * 4)
+
+
+class TestMirrorInstallPath:
+    def test_install_through_flaky_two_mirror_group(self, repo, spec, tmp_path):
+        """The CI mirror-smoke scenario: a primary missing its payloads
+        plus a flaky-but-complete secondary still installs everything,
+        through the pipelined fetch path."""
+        make_cache(repo, spec, tmp_path / "full", "full", tmp_path / "seed")
+        shutil.copytree(tmp_path / "full", tmp_path / "empty")
+        shutil.rmtree(tmp_path / "empty" / "blobs")
+        primary = BuildCache(tmp_path / "empty", name="primary")
+        secondary, backend = sim_cache(tmp_path / "full", "secondary")
+        backend.fail("get", times=1)  # one transient timeout mid-run
+        group = MirrorGroup([primary, secondary], retries=2, backoff=0)
+        obs.reset()
+        target = Installer(tmp_path / "store", repo, caches=[group],
+                           fetch_jobs=2)
+        report = target.install(spec)
+        assert not report.built
+        assert len(report.extracted) == 4
+        assert metrics.counter("buildcache.mirror_fallbacks").value > 0
+        assert metrics.counter("buildcache.mirror_hits.secondary").value == 4
+
+    def test_byte_identical_to_single_cache_install(self, repo, spec, tmp_path):
+        """The acceptance criterion: payload only in mirror B installs a
+        byte-identical tree to the single-cache path."""
+        make_cache(repo, spec, tmp_path / "B", "B", tmp_path / "seed")
+        shutil.copytree(tmp_path / "B", tmp_path / "A")
+        shutil.rmtree(tmp_path / "A" / "blobs")
+        a = BuildCache(tmp_path / "A", name="A")
+        b = BuildCache(tmp_path / "B", name="B")
+        group = MirrorGroup([a, b], backoff=0)
+
+        # equal-length store names keep padding-relocation comparable
+        single = Installer(tmp_path / "s1", repo,
+                           caches=[BuildCache(tmp_path / "B", name="B1")])
+        single.install(spec)
+        obs.reset()
+        mirrored = Installer(tmp_path / "s2", repo, caches=[group],
+                             fetch_jobs=2)
+        mirrored.install(spec)
+        assert tree_digest(tmp_path / "s1") == tree_digest(tmp_path / "s2")
+        assert metrics.counter("buildcache.mirror_fallbacks").value > 0
+
+    def test_concretizer_reuses_from_union(self, repo, spec, tmp_path):
+        """Specs only indexed by the secondary mirror still count as
+        reusable for concretization."""
+        cache = make_cache(repo, spec, tmp_path / "full", "full",
+                           tmp_path / "seed")
+        empty = BuildCache(tmp_path / "empty", name="empty")
+        group = MirrorGroup([empty, cache], backoff=0)
+        result = Concretizer(
+            repo, reusable_specs=group.all_specs()
+        ).solve(["example@1.1.0 ^mpich@3.4.3"])
+        assert result.roots[0].dag_hash() == spec.dag_hash()
+
+
+class TestMirrorCLI:
+    def test_install_with_mirror_flags(self, repo, spec, tmp_path, capsys):
+        make_cache(repo, spec, tmp_path / "B", "B", tmp_path / "seed")
+        shutil.copytree(tmp_path / "B", tmp_path / "A")
+        shutil.rmtree(tmp_path / "A" / "blobs")
+        rc = main([
+            "--repo", "mock", "install", "example@1.1.0 ^mpich@3.4.3",
+            "--store", str(tmp_path / "store"),
+            "--mirror", str(tmp_path / "A"),
+            "--mirror", str(tmp_path / "B"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "extracted=4" in out
+
+    def test_mirrors_file(self, repo, spec, tmp_path, capsys):
+        make_cache(repo, spec, tmp_path / "B", "B", tmp_path / "seed")
+        mirrors = tmp_path / "mirrors.txt"
+        mirrors.write_text(
+            "# the public mirror, read-only\n"
+            f"pub={tmp_path / 'B'}:ro\n"
+        )
+        rc = main([
+            "--repo", "mock", "install", "example@1.1.0 ^mpich@3.4.3",
+            "--store", str(tmp_path / "store"),
+            "--cache", str(tmp_path / "scratch"),
+            "--mirrors-file", str(mirrors),
+        ])
+        assert rc == 0
+        assert "extracted=4" in capsys.readouterr().out
+
+    def test_profile_shows_mirror_counters(self, repo, spec, tmp_path, capsys):
+        make_cache(repo, spec, tmp_path / "B", "B", tmp_path / "seed")
+        shutil.copytree(tmp_path / "B", tmp_path / "A")
+        shutil.rmtree(tmp_path / "A" / "blobs")
+        obs.reset()
+        rc = main([
+            "--repo", "mock", "install", "example@1.1.0 ^mpich@3.4.3",
+            "--store", str(tmp_path / "store"),
+            "--mirror", str(tmp_path / "A"),
+            "--mirror", str(tmp_path / "B"),
+            "--profile",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "buildcache.mirror_fallbacks" in out
+        assert "buildcache.mirror_hits.B" in out

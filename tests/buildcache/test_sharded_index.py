@@ -195,6 +195,41 @@ os._exit(9)  # die before save_index(): no atexit, no flush, nothing
         assert restored.dag_hash() == zlib.dag_hash()
         assert reopened.has_payload(zlib.dag_hash())
 
+    def test_save_index_survives_hard_process_kill(self, zlib, tmp_path):
+        """save_index() writes shards + manifest through the fsyncing
+        helper: a process killed immediately after must leave a fully
+        readable index with the journal already folded — never an empty
+        or torn shard (the old rename-without-fsync gap)."""
+        src = tmp_path / "build" / "zlib"
+        (src / "lib").mkdir(parents=True)
+        (src / "lib" / "libzlib.so").write_text("payload")
+        script = f"""
+import os
+from pathlib import Path
+from repro.buildcache import BuildCache, greedy_concretize
+from repro.repos.mock import make_mock_repo
+
+spec = greedy_concretize(make_mock_repo(), "zlib", include_build_deps=False)
+cache = BuildCache({str(tmp_path / "cache")!r})
+cache.push(spec, {str(src)!r})
+cache.save_index()
+os._exit(9)  # die right after the save: no atexit, no flush, nothing
+"""
+        env = dict(os.environ)
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src_dir}:{env.get('PYTHONPATH', '')}"
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 9, proc.stderr
+        # the journal was folded into shards and truncated by the save
+        assert not (tmp_path / "cache" / "journal.jsonl").exists()
+        reopened = BuildCache(tmp_path / "cache")
+        assert reopened._index.journal_entries == 0
+        assert len(reopened) == 1
+        (restored,) = reopened.all_specs()
+        assert restored.dag_hash() == zlib.dag_hash()
+
 
 class TestV1Migration:
     def v1_document(self, count=30):
