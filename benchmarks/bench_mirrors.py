@@ -101,7 +101,25 @@ def mirrors(tmp_path_factory):
     stale_root = ws / "stale"
     shutil.copytree(public_root / "index.d", stale_root / "index.d")
     shutil.copy(public_root / "index.json", stale_root / "index.json")
+    if (public_root / "index.sum.json").exists():
+        shutil.copy(public_root / "index.sum.json", stale_root / "index.sum.json")
     return ws, repo, spec, local_root, public_root, stale_root
+
+
+SMALL_COUNT = max(SPEC_COUNT // 10, 100)  # the 2k leg at default scale
+
+
+@pytest.fixture(scope="module")
+def federation(tmp_path_factory):
+    """Mirror-count / spec-count scaling corpus: one ``SMALL_COUNT``
+    mirror and three more for the 4-mirror union leg."""
+    ws = tmp_path_factory.mktemp("federation")
+    roots = []
+    for i in range(4):
+        root = ws / f"fed{i}"
+        populate(BuildCache(root, name=f"fed{i}"), SMALL_COUNT, f"fed{i}")
+        roots.append(root)
+    return roots
 
 
 def remote_cache(root, name, **kwargs):
@@ -216,6 +234,115 @@ class TestUnionEnumeration:
         _results["union_len_s"] = benchmark.stats.stats.mean
         # real stack (4 specs) + fabricated publics + fabricated locals
         assert count["n"] == SPEC_COUNT + LOCAL_COUNT + 4
+        # CI budget knob: the federated-index smoke job pins a fixed
+        # wall-clock budget; at full scale the default budget is the
+        # acceptance criterion (>= 20x faster than the 741 ms v2-era
+        # union this PR replaces)
+        budget_ms = os.environ.get("REPRO_MIRROR_UNION_BUDGET_MS")
+        if budget_ms is None and SPEC_COUNT >= 20000:
+            budget_ms = "37"
+        if budget_ms is not None:
+            assert _results["union_len_s"] * 1000 <= float(budget_ms), (
+                f"cold union took {_results['union_len_s'] * 1e3:.1f} ms "
+                f"(budget {budget_ms} ms)"
+            )
+
+
+class TestFederatedScaling:
+    """The merged-view claims, measured: warm unions and miss-path
+    lookups stay flat from 1 to 4 mirrors and from SMALL_COUNT to
+    SPEC_COUNT specs, and view-answered negatives cost zero remote
+    round-trips."""
+
+    @staticmethod
+    def _remote_group(roots):
+        caches, backends = [], []
+        for i, root in enumerate(roots):
+            cache, backend = remote_cache(root, f"m{i}")
+            caches.append(cache)
+            backends.append(backend)
+        return MirrorGroup(caches, backoff=0), backends
+
+    def _bench_union(self, benchmark, roots, key):
+        group, _ = self._remote_group(roots)
+        expected = len(group)  # warm the view
+        benchmark.pedantic(
+            lambda: len(group), rounds=5, iterations=20
+        )
+        _results[key] = benchmark.stats.stats.mean
+        assert len(group) == expected
+
+    def _bench_miss(self, benchmark, roots, key):
+        group, backends = self._remote_group(roots)
+        len(group)  # warm the view
+        probes = [
+            hashlib.sha256(f"absent-{i}".encode()).hexdigest()[:32]
+            for i in range(100)
+        ]
+        before = [dict(b.op_counts) for b in backends]
+
+        def misses():
+            for h in probes:
+                assert h not in group
+
+        benchmark.pedantic(misses, rounds=5, iterations=2)
+        _results[key] = benchmark.stats.stats.mean / len(probes)
+        # the acceptance criterion: summary-answered negatives make
+        # zero remote operations of any kind
+        after = [dict(b.op_counts) for b in backends]
+        assert after == before, "negative lookups hit the remote backend"
+
+    def test_union_warm_small(self, benchmark, federation):
+        benchmark.group = "union-scaling"
+        self._bench_union(benchmark, federation[:1], "union_warm_small_s")
+
+    def test_union_warm_full(self, benchmark, mirrors):
+        _, _, _, _, public_root, _ = mirrors
+        benchmark.group = "union-scaling"
+        self._bench_union(benchmark, [public_root], "union_warm_full_s")
+
+    def test_union_warm_4_mirrors(self, benchmark, federation):
+        benchmark.group = "union-scaling"
+        self._bench_union(benchmark, federation, "union_warm_4x_s")
+
+    def test_miss_warm_1_mirror(self, benchmark, federation):
+        benchmark.group = "miss-scaling"
+        self._bench_miss(benchmark, federation[:1], "miss_warm_small_s")
+
+    def test_miss_warm_full(self, benchmark, mirrors):
+        _, _, _, _, public_root, _ = mirrors
+        benchmark.group = "miss-scaling"
+        self._bench_miss(benchmark, [public_root], "miss_warm_full_s")
+
+    def test_miss_warm_4_mirrors(self, benchmark, federation):
+        benchmark.group = "miss-scaling"
+        self._bench_miss(benchmark, federation, "miss_warm_4x_s")
+
+    #: below this, a leg is token-polling noise (a few state_token()
+    #: calls), not scaling behaviour — 7000x under the 741 ms baseline
+    FLAT_FLOOR_S = 100e-6
+
+    def test_scaling_is_flat(self):
+        """Within 2x across both axes (the ISSUE acceptance bars), with
+        an absolute floor so sub-microsecond legs don't turn fixed
+        per-mirror token checks into a fake scaling signal."""
+        for small, big in (
+            ("union_warm_small_s", "union_warm_full_s"),
+            ("union_warm_small_s", "union_warm_4x_s"),
+            ("miss_warm_small_s", "miss_warm_full_s"),
+            ("miss_warm_small_s", "miss_warm_4x_s"),
+        ):
+            if small not in _results or big not in _results:
+                pytest.skip("scaling legs did not run")
+            ratio = _results[big] / max(_results[small], 1e-9)
+            _results[f"ratio_{big.removesuffix('_s')}"] = round(ratio, 3)
+            assert (
+                _results[big] < max(2.0 * _results[small], self.FLAT_FLOOR_S)
+            ), (
+                f"{big} is {ratio:.2f}x {small} "
+                f"({_results[big] * 1e6:.1f} us) — the merged view is "
+                "not flat across this axis"
+            )
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -233,6 +360,12 @@ def report_at_end(mirrors):
         "fetch_fallback_s": "stale->public",
         "fetch_retry_s": "public",
         "union_len_s": "local+public",
+        "union_warm_small_s": f"1 mirror x {SMALL_COUNT}",
+        "union_warm_full_s": f"1 mirror x {SPEC_COUNT}",
+        "union_warm_4x_s": f"4 mirrors x {SMALL_COUNT}",
+        "miss_warm_small_s": f"1 mirror x {SMALL_COUNT}",
+        "miss_warm_full_s": f"1 mirror x {SPEC_COUNT}",
+        "miss_warm_4x_s": f"4 mirrors x {SMALL_COUNT}",
     }
     for key, mirror in phase_mirror.items():
         if key in _results:
@@ -249,6 +382,15 @@ def report_at_end(mirrors):
         )
     report.headline("spec_count", SPEC_COUNT)
     report.headline("latency_ms", LATENCY_S * 1000)
+    if "union_len_s" in _results and SPEC_COUNT >= 20000:
+        # the v2-era cold union of this pair measured 741.2113 ms
+        report.headline(
+            "union_speedup_vs_v2",
+            round(0.7412113 / max(_results["union_len_s"], 1e-9), 1),
+        )
+    for key, value in sorted(_results.items()):
+        if key.startswith("ratio_"):
+            report.headline(key, value)
     if "fetch_direct_s" in _results and "fetch_fallback_s" in _results:
         report.headline(
             "fallback_overhead_ms",

@@ -38,6 +38,14 @@ from .generate import (
 from .index import IndexFormatError, ShardedIndex
 from .mirror import MirrorGroup
 from .signing import SignatureError
+from .summary import (
+    BloomSummary,
+    ShardSummary,
+    SortedHashSummary,
+    SummaryFormatError,
+    build_summary,
+    summary_from_document,
+)
 
 __all__ = [
     "BuildCache",
@@ -45,6 +53,12 @@ __all__ = [
     "CachedPayload",
     "ShardedIndex",
     "IndexFormatError",
+    "ShardSummary",
+    "SortedHashSummary",
+    "BloomSummary",
+    "SummaryFormatError",
+    "build_summary",
+    "summary_from_document",
     "BackendError",
     "MissingBlobError",
     "TransientBackendError",

@@ -185,6 +185,36 @@ class BuildCache:
     def __iter__(self):
         return self._index.spec_hashes()
 
+    @property
+    def manifest_digest(self) -> Optional[str]:
+        """The index's v3 manifest digest (None for v1/v2 indexes)."""
+        return self._index.manifest_digest
+
+    def state_token(self):
+        """Cheap in-memory token that changes whenever this cache's
+        index content may have changed (pushes, saves, refreshes) —
+        what :class:`~repro.buildcache.mirror.MirrorGroup` keys its
+        cached merged view on."""
+        return self._index.state_token()
+
+    def spec_hash_set(self) -> frozenset:
+        """The exact set of indexed spec hashes.  Served from the
+        index's summary sidecar when it can prove the answer (zero
+        shard reads); otherwise falls back to the full shard walk."""
+        hashes = self._index.spec_hash_set()
+        if hashes is None:
+            hashes = frozenset(self._index.spec_hashes())
+        return hashes
+
+    def refresh_index(self) -> int:
+        """Pick up another writer's ``save_index`` without reopening:
+        delta-reloads only the shards whose manifest digests changed.
+        Returns the number of shards invalidated (0 = unchanged)."""
+        changed = self._index.refresh()
+        if changed:
+            self._materialized.clear()
+        return changed
+
     def has_payload(self, dag_hash: str) -> bool:
         """Is the binary payload itself present (not just indexed)?"""
         return self.backend.tree_exists(f"{self._entry_key(dag_hash)}/files")
@@ -212,6 +242,12 @@ class BuildCache:
         shard (single-spec consumers should use ``in`` + ``meta``).
         """
         return [self._materialize(h) for h in self._index.spec_hashes()]
+
+    def materialize_spec(self, dag_hash: str) -> Spec:
+        """Reconstruct one indexed spec as a concrete DAG (the per-hash
+        slice of :meth:`all_specs`; memoized, loads only the shards the
+        DAG's hashes live in)."""
+        return self._materialize(dag_hash)
 
     def _materialize(self, dag_hash: str) -> Spec:
         spec = self._materialized.get(dag_hash)

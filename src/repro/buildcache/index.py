@@ -1,9 +1,9 @@
-"""Sharded, journaled buildcache index (format v2).
+"""Sharded, journaled, summarized buildcache index (format v3).
 
 The paper's public cache holds ~20k specs.  A monolithic ``index.json``
 pays two quadratic-ish costs at that scale: every ``save_index`` rewrites
 the whole document, and every open re-parses all of it even when the
-consumer only asks about one hash.  Format v2 splits the index three ways:
+consumer only asks about one hash.  Format v2 split the index three ways:
 
 * ``index.json`` — a small *manifest of shards*: format version, shard
   width, and per-shard spec counts.  Opening a cache parses only this.
@@ -17,11 +17,33 @@ consumer only asks about one hash.  Format v2 splits the index three ways:
   and truncates it.  A process killed between ``push`` and
   ``save_index`` loses nothing: the journal is replayed on open.
 
-v1 monolithic indexes are read transparently (everything loads into
-memory, exactly the old behaviour) and migrate to v2 on the next
-``save``.  Setting ``REPRO_BUILDCACHE_WRITE_V1=1`` forces ``save`` to
-emit the old monolithic format — the CI migration leg runs the whole
-suite under it to keep the v1 read path green.
+Format v3 adds the *federated-mirror* layer on top (ROADMAP "kill the
+741 ms union"): negative lookups and union enumeration must not walk
+every shard of every mirror.
+
+* Every shard gets a **content digest** (sha256 of its canonical
+  document) recorded in the manifest, and the manifest itself gets a
+  **manifest digest** over the sorted per-shard digests.  A mirror
+  whose manifest digest is unchanged provably has unchanged content —
+  consumers (``MirrorGroup``, :meth:`ShardedIndex.refresh`) never
+  re-walk it, and a changed mirror reloads only the shards whose
+  digests moved.
+* ``index.sum.json`` — a per-shard **summary** sidecar (sorted-hash
+  table by default, optionally a Bloom filter; see
+  :mod:`repro.buildcache.summary`) written atomically alongside
+  ``index.json`` and stamped with the manifest digest.  Negative
+  lookups are answered from the summary in O(1) without loading any
+  shard; with the exact (sorted, full-hash) kind the whole spec-hash
+  set enumerates from the summary alone, so a mirror union never
+  parses a shard.  A summary whose digest does not match the manifest
+  (a crash between the two writes, or a foreign writer) is ignored —
+  summaries make lookups faster, never wrong.
+
+v1 monolithic and v2 digest-less manifests are read transparently and
+migrate to v3 on the next ``save``.  ``REPRO_BUILDCACHE_WRITE_V2=1``
+forces ``save`` to emit digest-less v2 (and drop the summary sidecar);
+``REPRO_BUILDCACHE_WRITE_V1=1`` still emits the original monolith —
+the CI compat legs run the suite under both knobs.
 
 Entries in a shard are keyed by *their own* hash prefix: spec documents
 under the spec's ``dag_hash``, build-spec provenance documents under the
@@ -33,18 +55,20 @@ All persistence goes through a :class:`~repro.buildcache.backend.
 StorageBackend` (``ShardedIndex(path)`` wraps the path in a
 :class:`~repro.buildcache.backend.LocalFSBackend`), so the same index
 logic serves a local directory, a simulated flaky remote, or any
-future S3/HTTP-style backend unchanged.  Shard and manifest writes use
-the backend's atomic+durable ``put`` (tmp write, fsync, rename, dir
-fsync) — matching the durability the fsynced journal always had.
+future S3/HTTP-style backend unchanged.  Shard, summary, and manifest
+writes use the backend's atomic+durable ``put`` (tmp write, fsync,
+rename, dir fsync) — matching the durability the fsynced journal
+always had.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Set, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..obs import metrics, trace
 from .backend import (
@@ -55,6 +79,13 @@ from .backend import (
     StorageBackend,
     TransientBackendError,
 )
+from .summary import (
+    ShardSummary,
+    SummaryFormatError,
+    build_summary,
+    summary_from_document,
+    summary_kind_from_env,
+)
 
 __all__ = [
     "ShardedIndex",
@@ -62,13 +93,15 @@ __all__ = [
     "IndexFormatError",
     "INDEX_VERSION",
     "SHARD_WIDTH",
+    "SUMMARY_NAME",
 ]
 
-INDEX_VERSION = 2
+INDEX_VERSION = 3
 SHARD_WIDTH = 2  # hex chars of dag_hash per shard -> 256 shards
 INDEX_NAME = "index.json"
 SHARD_DIR = "index.d"
 JOURNAL_NAME = "journal.jsonl"
+SUMMARY_NAME = "index.sum.json"
 
 #: the three entry tables every shard (and journal record) carries
 _TABLES = ("specs", "build_specs", "external_prefixes")
@@ -76,6 +109,10 @@ _TABLES = ("specs", "build_specs", "external_prefixes")
 
 class IndexFormatError(BuildCacheError):
     """Raised for corrupt or unsupported index documents."""
+
+
+def _canonical(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True, indent=1).encode()
 
 
 class _Shard:
@@ -98,6 +135,15 @@ class _Shard:
     def is_empty(self) -> bool:
         return not (self.specs or self.build_specs or self.external_prefixes)
 
+    def reset(self) -> None:
+        """Drop parsed content (delta reload of an externally changed
+        shard); only valid for clean shards — a dirty shard's tables
+        carry journal overlay entries that must survive."""
+        self.specs = {}
+        self.build_specs = {}
+        self.external_prefixes = {}
+        self.loaded = False
+
     def to_document(self) -> dict:
         return {
             "specs": self.specs,
@@ -107,13 +153,15 @@ class _Shard:
 
 
 class ShardedIndex:
-    """The buildcache's spec index: sharded storage + push journal.
+    """The buildcache's spec index: sharded storage + push journal +
+    per-shard summaries.
 
     All reads go through per-hash accessors so only the shards hosting
-    the requested hashes are parsed; ``load_all`` exists for the
-    full-enumeration consumers (``all_specs``, ``__iter__``).  Thread
-    safe: the parallel installer's fetch workers probe ``has_spec``
-    concurrently.
+    the requested hashes are parsed; negative ``has_spec`` probes are
+    answered from the summary sidecar without touching any shard, and
+    ``load_all`` remains for consumers that need full documents.
+    Thread safe: the parallel installer's fetch workers probe
+    ``has_spec`` concurrently.
     """
 
     def __init__(self, root: Union[Path, str, StorageBackend]):
@@ -130,10 +178,21 @@ class ShardedIndex:
         #: per-shard spec counts from the manifest (authoritative for
         #: unloaded shards; loaded shards are counted directly)
         self._manifest_counts: Dict[str, int] = {}
+        #: per-shard content digests from a v3 manifest
+        self._shard_digests: Dict[str, str] = {}
+        #: the v3 manifest digest (None for v1/v2 indexes)
+        self._manifest_digest: Optional[str] = None
         #: shard prefixes that exist on disk (from the manifest)
         self._on_disk: Set[str] = set()
         #: True once every on-disk shard has been parsed
         self._fully_loaded = False
+        #: parsed summary sidecar: None = not loaded yet, {} = absent/
+        #: stale/disabled, else prefix -> ShardSummary
+        self._summaries: Optional[Dict[str, ShardSummary]] = None
+        #: monotonic in-memory change counter: bumped by every push,
+        #: save, and refresh so :meth:`state_token` changes whenever a
+        #: cached merged view over this index could be stale
+        self._revision = 0
         self._journal_entries = 0
         self._load()
 
@@ -154,6 +213,24 @@ class ShardedIndex:
         return (
             self.root / JOURNAL_NAME if self.root else f"{self._desc}/{JOURNAL_NAME}"
         )
+
+    @property
+    def manifest_digest(self) -> Optional[str]:
+        """The v3 manifest digest (None for v1/v2 on-disk formats)."""
+        return self._manifest_digest
+
+    def state_token(self) -> Tuple[Optional[str], int]:
+        """A cheap, in-memory token that changes whenever this index's
+        visible content may have changed: (manifest digest, revision).
+
+        The revision half covers in-process mutation (``record_push``
+        without ``save``: the journal overlay changes what lookups see
+        long before any manifest digest moves); the digest half covers
+        cross-process change picked up by :meth:`refresh`.  Merged-view
+        caches key on this tuple — an unchanged token means a cached
+        view is still exact.
+        """
+        return (self._manifest_digest, self._revision)
 
     @staticmethod
     def _shard_key(prefix: str) -> str:
@@ -193,18 +270,18 @@ class ShardedIndex:
         version = data.get("version")
         if version == 1:
             self._load_v1(data)
-        elif version == INDEX_VERSION:
+        elif version in (2, INDEX_VERSION):
             self._load_manifest(data)
         else:
             raise IndexFormatError(
                 f"buildcache index version {version!r} is not supported "
-                f"(expected 1 or {INDEX_VERSION})"
+                f"(expected 1, 2, or {INDEX_VERSION})"
             )
         self._replay_journal()
 
     def _load_v1(self, data: dict) -> None:
         """Read a monolithic v1 index into memory (transparent migrate:
-        every shard becomes loaded + dirty, so the next save writes v2)."""
+        every shard becomes loaded + dirty, so the next save writes v3)."""
         with trace.span("buildcache.index_migrate", cache=self._desc) as sp:
             for table, key_kind in (
                 ("specs", "specs"),
@@ -221,17 +298,27 @@ class ShardedIndex:
             sp.set(specs=self.spec_count(), shards=len(self._shards))
         metrics.inc("buildcache.v1_migrations")
 
+    @staticmethod
+    def _parse_manifest_shards(data: dict, where) -> dict:
+        shards = data.get("shards", {})
+        if not isinstance(shards, dict):
+            raise IndexFormatError(
+                f"corrupt buildcache manifest at {where}: "
+                "'shards' is not an object"
+            )
+        return shards
+
     def _load_manifest(self, data: dict) -> None:
         with trace.span("buildcache.manifest_load", cache=self._desc) as sp:
-            shards = data.get("shards", {})
-            if not isinstance(shards, dict):
-                raise IndexFormatError(
-                    f"corrupt buildcache manifest at {self.manifest_path}: "
-                    "'shards' is not an object"
-                )
+            shards = self._parse_manifest_shards(data, self.manifest_path)
             for prefix, entry in shards.items():
                 self._on_disk.add(prefix)
                 self._manifest_counts[prefix] = int(entry.get("specs", 0))
+                digest = entry.get("digest")
+                if digest:
+                    self._shard_digests[prefix] = str(digest)
+            if data.get("version") == INDEX_VERSION:
+                self._manifest_digest = data.get("digest") or None
             self._fully_loaded = not self._on_disk
             sp.set(shards=len(self._on_disk), specs=sum(self._manifest_counts.values()))
 
@@ -263,6 +350,8 @@ class ShardedIndex:
                 self._apply_record(record, mark_dirty=True)
                 entries += 1
             self._journal_entries = entries
+            if entries:
+                self._revision += 1
             sp.set(entries=entries)
         metrics.inc("buildcache.journal_replays")
 
@@ -273,6 +362,89 @@ class ShardedIndex:
                 shard.table(table)[key] = value
                 if mark_dirty:
                     shard.dirty = True
+
+    # ------------------------------------------------------------------
+    # delta refresh: pick up another writer's save without a reopen
+    # ------------------------------------------------------------------
+    def refresh(self) -> int:
+        """Re-read the manifest and invalidate only changed shards.
+
+        Returns the number of shards whose cached state was dropped
+        (0 = the manifest digest was unchanged, nothing was re-walked).
+        Dirty shards (journal overlay entries) are never reset — their
+        overlay re-merges over the fresh on-disk document on the next
+        lazy load.  v1 monoliths have no manifest to diff and are left
+        alone (reopen to pick up external changes).
+        """
+        with self._lock:
+            try:
+                data = json.loads(self.backend.get(INDEX_NAME))
+            except MissingBlobError:
+                return 0
+            except TransientBackendError:
+                raise
+            except (BackendError, json.JSONDecodeError) as e:
+                raise IndexFormatError(
+                    f"corrupt buildcache index at {self.manifest_path}: {e}"
+                ) from e
+            if not isinstance(data, dict) or data.get("version") == 1:
+                return 0
+            version = data.get("version")
+            if version not in (2, INDEX_VERSION):
+                raise IndexFormatError(
+                    f"buildcache index version {version!r} is not supported "
+                    f"(expected 1, 2, or {INDEX_VERSION})"
+                )
+            new_digest = data.get("digest") if version == INDEX_VERSION else None
+            if new_digest is not None and new_digest == self._manifest_digest:
+                return 0  # provably unchanged: zero shard work
+            shards = self._parse_manifest_shards(data, self.manifest_path)
+            new_counts = {p: int(e.get("specs", 0)) for p, e in shards.items()}
+            new_digests = {
+                p: str(e["digest"]) for p, e in shards.items() if e.get("digest")
+            }
+            if new_digests or self._shard_digests:
+                changed = {
+                    p
+                    for p in set(new_digests) | set(self._shard_digests)
+                    if new_digests.get(p) != self._shard_digests.get(p)
+                }
+            else:
+                # v2 manifests carry no digests: fall back to diffing
+                # counts + presence (count-preserving rewrites of a
+                # shard are invisible here — one reason v3 exists)
+                changed = {
+                    p
+                    for p in set(new_counts) | set(self._manifest_counts)
+                    if new_counts.get(p) != self._manifest_counts.get(p)
+                }
+            if not changed and new_digest == self._manifest_digest:
+                return 0
+            with trace.span(
+                "buildcache.index_refresh", cache=self._desc
+            ) as sp:
+                dropped = 0
+                for prefix in changed:
+                    shard = self._shards.get(prefix)
+                    if shard is None or shard.dirty:
+                        continue  # never parsed, or overlay re-merges
+                    if shard.loaded:
+                        shard.reset()
+                        dropped += 1
+                self._on_disk = set(shards)
+                self._manifest_counts = new_counts
+                self._shard_digests = new_digests
+                self._manifest_digest = new_digest
+                self._summaries = None  # sidecar re-validated lazily
+                self._fully_loaded = all(
+                    p in self._shards and self._shards[p].loaded
+                    for p in self._on_disk
+                )
+                self._revision += 1
+                sp.set(changed=len(changed), dropped=dropped)
+            metrics.inc("buildcache.index_refreshes")
+            metrics.inc("buildcache.shards_invalidated", len(changed))
+            return len(changed)
 
     # ------------------------------------------------------------------
     # lazy shard loading
@@ -310,7 +482,7 @@ class ShardedIndex:
         metrics.inc("buildcache.shard_loads")
 
     def load_all(self) -> None:
-        """Parse every on-disk shard (full-enumeration consumers only)."""
+        """Parse every on-disk shard (full-document consumers only)."""
         with self._lock:
             if self._fully_loaded:
                 return
@@ -323,10 +495,88 @@ class ShardedIndex:
             self._fully_loaded = True
 
     # ------------------------------------------------------------------
+    # summary sidecar
+    # ------------------------------------------------------------------
+    def _load_summaries(self) -> Dict[str, ShardSummary]:
+        """The parsed summary sidecar, or ``{}`` when unusable.
+
+        Unusable covers: no v3 manifest digest to validate against, the
+        sidecar is absent, its digest does not match the manifest (a
+        crash between the sidecar and manifest writes, or a foreign
+        writer), or it fails to parse.  All of those degrade to the
+        plain shard-read path — a summary is an accelerator, never an
+        authority the shard documents don't confirm.
+        """
+        with self._lock:
+            if self._summaries is not None:
+                return self._summaries
+            self._summaries = {}
+            if self._manifest_digest is None:
+                return self._summaries
+            try:
+                data = json.loads(self.backend.get(SUMMARY_NAME))
+            except MissingBlobError:
+                return self._summaries
+            except TransientBackendError:
+                raise
+            except (BackendError, json.JSONDecodeError):
+                metrics.inc("buildcache.summary_corrupt")
+                return self._summaries
+            with trace.span("buildcache.summary_load", cache=self._desc) as sp:
+                if (
+                    not isinstance(data, dict)
+                    or data.get("digest") != self._manifest_digest
+                ):
+                    metrics.inc("buildcache.summary_stale")
+                    sp.set(stale=True)
+                    return self._summaries
+                parsed: Dict[str, ShardSummary] = {}
+                try:
+                    for prefix, document in dict(data.get("shards", {})).items():
+                        parsed[prefix] = summary_from_document(document)
+                except (SummaryFormatError, AttributeError, TypeError):
+                    metrics.inc("buildcache.summary_corrupt")
+                    return self._summaries
+                self._summaries = parsed
+                sp.set(shards=len(parsed))
+            return self._summaries
+
+    def summary_probe(self, dag_hash: str) -> Optional[bool]:
+        """What the summary says about ``dag_hash``: ``False`` =
+        provably absent from the shard's saved content, ``True`` =
+        maybe present (confirm with a shard read), ``None`` = no usable
+        summary for that shard."""
+        prefix = self.shard_prefix(dag_hash)
+        summaries = self._load_summaries()
+        entry = summaries.get(prefix)
+        if entry is None:
+            return None
+        return entry.contains(dag_hash)
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
     def has_spec(self, dag_hash: str) -> bool:
-        return self.get_spec(dag_hash) is not None
+        prefix = self.shard_prefix(dag_hash)
+        with self._lock:
+            shard = self._shards.get(prefix)
+            if shard is not None:
+                if dag_hash in shard.specs:
+                    return True
+                if shard.loaded:
+                    return False
+            if prefix not in self._on_disk:
+                return False
+        # the shard exists on disk but is not parsed: let the summary
+        # answer the (common) negative case without any shard read
+        verdict = self.summary_probe(dag_hash)
+        if verdict is False:
+            metrics.inc("buildcache.summary_hits")
+            return False
+        present = self.get_spec(dag_hash) is not None
+        if verdict is True and not present:
+            metrics.inc("buildcache.summary_false_positives")
+        return present
 
     def get_spec(self, dag_hash: str) -> Optional[dict]:
         shard = self._ensure_loaded(dag_hash)
@@ -357,14 +607,48 @@ class ShardedIndex:
                     total += self._manifest_counts.get(prefix, 0)
             return total
 
-    def spec_hashes(self) -> Iterator[str]:
-        """All indexed spec hashes (parses every shard)."""
-        self.load_all()
+    def spec_hash_set(self) -> Optional[frozenset]:
+        """The exact set of indexed spec hashes without parsing shards,
+        or ``None`` when the summaries cannot prove it.
+
+        The set is the union of every in-memory shard's spec table
+        (loaded content and journal overlay entries alike — this is
+        what keeps ``len(group)`` exact after a ``push`` that has not
+        been ``save_index``-ed) and, for every still-unparsed on-disk
+        shard, that shard's *enumerable* summary.  One non-enumerable
+        shard (Bloom summaries, missing sidecar) means the answer
+        would be a guess, so the caller gets ``None`` and falls back
+        to :meth:`spec_hashes`' full walk.
+        """
         with self._lock:
-            hashes = sorted(
-                h for shard in self._shards.values() for h in shard.specs
-            )
-        return iter(hashes)
+            hashes: Set[str] = set()
+            for shard in self._shards.values():
+                hashes.update(shard.specs)
+            if self._fully_loaded:
+                return frozenset(hashes)
+            summaries = self._load_summaries()
+            for prefix in self._on_disk:
+                shard = self._shards.get(prefix)
+                if shard is not None and shard.loaded:
+                    continue
+                entry = summaries.get(prefix)
+                if entry is None or not entry.enumerable:
+                    return None
+                hashes.update(entry.hashes())
+            metrics.inc("buildcache.summary_enumerations")
+            return frozenset(hashes)
+
+    def spec_hashes(self) -> Iterator[str]:
+        """All indexed spec hashes, served from the exact summary when
+        one exists (zero shard reads) and a full shard walk otherwise."""
+        hashes = self.spec_hash_set()
+        if hashes is None:
+            self.load_all()
+            with self._lock:
+                hashes = frozenset(
+                    h for shard in self._shards.values() for h in shard.specs
+                )
+        return iter(sorted(hashes))
 
     # ------------------------------------------------------------------
     # writes
@@ -388,50 +672,153 @@ class ShardedIndex:
             with trace.span("buildcache.journal_append") as sp:
                 self.backend.append_line(JOURNAL_NAME, line.encode())
                 self._journal_entries += 1
+                self._revision += 1
                 sp.set(bytes=len(line))
         metrics.inc("buildcache.journal_appends")
 
     def save(self) -> int:
         """Fold the journal into shards, write dirty shards atomically,
-        rewrite the manifest, and truncate the journal.
+        rewrite the summary sidecar and manifest, and truncate the
+        journal.
 
-        Returns the number of shard files written.  With the
-        ``REPRO_BUILDCACHE_WRITE_V1`` env knob set, emits the old
-        monolithic v1 document instead (the CI migration leg).
+        Returns the number of shard files written.  The
+        ``REPRO_BUILDCACHE_WRITE_V2`` env knob emits the digest-less v2
+        manifest (no summary sidecar) and ``REPRO_BUILDCACHE_WRITE_V1``
+        the original monolith — the CI compat legs.
         """
         if os.environ.get("REPRO_BUILDCACHE_WRITE_V1"):
             return self._save_v1()
+        if os.environ.get("REPRO_BUILDCACHE_WRITE_V2"):
+            return self._save_v2()
+        return self._save_v3()
+
+    def _write_dirty_shards(self) -> int:
+        """Fold + write every dirty shard; returns shards written and
+        records fresh content digests for them."""
+        written = 0
+        for prefix in sorted(self._shards):
+            shard = self._shards[prefix]
+            if not shard.dirty:
+                continue
+            if not shard.loaded and prefix in self._on_disk:
+                self._load_shard(shard)  # merge under the overlay
+            with trace.span("buildcache.shard_save", shard=prefix) as sp:
+                payload = _canonical(shard.to_document())
+                self.backend.put(self._shard_key(prefix), payload)
+                sp.set(specs=len(shard.specs), bytes=len(payload))
+            shard.dirty = False
+            shard.loaded = True
+            self._on_disk.add(prefix)
+            self._manifest_counts[prefix] = len(shard.specs)
+            self._shard_digests[prefix] = hashlib.sha256(payload).hexdigest()
+            written += 1
+            metrics.inc("buildcache.shard_saves")
+        return written
+
+    def _save_v3(self) -> int:
         with self._lock:
-            written = 0
-            for prefix in sorted(self._shards):
-                shard = self._shards[prefix]
-                if not shard.dirty:
+            previous_summaries = self._load_summaries()
+            written = self._write_dirty_shards()
+            # v2 -> v3 migration: clean on-disk shards have no recorded
+            # digest, so read them once to digest (and summarize) their
+            # canonical content
+            for prefix in sorted(self._on_disk):
+                if prefix in self._shard_digests:
                     continue
-                if not shard.loaded and prefix in self._on_disk:
-                    self._load_shard(shard)  # merge under the overlay
-                with trace.span("buildcache.shard_save", shard=prefix) as sp:
-                    payload = json.dumps(
-                        shard.to_document(), sort_keys=True, indent=1
-                    ).encode()
-                    self.backend.put(self._shard_key(prefix), payload)
-                    sp.set(specs=len(shard.specs), bytes=len(payload))
-                shard.dirty = False
-                self._on_disk.add(prefix)
+                shard = self._shards.get(prefix)
+                if shard is None:
+                    shard = self._shards[prefix] = _Shard(prefix)
+                if not shard.loaded:
+                    self._load_shard(shard)
+                payload = _canonical(shard.to_document())
+                self._shard_digests[prefix] = hashlib.sha256(payload).hexdigest()
                 self._manifest_counts[prefix] = len(shard.specs)
-                written += 1
-                metrics.inc("buildcache.shard_saves")
+
+            manifest_digest = self._digest_of(self._shard_digests)
+            kind = summary_kind_from_env()
+            if kind is None:
+                self.backend.delete(SUMMARY_NAME)
+                self._summaries = {}
+            else:
+                summaries: Dict[str, ShardSummary] = {}
+                for prefix in sorted(self._on_disk):
+                    shard = self._shards.get(prefix)
+                    if shard is not None and shard.loaded:
+                        summaries[prefix] = build_summary(shard.specs, kind)
+                        continue
+                    # clean, unparsed shard: its digest is unchanged, so
+                    # the previous sidecar entry (same kind) still holds
+                    previous = previous_summaries.get(prefix)
+                    if previous is not None and previous.kind == kind:
+                        summaries[prefix] = previous
+                        continue
+                    shard = self._shards.setdefault(prefix, _Shard(prefix))
+                    self._load_shard(shard)
+                    summaries[prefix] = build_summary(shard.specs, kind)
+                with trace.span(
+                    "buildcache.summary_save", cache=self._desc
+                ) as sp:
+                    sidecar = {
+                        "version": INDEX_VERSION,
+                        "digest": manifest_digest,
+                        "kind": kind,
+                        "shards": {
+                            prefix: summary.to_document()
+                            for prefix, summary in summaries.items()
+                        },
+                    }
+                    payload = _canonical(sidecar)
+                    self.backend.put(SUMMARY_NAME, payload)
+                    sp.set(shards=len(summaries), bytes=len(payload))
+                self._summaries = summaries
+                metrics.inc("buildcache.summary_saves")
+
             manifest = {
                 "version": INDEX_VERSION,
+                "shard_width": SHARD_WIDTH,
+                "digest": manifest_digest,
+                "shards": {
+                    prefix: {
+                        "specs": self._manifest_counts.get(prefix, 0),
+                        "digest": self._shard_digests[prefix],
+                    }
+                    for prefix in sorted(self._on_disk)
+                },
+            }
+            self.backend.put(INDEX_NAME, _canonical(manifest))
+            self._manifest_digest = manifest_digest
+            self._revision += 1
+            self._truncate_journal()
+            return written
+
+    @staticmethod
+    def _digest_of(shard_digests: Dict[str, str]) -> str:
+        lines = "\n".join(
+            f"{prefix}:{digest}" for prefix, digest in sorted(shard_digests.items())
+        )
+        return hashlib.sha256(lines.encode()).hexdigest()
+
+    def _save_v2(self) -> int:
+        """Write the digest-less v2 manifest (env-gated compat path for
+        readers that predate format v3; drops the summary sidecar)."""
+        with self._lock:
+            written = self._write_dirty_shards()
+            manifest = {
+                "version": 2,
                 "shard_width": SHARD_WIDTH,
                 "shards": {
                     prefix: {"specs": self._manifest_counts.get(prefix, 0)}
                     for prefix in sorted(self._on_disk)
                 },
             }
-            self.backend.put(
-                INDEX_NAME,
-                json.dumps(manifest, sort_keys=True, indent=1).encode(),
-            )
+            self.backend.put(INDEX_NAME, _canonical(manifest))
+            self.backend.delete(SUMMARY_NAME)
+            # digests were computed as a side effect of writing; a v2
+            # manifest must not advertise v3 state
+            self._shard_digests.clear()
+            self._manifest_digest = None
+            self._summaries = {}
+            self._revision += 1
             self._truncate_journal()
             return written
 
@@ -444,17 +831,19 @@ class ShardedIndex:
             for shard in self._shards.values():
                 for table in _TABLES:
                     document[table].update(shard.table(table))
-            self.backend.put(
-                INDEX_NAME,
-                json.dumps(document, sort_keys=True, indent=1).encode(),
-            )
+            self.backend.put(INDEX_NAME, _canonical(document))
+            self.backend.delete(SUMMARY_NAME)
             # the monolith subsumes the journal; shard files, if any,
             # are ignored by the v1 read path and rewritten on the next
-            # v2 save (every shard stays marked dirty)
+            # v3 save (every shard stays marked dirty)
             for shard in self._shards.values():
                 shard.dirty = True
             self._on_disk.clear()
             self._manifest_counts.clear()
+            self._shard_digests.clear()
+            self._manifest_digest = None
+            self._summaries = {}
+            self._revision += 1
             self._truncate_journal()
             return 1
 

@@ -37,7 +37,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .binary.discovery import discover_provider_splices
-from .buildcache import BuildCache, LocalFSBackend, MirrorGroup
+from .buildcache import BuildCache, BuildCacheError, LocalFSBackend, MirrorGroup
 from .concretize import Concretizer, UnsatisfiableError
 from .installer import InstallError, Installer
 from .obs import (
@@ -54,6 +54,12 @@ from .spec import tree
 from .spec.diff import diff_specs
 
 __all__ = ["main"]
+
+
+class CLIError(Exception):
+    """A user-input problem: reported as one line on stderr, exit 2 —
+    never a traceback (tracebacks are for bugs, not for a typo'd
+    mirror path)."""
 
 
 def _load_repo(name: str) -> Repository:
@@ -83,7 +89,7 @@ def _parse_mirror(entry: str):
         name, entry = entry.split("=", 1)
         name = name.strip()
     if not entry:
-        raise SystemExit(f"invalid mirror entry {entry!r}")
+        raise CLIError(f"invalid mirror entry {entry!r}")
     return name, entry.strip(), read_only
 
 
@@ -94,6 +100,12 @@ def _open_caches(args) -> list:
     holding a :class:`MirrorGroup` (first entry = primary write
     target), so the installer and concretizer see one cache object
     either way.
+
+    User mistakes — an unreadable mirrors file, two mirrors explicitly
+    given the same name, a corrupt index manifest — raise
+    :class:`CLIError` (one line, exit 2).  Labels *derived* from
+    directory basenames are uniquified with ``-2``-style suffixes
+    instead: ``--mirror a/cache --mirror b/cache`` is legitimate.
     """
     entries = []
     if getattr(args, "cache", None):
@@ -102,21 +114,36 @@ def _open_caches(args) -> list:
         entries.append(_parse_mirror(raw))
     mirrors_file = getattr(args, "mirrors_file", None)
     if mirrors_file:
-        for line in Path(mirrors_file).read_text().splitlines():
+        try:
+            listing = Path(mirrors_file).read_text()
+        except OSError as e:
+            raise CLIError(f"cannot read mirrors file {mirrors_file}: {e}")
+        for line in listing.splitlines():
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             entries.append(_parse_mirror(line))
     caches = []
     used: set = set()
+    explicit: set = set()
     for name, path, read_only in entries:
+        if name is not None:
+            if name in explicit:
+                raise CLIError(
+                    f"duplicate mirror label {name!r} (every NAME= label "
+                    "must be unique)"
+                )
+            explicit.add(name)
         label = name or Path(path).name or str(path)
         base, n = label, 2
         while label in used:  # keep MirrorGroup labels unique
             label, n = f"{base}-{n}", n + 1
         used.add(label)
         backend = LocalFSBackend(Path(path), name=label, writable=not read_only)
-        caches.append(BuildCache(backend=backend, name=label))
+        try:
+            caches.append(BuildCache(backend=backend, name=label))
+        except BuildCacheError as e:
+            raise CLIError(f"cannot open mirror {label} at {path}: {e}")
     if len(caches) > 1:
         return [MirrorGroup(caches)]
     return caches
@@ -570,6 +597,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace.enable()
     try:
         return args.func(args)
+    except CLIError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     finally:
         if trace_path:
             write_chrome_trace(trace_path)

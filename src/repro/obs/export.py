@@ -34,7 +34,11 @@ __all__ = [
 #: (3: analysis.* spans and counters added with the audit subsystem)
 #: (4: buildcache.mirror_* spans and per-mirror hit/miss/fallback/retry
 #: counters added with storage backends + MirrorGroup)
-SCHEMA_VERSION = 4
+#: (5: federated index v3 — buildcache.summary_{hits,false_positives,
+#: saves,stale,corrupt,enumerations}, index_refresh(es)/
+#: shards_invalidated, and the mirror_union_rebuild(s) span/counter
+#: added with per-shard summaries + the digest-keyed merged view)
+SCHEMA_VERSION = 5
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:

@@ -1,5 +1,8 @@
-"""Mirror-group tests: ordering, fallback, retries, and the install path."""
+"""Mirror-group tests: ordering, fallback, retries, the merged union
+view, and the install path."""
 
+import hashlib
+import os
 import shutil
 
 import pytest
@@ -11,6 +14,7 @@ from repro.buildcache import (
     LocalFSBackend,
     MirrorGroup,
     SimulatedRemoteBackend,
+    TransientBackendError,
 )
 from repro.cli import main
 from repro.concretize import Concretizer
@@ -144,6 +148,208 @@ class TestMirrorSemantics:
             MirrorGroup([])
 
 
+requires_v3_writes = pytest.mark.skipif(
+    os.environ.get("REPRO_BUILDCACHE_WRITE_V1") == "1"
+    or os.environ.get("REPRO_BUILDCACHE_WRITE_V2") == "1",
+    reason="asserts v3 summary-sidecar behaviour",
+)
+
+requires_sharded_writes = pytest.mark.skipif(
+    os.environ.get("REPRO_BUILDCACHE_WRITE_V1") == "1",
+    reason="v1 monoliths have no manifest for refresh() to diff",
+)
+
+
+def absent_hash(i: int) -> str:
+    return hashlib.sha256(f"nowhere-{i}".encode()).hexdigest()[:32]
+
+
+class TestMergedView:
+    @requires_v3_writes
+    def test_cold_union_reads_no_shards(self, repo, spec, tmp_path):
+        """The 741 ms fix, observed at the op level: a cold group's
+        union comes from one summary-sidecar read per mirror — no
+        shard documents, no spec documents."""
+        make_cache(repo, spec, tmp_path / "m", "m", tmp_path / "seed")
+        cache, backend = sim_cache(tmp_path / "m", "remote")
+        group = MirrorGroup([cache], backoff=0)
+        baseline = dict(backend.op_counts)
+        assert len(group) == 4
+        delta = backend.op_counts.get("get", 0) - baseline.get("get", 0)
+        assert delta <= 2, f"union cost {delta} reads (expected sidecar only)"
+
+    def test_negative_lookups_cost_zero_remote_ops(self, repo, spec, tmp_path):
+        """Acceptance criterion: once the view is warm, misses (and
+        hits) against the union are pure set lookups."""
+        make_cache(repo, spec, tmp_path / "m", "m", tmp_path / "seed")
+        cache, backend = sim_cache(tmp_path / "m", "remote")
+        group = MirrorGroup([cache], backoff=0)
+        assert len(group) == 4  # warm the view
+        snapshot = dict(backend.op_counts)
+        for i in range(100):
+            assert absent_hash(i) not in group
+        assert spec.dag_hash() in group
+        assert len(group) == 4
+        assert list(group) == sorted(group.spec_hash_set())
+        assert backend.op_counts == snapshot, "membership hit the backend"
+
+    def test_unchanged_mirror_never_rewalked(self, repo, spec, tmp_path):
+        """A push to the primary moves only the primary's token: the
+        secondary's hash set is reused without a single backend op."""
+        make_cache(repo, spec, tmp_path / "pub", "pub", tmp_path / "seed")
+        remote, backend = sim_cache(tmp_path / "pub", "remote")
+        primary = BuildCache(tmp_path / "scratch", name="scratch")
+        group = MirrorGroup([primary, remote], backoff=0)
+        assert len(group) == 4  # warm
+        snapshot = dict(backend.op_counts)
+
+        extra = Concretizer(repo).solve(["example@1.1.0 ^openmpi"]).roots[0]
+        seed = Installer(tmp_path / "seed2", repo)
+        seed.install(extra)
+        for node in extra.traverse(order="post"):
+            group.push(node, seed.database.prefix_of(node))
+        expected = (
+            {n.dag_hash() for n in spec.traverse()}
+            | {n.dag_hash() for n in extra.traverse()}
+        )
+        assert set(group) == expected
+        assert backend.op_counts == snapshot, "secondary was re-walked"
+
+    def test_len_correct_after_push_without_save_index(self, repo, spec, tmp_path):
+        """The satellite regression: a push that has not been
+        ``save_index``-ed must already show up in ``len(group)`` —
+        the journal overlay is part of the primary's state token."""
+        full = make_cache(repo, spec, tmp_path / "full", "full",
+                          tmp_path / "seed")
+        primary = BuildCache(tmp_path / "primary", name="primary")
+        group = MirrorGroup([primary, full], backoff=0)
+        assert len(group) == 4
+
+        extra = Concretizer(repo).solve(["example@1.1.0 ^openmpi"]).roots[0]
+        seed = Installer(tmp_path / "seed2", repo)
+        seed.install(extra)
+        for node in extra.traverse(order="post"):
+            group.push(node, seed.database.prefix_of(node))
+        expected = (
+            {n.dag_hash() for n in spec.traverse()}
+            | {n.dag_hash() for n in extra.traverse()}
+        )
+        # no save_index yet: the union must already be exact
+        assert len(group) == len(expected)
+        assert set(group) == expected
+        group.save_index()
+        assert len(group) == len(expected)
+
+    @requires_sharded_writes
+    def test_refresh_picks_up_another_writers_save(self, repo, spec, tmp_path):
+        """A foreign process saves into a mirror: ``group.refresh()``
+        delta-reloads it and the union catches up without a reopen."""
+        make_cache(repo, spec, tmp_path / "m", "m", tmp_path / "seed")
+        reader = BuildCache(tmp_path / "m", name="m")
+        group = MirrorGroup([reader], backoff=0)
+        assert len(group) == 4
+
+        writer = BuildCache(tmp_path / "m", name="writer")
+        extra = Concretizer(repo).solve(["example@1.1.0 ^openmpi"]).roots[0]
+        seed = Installer(tmp_path / "seed2", repo)
+        seed.install(extra)
+        seed.push_to_cache(writer, extra)
+        writer.save_index()
+
+        assert len(group) == 4  # stale until asked to refresh
+        group.refresh()
+        expected = (
+            {n.dag_hash() for n in spec.traverse()}
+            | {n.dag_hash() for n in extra.traverse()}
+        )
+        assert set(group) == expected
+
+    @requires_sharded_writes  # a v1 monolith is fully parsed at open
+    def test_degraded_mirror_recovers_on_next_view(self, repo, spec, tmp_path):
+        """Enumeration failure leaves the mirror out of the view (the
+        union degrades, never lies); once the backend heals, the next
+        lookup re-attempts and the union is whole again."""
+        make_cache(repo, spec, tmp_path / "m", "m", tmp_path / "seed")
+        cache, backend = sim_cache(tmp_path / "m", "flaky")
+        group = MirrorGroup([cache], retries=0, backoff=0)
+        backend.fail("get", times=50)
+        obs.reset()
+        assert absent_hash(0) not in group  # degraded, not an error
+        assert metrics.counter("buildcache.mirror_fallbacks.flaky").value > 0
+        backend._faults.clear()  # the remote heals
+        assert len(group) == 4
+        assert spec.dag_hash() in group
+
+
+class TestRetryBackoffClock:
+    """The ``_with_retries`` audit, pinned with a fake clock."""
+
+    def _group(self, tmp_path, retries):
+        sleeps = []
+        cache = BuildCache(tmp_path / "m", name="m")
+        group = MirrorGroup(
+            [cache], retries=retries, backoff=0.05, sleep=sleeps.append
+        )
+        return group, cache, sleeps
+
+    def test_backoff_doubles_between_attempts(self, tmp_path):
+        group, cache, sleeps = self._group(tmp_path, retries=3)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) <= 2:
+                raise TransientBackendError("timeout")
+            return "ok"
+
+        obs.reset()
+        assert group._with_retries(cache, flaky) == "ok"
+        assert sleeps == [0.05, 0.1]
+        assert metrics.counter("buildcache.mirror_retries.m").value == 2
+
+    def test_exhaustion_sleeps_and_counts_retries_not_attempts(self, tmp_path):
+        """No sleep after the final failed attempt, and the retry
+        counter counts *retries* (2), not attempts (3) — exhaustion is
+        accounted by the caller's fallback counter, not double-counted
+        here."""
+        group, cache, sleeps = self._group(tmp_path, retries=2)
+        calls = []
+
+        def down():
+            calls.append(1)
+            raise TransientBackendError("down")
+
+        obs.reset()
+        with pytest.raises(TransientBackendError):
+            group._with_retries(cache, down)
+        assert len(calls) == 3  # retries + 1 attempts, bounded
+        assert sleeps == [0.05, 0.1], "slept after the final failure"
+        assert metrics.counter("buildcache.mirror_retries.m").value == 2
+        assert metrics.counter("buildcache.mirror_retries").value == 2
+
+    def test_zero_retries_fails_fast_without_sleeping(self, tmp_path):
+        group, cache, sleeps = self._group(tmp_path, retries=0)
+        obs.reset()
+        with pytest.raises(TransientBackendError):
+            group._with_retries(
+                cache, lambda: (_ for _ in ()).throw(TransientBackendError("x"))
+            )
+        assert sleeps == []
+        assert metrics.counter("buildcache.mirror_retries.m").value == 0
+
+    def test_fetch_exhaustion_counts_fallback_once(self, repo, spec, tmp_path):
+        make_cache(repo, spec, tmp_path / "m", "seedcache", tmp_path / "seed")
+        cache, backend = sim_cache(tmp_path / "m", "flaky")
+        group = MirrorGroup([cache], retries=1, backoff=0)
+        group._merged_view()  # warm the view before injecting faults
+        backend.fail("get", times=50)
+        obs.reset()
+        with pytest.raises(BuildCacheError, match="no mirror"):
+            group.fetch(spec.dag_hash())
+        assert metrics.counter("buildcache.mirror_fallbacks.flaky").value == 1
+        assert metrics.counter("buildcache.mirror_retries.flaky").value == 1
+
+
 class TestRetryAndDegrade:
     def test_transient_fault_is_retried_on_same_mirror(self, repo, spec, tmp_path):
         make_cache(repo, spec, tmp_path / "m", "seedcache", tmp_path / "seed")
@@ -226,6 +432,34 @@ class TestMirrorInstallPath:
         assert tree_digest(tmp_path / "s1") == tree_digest(tmp_path / "s2")
         assert metrics.counter("buildcache.mirror_fallbacks").value > 0
 
+    @requires_v3_writes
+    def test_install_identical_with_summaries_vs_write_v2(
+        self, repo, spec, tmp_path, monkeypatch
+    ):
+        """Format parity: a two-mirror install through v3 summaries and
+        through digest-less v2 indexes produces byte-identical trees —
+        the summary layer changes lookup cost, never results."""
+        def build_group(tag):
+            make_cache(repo, spec, tmp_path / f"B{tag}", "B",
+                       tmp_path / f"seed{tag}")
+            shutil.copytree(tmp_path / f"B{tag}", tmp_path / f"A{tag}")
+            shutil.rmtree(tmp_path / f"A{tag}" / "blobs")
+            a = BuildCache(tmp_path / f"A{tag}", name="A")
+            b = BuildCache(tmp_path / f"B{tag}", name="B")
+            return MirrorGroup([a, b], backoff=0)
+
+        group3 = build_group("3")
+        Installer(tmp_path / "s3", repo, caches=[group3], fetch_jobs=2
+                  ).install(spec)
+
+        monkeypatch.setenv("REPRO_BUILDCACHE_WRITE_V2", "1")
+        group2 = build_group("2")
+        assert not (tmp_path / "B2" / "index.sum.json").exists()
+        Installer(tmp_path / "s2", repo, caches=[group2], fetch_jobs=2
+                  ).install(spec)
+
+        assert tree_digest(tmp_path / "s3") == tree_digest(tmp_path / "s2")
+
     def test_concretizer_reuses_from_union(self, repo, spec, tmp_path):
         """Specs only indexed by the secondary mirror still count as
         reusable for concretization."""
@@ -269,6 +503,93 @@ class TestMirrorCLI:
         ])
         assert rc == 0
         assert "extracted=4" in capsys.readouterr().out
+
+    def test_missing_mirrors_file_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "--repo", "mock", "install", "example",
+            "--store", str(tmp_path / "store"),
+            "--mirrors-file", str(tmp_path / "does-not-exist.txt"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read mirrors file" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unreadable_mirrors_file_exits_2(self, tmp_path, capsys):
+        unreadable = tmp_path / "mirrors.txt"
+        unreadable.write_text("pub=/somewhere\n")
+        unreadable.chmod(0)
+        if os.access(unreadable, os.R_OK):
+            pytest.skip("running as a user that ignores file modes")
+        try:
+            rc = main([
+                "--repo", "mock", "install", "example",
+                "--store", str(tmp_path / "store"),
+                "--mirrors-file", str(unreadable),
+            ])
+        finally:
+            unreadable.chmod(0o644)
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read mirrors file" in err
+        assert "Traceback" not in err
+
+    def test_duplicate_explicit_labels_exit_2(self, tmp_path, capsys):
+        rc = main([
+            "--repo", "mock", "install", "example",
+            "--store", str(tmp_path / "store"),
+            "--mirror", f"pub={tmp_path / 'a'}",
+            "--mirror", f"pub={tmp_path / 'b'}",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: duplicate mirror label 'pub'" in err
+        assert "Traceback" not in err
+
+    def test_duplicate_labels_in_mirrors_file_exit_2(self, tmp_path, capsys):
+        mirrors = tmp_path / "mirrors.txt"
+        mirrors.write_text(
+            f"pub={tmp_path / 'a'}\n"
+            f"pub={tmp_path / 'b'}:ro\n"
+        )
+        rc = main([
+            "--repo", "mock", "install", "example",
+            "--store", str(tmp_path / "store"),
+            "--mirrors-file", str(mirrors),
+        ])
+        assert rc == 2
+        assert "duplicate mirror label 'pub'" in capsys.readouterr().err
+
+    def test_derived_basename_collision_is_uniquified_not_fatal(
+        self, repo, spec, tmp_path
+    ):
+        """Two mirrors whose *directories* are both named ``cache`` are
+        legitimate — only explicit NAME= duplicates are user error."""
+        make_cache(repo, spec, tmp_path / "x" / "cache", "m", tmp_path / "seed")
+        shutil.copytree(tmp_path / "x", tmp_path / "y")
+        rc = main([
+            "--repo", "mock", "install", "example@1.1.0 ^mpich@3.4.3",
+            "--store", str(tmp_path / "store"),
+            "--mirror", str(tmp_path / "x" / "cache"),
+            "--mirror", str(tmp_path / "y" / "cache"),
+        ])
+        assert rc == 0
+
+    def test_corrupt_index_manifest_exits_2(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        (corrupt / "index.json").write_text("{not json")
+        rc = main([
+            "--repo", "mock", "install", "example",
+            "--store", str(tmp_path / "store"),
+            "--mirror", f"bad={corrupt}",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot open mirror bad" in err
+        assert "corrupt buildcache index" in err
+        assert "Traceback" not in err
 
     def test_profile_shows_mirror_counters(self, repo, spec, tmp_path, capsys):
         make_cache(repo, spec, tmp_path / "B", "B", tmp_path / "seed")

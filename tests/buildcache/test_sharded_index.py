@@ -23,11 +23,29 @@ from repro.repos.mock import make_mock_repo
 
 #: the CI migration leg sets REPRO_BUILDCACHE_WRITE_V1=1 to run the
 #: whole suite through monolithic v1 writes; tests that assert the
-#: sharded v2 on-disk shape are meaningless there and sit out
+#: sharded on-disk shape are meaningless there and sit out
 requires_v2_writes = pytest.mark.skipif(
     os.environ.get("REPRO_BUILDCACHE_WRITE_V1") == "1",
-    reason="asserts the sharded v2 on-disk layout",
+    reason="asserts the sharded on-disk layout",
 )
+
+#: the v2-compat leg additionally sets REPRO_BUILDCACHE_WRITE_V2=1;
+#: tests that assert v3-only state (digests, the summary sidecar) sit
+#: out under either compat knob
+requires_v3_writes = pytest.mark.skipif(
+    os.environ.get("REPRO_BUILDCACHE_WRITE_V1") == "1"
+    or os.environ.get("REPRO_BUILDCACHE_WRITE_V2") == "1",
+    reason="asserts the v3 digest/summary on-disk layout",
+)
+
+
+def saved_version() -> int:
+    """The manifest version the active env knobs make save() emit."""
+    if os.environ.get("REPRO_BUILDCACHE_WRITE_V1") == "1":
+        return 1
+    if os.environ.get("REPRO_BUILDCACHE_WRITE_V2") == "1":
+        return 2
+    return 3
 
 
 @pytest.fixture(scope="module")
@@ -65,7 +83,7 @@ class TestShardLayout:
     def test_manifest_and_shards_on_disk(self, tmp_path):
         docs = populate(tmp_path, 50)
         manifest = json.loads((tmp_path / "index.json").read_text())
-        assert manifest["version"] == 2
+        assert manifest["version"] == saved_version()
         assert manifest["shard_width"] == SHARD_WIDTH
         shard_files = sorted((tmp_path / "index.d").glob("*.json"))
         assert shard_files, "no shard files written"
@@ -253,12 +271,12 @@ class TestV1Migration:
             assert index.get_spec(h) == spec_doc
 
     @requires_v2_writes
-    def test_v1_migrates_to_v2_on_save(self, tmp_path):
+    def test_v1_migrates_to_sharded_on_save(self, tmp_path):
         (tmp_path / "index.json").write_text(json.dumps(self.v1_document()))
         index = ShardedIndex(tmp_path)
         index.save()
         manifest = json.loads((tmp_path / "index.json").read_text())
-        assert manifest["version"] == 2
+        assert manifest["version"] == saved_version()
         assert (tmp_path / "index.d").is_dir()
         assert ShardedIndex(tmp_path).spec_count() == 30
         assert metrics.counter("buildcache.v1_migrations").value > 0
@@ -293,8 +311,8 @@ class TestV1Migration:
         monkeypatch.delenv("REPRO_BUILDCACHE_WRITE_V1")
         reopened = ShardedIndex(tmp_path)
         assert reopened.get_spec(h) == doc
-        reopened.save()  # and back to v2
-        assert json.loads((tmp_path / "index.json").read_text())["version"] == 2
+        reopened.save()  # and back to the sharded format
+        assert json.loads((tmp_path / "index.json").read_text())["version"] in (2, 3)
 
 
 class TestBuildCacheIntegration:
