@@ -1,0 +1,143 @@
+"""Observability overhead: the always-on tier must cost ~nothing.
+
+PR 7 added a flight recorder tapped into every span and an opt-in
+session sink appended after every CLI invocation.  This bench prices
+each layer so the CI regression gate (``repro obs bench-diff``) can
+catch the day one of them grows into real work:
+
+* **span + ring** — 20k spans with the flight recorder attached,
+  versus the bare aggregates-only tracer (the PR 2 baseline);
+* **session append** — atomic O_APPEND + fsync of one JSONL record,
+  including the rotation stat;
+* **report aggregation** — ``aggregate_sessions`` over a synthetic
+  fleet, the cost of ``repro obs report`` itself.
+
+Run:   pytest benchmarks/bench_obs_overhead.py
+Scale: REPRO_OBS_BENCH_SPANS (default 20000; CI smoke uses less)
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import FigureReport, write_results
+from repro.obs import Tracer
+from repro.obs.recorder import FlightRecorder
+from repro.obs.session import (
+    aggregate_sessions,
+    append_session,
+    read_sessions,
+    session_record,
+)
+
+SPAN_COUNT = int(os.environ.get("REPRO_OBS_BENCH_SPANS", "20000"))
+APPEND_COUNT = 200
+FLEET_COUNT = 500
+
+_results = {}
+
+
+def _spin_spans(tracer, count):
+    start = time.perf_counter()
+    for _ in range(count):
+        with tracer.span("bench.op"):
+            pass
+    return time.perf_counter() - start
+
+
+def _fleet(count):
+    phases = {
+        "concretize.solve": {
+            "count": 1, "total_s": 0.25, "mean_s": 0.25,
+            "min_s": 0.25, "max_s": 0.25,
+        }
+    }
+    metrics = {
+        "counters": {"buildcache.hits": 3, "buildcache.misses": 1},
+        "gauges": {},
+        "histograms": {},
+    }
+    return [
+        session_record(
+            command="install" if i % 2 else "spec",
+            argv=["install", f"pkg{i}"],
+            exit_code=0,
+            wall_s=0.1 + (i % 7) * 0.05,
+            outcome="ok",
+            phases=phases,
+            metrics_snapshot=metrics,
+        )
+        for i in range(count)
+    ]
+
+
+class TestSpanOverhead:
+    def test_bare_tracer(self):
+        _results["span_bare_s"] = _spin_spans(Tracer(), SPAN_COUNT)
+
+    def test_recorder_attached(self):
+        tracer = Tracer()
+        ring = FlightRecorder()
+        tracer.set_recorder(ring.record_span)
+        _results["span_ring_s"] = _spin_spans(tracer, SPAN_COUNT)
+        assert len(ring) == ring.capacity
+
+    def test_ring_overhead_is_bounded(self):
+        # the ring may cost a few dict builds per span but must stay
+        # the same order of magnitude as the bare aggregates
+        assert "span_bare_s" in _results and "span_ring_s" in _results
+        assert _results["span_ring_s"] < max(
+            10.0 * _results["span_bare_s"], 0.5
+        ), "flight recorder made spans an order of magnitude slower"
+
+
+class TestSessionSink:
+    def test_append_cost(self, tmp_path):
+        record = session_record(
+            command="spec", argv=["spec", "zlib"], exit_code=0,
+            wall_s=0.1, outcome="ok", phases={},
+            metrics_snapshot={"counters": {}, "gauges": {}, "histograms": {}},
+        )
+        start = time.perf_counter()
+        for _ in range(APPEND_COUNT):
+            append_session(tmp_path, record)
+        _results["session_append_s"] = (
+            time.perf_counter() - start
+        ) / APPEND_COUNT
+        assert len(read_sessions(tmp_path)) == APPEND_COUNT
+
+
+class TestReportAggregation:
+    def test_aggregate_fleet(self):
+        fleet = _fleet(FLEET_COUNT)
+        start = time.perf_counter()
+        agg = aggregate_sessions(fleet)
+        _results["aggregate_fleet_s"] = time.perf_counter() - start
+        assert agg["sessions"] == FLEET_COUNT
+        assert agg["rates"]["cache_hit_rate"] == pytest.approx(0.75)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    report = FigureReport(
+        "obs_overhead",
+        f"telemetry overhead at {SPAN_COUNT} spans",
+    )
+    per_span = {"span_bare_s", "span_ring_s"}
+    for key in sorted(_results):
+        seconds = _results[key]
+        if key in per_span:
+            seconds = seconds / max(SPAN_COUNT, 1)
+        report.rows.append(
+            {"phase": key.removesuffix("_s"), "mirror": "n/a",
+             "ms": round(seconds * 1000, 6)}
+        )
+    report.headline("span_count", SPAN_COUNT)
+    if "span_bare_s" in _results and "span_ring_s" in _results:
+        report.headline(
+            "ring_overhead_x",
+            _results["span_ring_s"] / max(_results["span_bare_s"], 1e-9),
+        )
+    write_results(report)

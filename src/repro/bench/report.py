@@ -8,13 +8,58 @@ figure's series and (b) the aggregate percentages quoted in the text
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..obs import SCHEMA_VERSION
 from .runner import ConfigTiming, percent_increase
 
-__all__ = ["format_table", "aggregate_percent", "write_results", "FigureReport"]
+__all__ = [
+    "format_table",
+    "aggregate_percent",
+    "write_results",
+    "provenance",
+    "FigureReport",
+]
+
+#: git SHA is stable for the life of the process; probe it once
+_GIT_SHA: Optional[str] = None
+_GIT_SHA_PROBED = False
+
+
+def _git_sha() -> Optional[str]:
+    global _GIT_SHA, _GIT_SHA_PROBED
+    if not _GIT_SHA_PROBED:
+        _GIT_SHA_PROBED = True
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = None  # not a checkout (tarball install): fine
+    return _GIT_SHA
+
+
+def provenance() -> Dict[str, Optional[str]]:
+    """Who/when/where labels embedded in every bench JSON so
+    ``repro obs bench-diff`` can say *what* it is comparing.  The
+    timestamp is stamped here, by the runner, at save time."""
+    from .. import __version__
+
+    return {
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "hostname": platform.node(),
+        "repro_version": __version__,
+    }
 
 
 def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None) -> str:
@@ -81,6 +126,7 @@ class FigureReport:
                     "figure": self.figure,
                     "title": self.title,
                     "obs_schema": SCHEMA_VERSION,
+                    "provenance": provenance(),
                     "rows": self.rows,
                     "headlines": self.headlines,
                 },

@@ -26,13 +26,25 @@ Observability flags (every subcommand, see docs/observability.md):
 * ``--trace FILE`` — write a Chrome trace-event JSON of all spans
   (open in ``chrome://tracing`` or https://ui.perfetto.dev);
 * ``--profile``    — print a per-phase time table after the command;
-* ``-v`` / ``-vv`` — INFO / DEBUG logging to stderr.
+* ``-v`` / ``-vv`` — INFO / DEBUG logging to stderr;
+* ``--telemetry-dir DIR`` (or ``REPRO_TELEMETRY_DIR``) — append one
+  session record per invocation to ``DIR/sessions.jsonl`` and land
+  crash reports there; analyzed with the ``repro obs`` verbs::
+
+      python -m repro obs report               # fleet rollup
+      python -m repro obs show last            # one session
+      python -m repro obs diff -2 last         # per-phase delta
+      python -m repro obs bench-diff a.json b.json --budget-pct 20
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
+import traceback
 from pathlib import Path
 from typing import List, Optional
 
@@ -42,10 +54,26 @@ from .concretize import Concretizer, UnsatisfiableError
 from .installer import InstallError, Installer
 from .obs import (
     configure_logging,
+    crash_report,
     metrics_table,
     phase_table,
     trace,
     write_chrome_trace,
+    write_crash_report,
+)
+from .obs.regress import BenchDiffError, bench_diff, load_bench
+from .obs.session import (
+    aggregate_sessions,
+    append_session,
+    diff_text,
+    metrics_delta,
+    phase_delta,
+    read_sessions,
+    report_text,
+    resolve_session,
+    session_record,
+    session_text,
+    telemetry_dir,
 )
 from .package.repository import Repository
 from .repos.mock import make_mock_repo
@@ -409,6 +437,56 @@ def cmd_audit(args) -> int:
     return 1 if failing else 0
 
 
+def _require_telemetry_dir(args) -> Path:
+    directory = telemetry_dir(getattr(args, "telemetry_dir", None))
+    if directory is None:
+        raise CLIError(
+            "no telemetry directory configured (set REPRO_TELEMETRY_DIR "
+            "or pass --telemetry-dir DIR)"
+        )
+    return directory
+
+
+def cmd_obs(args) -> int:
+    """`repro obs report|show|diff|bench-diff`: the telemetry verbs."""
+    action = args.obs_action
+    if action == "bench-diff":
+        try:
+            diff = bench_diff(
+                load_bench(args.old),
+                load_bench(args.new),
+                budget_pct=args.budget_pct,
+                min_seconds=args.min_seconds,
+                columns=args.columns,
+            )
+        except BenchDiffError as e:
+            raise CLIError(str(e))
+        print(diff.render())
+        return 0 if diff.ok else 1
+    sessions = read_sessions(_require_telemetry_dir(args))
+    if action == "report":
+        if args.json:
+            print(json.dumps(aggregate_sessions(sessions), indent=1, sort_keys=True))
+        else:
+            print(report_text(sessions))
+        return 0
+    try:
+        if action == "show":
+            print(session_text(resolve_session(sessions, args.session)))
+            return 0
+        if action == "diff":
+            print(
+                diff_text(
+                    resolve_session(sessions, args.a),
+                    resolve_session(sessions, args.b),
+                )
+            )
+            return 0
+    except LookupError as e:
+        raise CLIError(str(e))
+    raise SystemExit(f"unknown obs action {action!r}")
+
+
 def cmd_suggest_splices(args) -> int:
     """`repro suggest-splices`: the automatic ABI-discovery report."""
     repo = _load_repo(args.repo)
@@ -463,6 +541,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser, default) -> None:
         "-v", "--verbose", action="count",
         default=0 if default is None else default,
         help="-v shows INFO progress, -vv shows DEBUG detail",
+    )
+    parser.add_argument(
+        "--telemetry-dir", metavar="DIR", default=default,
+        help="append one session record per invocation to DIR/sessions.jsonl "
+             "and land crash reports there (REPRO_TELEMETRY_DIR does the "
+             "same; unset = telemetry off)",
     )
 
 
@@ -585,22 +669,147 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="include already-declared splices"
     )
     p_suggest.set_defaults(func=cmd_suggest_splices)
+
+    p_obs = sub.add_parser(
+        "obs", help="session telemetry: report, inspect, diff, and the "
+                    "bench regression gate",
+        parents=[obs],
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_action", required=True)
+    o_report = obs_sub.add_parser(
+        "report", help="aggregate recorded sessions: per-command phase "
+                       "p50/p95, cache hit/fallback rates, error taxonomy",
+        parents=[obs],
+    )
+    o_report.add_argument("--json", action="store_true",
+                          help="emit the aggregate as JSON")
+    o_show = obs_sub.add_parser(
+        "show", help="print one recorded session", parents=[obs]
+    )
+    o_show.add_argument(
+        "session", nargs="?", default="last",
+        help="session id prefix, index (-1, 0, ...), or 'last' (default)",
+    )
+    o_diff = obs_sub.add_parser(
+        "diff", help="per-phase delta table between two sessions",
+        parents=[obs],
+    )
+    o_diff.add_argument("a", help="session id prefix, index, or 'last'")
+    o_diff.add_argument("b", help="session id prefix, index, or 'last'")
+    o_bench = obs_sub.add_parser(
+        "bench-diff", help="compare two bench_results JSON files "
+                           "phase-by-phase; exit 1 on regressions",
+        parents=[obs],
+    )
+    o_bench.add_argument("old", help="baseline bench JSON")
+    o_bench.add_argument("new", help="candidate bench JSON")
+    o_bench.add_argument(
+        "--budget-pct", type=float, default=25.0, metavar="N",
+        help="flag a phase slower than the baseline by more than N%% "
+             "(default 25)",
+    )
+    o_bench.add_argument(
+        "--min-seconds", type=float, default=1e-3, metavar="S",
+        help="noise floor: baseline phases under S seconds are compared "
+             "but never flagged (default 0.001)",
+    )
+    o_bench.add_argument(
+        "--column", action="append", dest="columns", metavar="NAME",
+        help="compare only this timing column, e.g. mean_s or solve_s "
+             "(repeatable; default: every shared timing column)",
+    )
+    p_obs.set_defaults(func=cmd_obs)
     return parser
 
 
+def _command_label(args) -> str:
+    command = getattr(args, "command", None) or "?"
+    obs_action = getattr(args, "obs_action", None)
+    return f"{command} {obs_action}" if obs_action else command
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    configure_logging(getattr(args, "verbose", 0))
+    """CLI entry point; returns the process exit code.
+
+    Besides dispatching, this is where the observability tier hooks
+    every invocation: ``--trace``/``--profile`` output, the session
+    telemetry sink (one JSONL record per run when a telemetry dir is
+    configured), and the crash path — any uncaught exception becomes a
+    one-line stderr message with exit 2 plus a crash report (traceback,
+    the flight recorder's recent spans, metrics) dumped to the
+    telemetry dir; ``-vv`` also prints the traceback.
+    """
+    from .obs import metrics
+
+    argv_list = list(sys.argv[1:]) if argv is None else [str(a) for a in argv]
+    args = build_parser().parse_args(argv_list)
+    verbosity = getattr(args, "verbose", 0)
+    configure_logging(verbosity)
     trace_path = getattr(args, "trace", None)
     if trace_path:
         trace.enable()
+    tdir = telemetry_dir(getattr(args, "telemetry_dir", None))
+    phases_before = trace.phase_stats() if tdir else {}
+    metrics_before = metrics.snapshot() if tdir else {}
+    start = time.perf_counter()
+    exit_code = 0
+    outcome = "ok"
+    error_label = None
     try:
-        return args.func(args)
+        exit_code = args.func(args) or 0
+        if exit_code:
+            outcome = "error"
+        return exit_code
     except CLIError as e:
         print(f"error: {e}", file=sys.stderr)
+        exit_code, outcome, error_label = 2, "usage-error", type(e).__name__
+        return 2
+    except KeyboardInterrupt:
+        exit_code, outcome, error_label = 130, "interrupted", "KeyboardInterrupt"
+        raise
+    except SystemExit as e:
+        exit_code = e.code if isinstance(e.code, int) else (0 if e.code is None else 1)
+        if exit_code:
+            outcome, error_label = "error", "SystemExit"
+        raise
+    except BrokenPipeError:
+        # downstream closed the pipe (`repro obs report | head`): a
+        # normal event, not a crash — mute stdout so the interpreter's
+        # exit-time flush stays quiet, and skip the crash report
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass  # stdout already gone or not a real fd (test capture)
+        exit_code, outcome, error_label = 1, "interrupted", "BrokenPipeError"
+        return 1
+    except Exception as e:
+        # a bug, not a usage problem: route through the crash-report
+        # path (flight recorder + traceback + metrics), keep stderr to
+        # one line, exit 2 — same taxonomy as CLIError
+        exit_code, outcome, error_label = 2, "crash", type(e).__name__
+        crash_path = None
+        if tdir is not None:
+            try:
+                crash_path = write_crash_report(
+                    tdir,
+                    crash_report(e, command=_command_label(args), argv=argv_list),
+                )
+            except OSError:
+                pass  # a full disk must not mask the real failure
+        if verbosity >= 2:
+            traceback.print_exc()
+        where = (
+            f" (crash report: {crash_path})" if crash_path
+            else "" if verbosity >= 2 else " (rerun with -vv for the traceback)"
+        )
+        print(
+            f"error: internal error: {type(e).__name__}: {e}{where}",
+            file=sys.stderr,
+        )
         return 2
     finally:
+        wall_s = time.perf_counter() - start
         if trace_path:
             write_chrome_trace(trace_path)
             trace.disable()
@@ -610,6 +819,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(phase_table())
             print()
             print(metrics_table())
+        if tdir is not None:
+            try:
+                append_session(
+                    tdir,
+                    session_record(
+                        command=_command_label(args),
+                        argv=argv_list,
+                        exit_code=exit_code,
+                        wall_s=wall_s,
+                        outcome=outcome,
+                        error=error_label,
+                        phases=phase_delta(phases_before, trace.phase_stats()),
+                        metrics_snapshot=metrics_delta(
+                            metrics_before, metrics.snapshot()
+                        ),
+                    ),
+                )
+            except OSError as e:
+                # telemetry must never take the command down with it
+                print(f"warning: telemetry append failed: {e}", file=sys.stderr)
 
 
 if __name__ == "__main__":

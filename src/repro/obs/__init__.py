@@ -10,7 +10,14 @@ substrate those numbers flow through.  Three pieces:
 * :mod:`repro.obs.metrics` — counters / gauges / histograms
   (``metrics.inc("buildcache.hits")``);
 * :mod:`repro.obs.export` — Chrome trace-event JSON (open in
-  ``chrome://tracing`` or Perfetto) and a plain-text phase table.
+  ``chrome://tracing`` or Perfetto) and a plain-text phase table;
+* :mod:`repro.obs.recorder` — always-on flight recorder (bounded ring
+  of recent spans) and crash-report dumps for uncaught CLI errors;
+* :mod:`repro.obs.session` — persistent per-invocation telemetry
+  (``sessions.jsonl``) behind ``REPRO_TELEMETRY_DIR``/``--telemetry-dir``
+  plus the aggregation feeding ``repro obs report|show|diff``;
+* :mod:`repro.obs.regress` — bench-JSON comparison backing
+  ``repro obs bench-diff`` and the CI perf-regression gate.
 
 Naming convention for spans and metrics: ``<subsystem>.<operation>``,
 e.g. ``concretize.setup``, ``asp.ground``, ``buildcache.extract``,
@@ -36,6 +43,16 @@ from .export import (
     phase_table,
     write_chrome_trace,
 )
+from .recorder import (
+    FlightRecorder,
+    crash_report,
+    flight_recorder,
+    write_crash_report,
+)
+
+#: the flight recorder is the always-on tier: importing repro.obs is
+#: enough to start retaining the last-N spans for crash diagnosis
+trace.set_recorder(flight_recorder.record_span)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -53,9 +70,14 @@ __all__ = [
     "write_chrome_trace",
     "phase_table",
     "metrics_table",
+    "FlightRecorder",
+    "flight_recorder",
+    "crash_report",
+    "write_crash_report",
     "snapshot",
     "reset",
     "configure_logging",
+    "SpanContextFilter",
 ]
 
 
@@ -83,13 +105,31 @@ def reset() -> None:
 _HANDLER_FLAG = "_repro_obs_handler"
 
 
+class SpanContextFilter(logging.Filter):
+    """Stamp every log record with the active span (``name#id``).
+
+    This is the log/trace correlation layer: a ``-vv`` DEBUG line
+    emitted inside ``buildcache.fetch`` renders as
+    ``... [buildcache.fetch#42] ...``, and span 42 is findable in the
+    flight recorder's ring, the Chrome trace, and crash reports.
+    Records logged outside any span get ``-``.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        current = trace.current_span()
+        record.span = f"{current.name}#{current.id}" if current else "-"
+        return True
+
+
 def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     """Wire the package's stdlib loggers to stderr.
 
     ``verbosity`` 0 keeps the default (WARNING — silent in normal
     operation), 1 (``-v``) shows INFO progress lines, 2+ (``-vv``)
     shows DEBUG detail.  Idempotent: re-configuring adjusts the level
-    on the existing handler instead of adding another.
+    on the existing handler instead of adding another.  Every record
+    carries the active span as ``%(span)s`` (see
+    :class:`SpanContextFilter`) so verbose output lines up with traces.
     """
     level = (
         logging.WARNING if verbosity <= 0
@@ -106,8 +146,9 @@ def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     if handler is None:
         handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
         handler.setFormatter(
-            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+            logging.Formatter("%(levelname)s %(name)s [%(span)s]: %(message)s")
         )
+        handler.addFilter(SpanContextFilter())
         setattr(handler, _HANDLER_FLAG, True)
         logger.addHandler(handler)
     handler.setLevel(level)

@@ -38,7 +38,11 @@ __all__ = [
 #: saves,stale,corrupt,enumerations}, index_refresh(es)/
 #: shards_invalidated, and the mirror_union_rebuild(s) span/counter
 #: added with per-shard summaries + the digest-keyed merged view)
-SCHEMA_VERSION = 5
+#: (6: persistent telemetry — obs.session_append/crash_dump spans,
+#: obs.sessions_written/session_rotations/session_corrupt_lines/
+#: crash_reports counters, span ids in retained events, and the
+#: session/crash-report JSON documents themselves)
+SCHEMA_VERSION = 6
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:
@@ -89,7 +93,9 @@ def phase_table(tracer: Optional[Tracer] = None) -> str:
     grand_total = sum(s["total_s"] for s in stats.values()) or 1.0
     columns = ["phase", "count", "total_s", "mean_ms", "min_ms", "max_ms", "%"]
     rows = []
-    for name in sorted(stats, key=lambda n: -stats[n]["total_s"]):
+    # name breaks total_s ties so equal-cost phases render in one
+    # deterministic order (repro obs diff and CI diffs depend on it)
+    for name in sorted(stats, key=lambda n: (-stats[n]["total_s"], n)):
         s = stats[name]
         rows.append(
             {
@@ -147,6 +153,8 @@ def metrics_table(registry=None) -> str:
         "  ".join(c.ljust(widths[c]) for c in columns),
         "  ".join("-" * widths[c] for c in columns),
     ]
-    for row in sorted(rows, key=lambda r: r["metric"]):
+    # (metric, kind) so a name reused across instrument kinds still
+    # renders in one deterministic order
+    for row in sorted(rows, key=lambda r: (r["metric"], r["kind"])):
         lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
     return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Flight recorder: always-on ring buffer of recent spans + crash dumps.
+
+The tracer's aggregates say *how much* time each phase took over a
+whole run; the flight recorder says *what just happened* — the last N
+finished spans in order, kept in a bounded, lock-protected ring buffer
+that is cheap enough to leave enabled everywhere (one deque append of
+a small dict per span; the overhead guard in
+``tests/obs/test_recorder.py`` pins the cost with the same idiom as
+the PR 2 event-retention guard).
+
+When a CLI command dies on an uncaught exception, :func:`crash_report`
+assembles a post-hoc diagnosis — traceback, the ring's recent spans,
+phase aggregates, and a metrics snapshot — and
+:func:`write_crash_report` lands it in the telemetry directory as
+``crash-<utc>-<pid>.json`` so "it failed last night" is answerable
+without a re-run.  See docs/observability.md.
+
+Knobs:
+
+* ``REPRO_FLIGHT_RECORDER_SPANS`` — ring capacity (default 256;
+  ``0`` disables recording entirely).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback as _traceback
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .metrics import metrics
+from .trace import Span, trace
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "flight_recorder",
+    "crash_report",
+    "write_crash_report",
+]
+
+#: default ring capacity; small enough that the ring's memory is
+#: bounded at a few hundred tiny dicts, large enough to cover the
+#: final DAG wave before a crash
+DEFAULT_CAPACITY = 256
+
+
+def _capacity_from_env() -> int:
+    raw = os.environ.get("REPRO_FLIGHT_RECORDER_SPANS", "")
+    try:
+        return max(0, int(raw)) if raw else DEFAULT_CAPACITY
+    except ValueError:
+        return DEFAULT_CAPACITY
+
+
+class FlightRecorder:
+    """Bounded ring of recently finished spans (newest last)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = _capacity_from_env() if capacity is None else capacity
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=self.capacity or None)
+        self._enabled = self.capacity > 0
+
+    def record_span(self, span: Span) -> None:
+        """Tap installed via ``trace.set_recorder`` — hot path, keep cheap."""
+        if not self._enabled:
+            return
+        record = {
+            "name": span.name,
+            "id": span.id,
+            "start_s": span.start,
+            "duration_s": span.duration,
+            "tid": span.tid,
+            "parent": span.parent,
+        }
+        error = span.attributes.get("error")
+        if error is not None:
+            record["error"] = error
+        with self._lock:
+            self._ring.append(record)
+
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The last ``n`` (default: all retained) spans, oldest first."""
+        with self._lock:
+            records = list(self._ring)
+        return records if n is None else records[-n:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __repr__(self):
+        return f"<FlightRecorder {len(self)}/{self.capacity}>"
+
+
+#: the process-global ring the global tracer feeds (wired in
+#: repro.obs.__init__ so importing the package is enough)
+flight_recorder = FlightRecorder()
+
+
+def crash_report(
+    exc: BaseException,
+    command: Optional[str] = None,
+    argv: Optional[List[str]] = None,
+    recorder: Optional[FlightRecorder] = None,
+) -> Dict[str, Any]:
+    """Assemble the post-mortem document for one uncaught exception."""
+    from . import SCHEMA_VERSION  # late: avoid a cycle at import time
+
+    recorder = recorder if recorder is not None else flight_recorder
+    now = time.time()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "crash_report",
+        "ts": now,
+        "iso_time": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+        "pid": os.getpid(),
+        "command": command,
+        "argv": list(argv) if argv is not None else None,
+        "exception": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": _traceback.format_exception(
+                type(exc), exc, exc.__traceback__
+            ),
+        },
+        "recent_spans": recorder.recent(),
+        "phases": trace.phase_stats(),
+        "metrics": metrics.snapshot(),
+    }
+
+
+def write_crash_report(directory, report: Dict[str, Any]) -> Path:
+    """Atomically persist ``report`` under ``directory`` and return the path.
+
+    File name is ``crash-<utcstamp>-<pid>.json`` (stamp to the
+    microsecond so two crashes in one second don't collide); written
+    via temp-file + rename so a reader never sees a torn document.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(report.get("ts", time.time())))
+    micros = int((report.get("ts", 0.0) % 1) * 1e6)
+    path = directory / f"crash-{stamp}.{micros:06d}-{report.get('pid', os.getpid())}.json"
+    with trace.span("obs.crash_dump"):
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(report, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+    metrics.inc("obs.crash_reports")
+    return path

@@ -1,0 +1,199 @@
+"""Bench regression gate: phase-by-phase comparison of bench JSON files.
+
+``bench_results/*.json`` (written by :mod:`repro.bench.report`) carry
+per-row timing columns — ``mean_s`` plus the per-phase ``setup_s`` /
+``ground_s`` / ``translate_s`` / ``solve_s`` breakdown — but until now
+nothing compared two vintages mechanically.  ``repro obs bench-diff
+old.json new.json --budget-pct N`` matches rows by (label, spec) or by
+(phase, mirror) for the ms-style benches, computes the percent change
+of every shared timing column, and flags anything slower than the
+budget; the CLI exits non-zero on any regression, which is what the CI
+``obs-regression-gate`` job runs twice (self-vs-self must pass, a
+synthetically inflated copy must fail).
+
+Sub-millisecond-scale phases below ``min_seconds`` are compared but
+never flagged: at that scale percent changes are timer noise, and a
+gate that cries wolf gets deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["BenchDiffError", "PhaseDelta", "BenchDiff", "load_bench", "bench_diff"]
+
+#: timing columns are recognized by suffix: seconds or milliseconds
+_SECOND_SUFFIX = "_s"
+_MS_KEYS = ("ms",)
+#: row-identity keys tried in order (figure benches vs. mirror benches)
+_KEY_FIELDS = ("label", "spec", "phase", "mirror")
+#: below this many seconds a phase is reported but never flagged
+DEFAULT_MIN_SECONDS = 1e-3
+
+
+class BenchDiffError(Exception):
+    """A bench file that cannot be compared (missing, unparseable,
+    or lacking rows) — a usage problem, not a regression."""
+
+
+class PhaseDelta:
+    """One (row, column) comparison between two bench vintages."""
+
+    __slots__ = ("key", "column", "old_s", "new_s", "pct", "regressed")
+
+    def __init__(self, key: str, column: str, old_s: float, new_s: float,
+                 pct: float, regressed: bool):
+        self.key = key
+        self.column = column
+        self.old_s = old_s
+        self.new_s = new_s
+        self.pct = pct
+        self.regressed = regressed
+
+    def row(self) -> Dict[str, str]:
+        return {
+            "row": self.key,
+            "column": self.column,
+            "old_s": f"{self.old_s:.4f}",
+            "new_s": f"{self.new_s:.4f}",
+            "delta_pct": f"{self.pct:+.1f}",
+            "verdict": "REGRESSED" if self.regressed else "ok",
+        }
+
+    def __repr__(self):
+        return f"<PhaseDelta {self.key}:{self.column} {self.pct:+.1f}%>"
+
+
+class BenchDiff:
+    """All deltas for one old-vs-new comparison, plus the verdict."""
+
+    def __init__(self, figure: str, deltas: List[PhaseDelta],
+                 only_old: List[str], only_new: List[str],
+                 provenance: Tuple[Optional[Dict], Optional[Dict]]):
+        self.figure = figure
+        self.deltas = deltas
+        self.only_old = only_old
+        self.only_new = only_new
+        self.provenance = provenance
+
+    @property
+    def regressions(self) -> List[PhaseDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, show_ok: bool = True) -> str:
+        def _label(prov: Optional[Dict]) -> str:
+            if not prov:
+                return "(no provenance)"
+            return (
+                f"{prov.get('git_sha') or '?'} @ {prov.get('timestamp') or '?'}"
+                f" on {prov.get('hostname') or '?'}"
+            )
+
+        old_prov, new_prov = self.provenance
+        lines = [
+            f"== bench-diff: {self.figure} ==",
+            f"old: {_label(old_prov)}",
+            f"new: {_label(new_prov)}",
+            "",
+        ]
+        shown = self.deltas if show_ok else self.regressions
+        if not shown:
+            lines.append("(no comparable timing columns)"
+                         if not self.deltas else "(no regressions)")
+        else:
+            columns = ["row", "column", "old_s", "new_s", "delta_pct", "verdict"]
+            rows = [d.row() for d in sorted(
+                shown, key=lambda d: (-d.pct if d.regressed else 0, d.key, d.column)
+            )]
+            widths = {c: max(len(c), *(len(r[c]) for r in rows)) for c in columns}
+            lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+            lines.append("  ".join("-" * widths[c] for c in columns))
+            lines.extend(
+                "  ".join(r[c].ljust(widths[c]) for c in columns) for r in rows
+            )
+        for key, only in (("old", self.only_old), ("new", self.only_new)):
+            if only:
+                lines.append(f"rows only in {key}: {', '.join(sorted(only)[:8])}")
+        n = len(self.regressions)
+        lines.append("")
+        lines.append(
+            f"{n} regression(s)" if n else "no regressions within budget"
+        )
+        return "\n".join(lines)
+
+
+def load_bench(path) -> Dict[str, Any]:
+    """Read + validate one ``bench_results``-style JSON document."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as e:
+        raise BenchDiffError(f"cannot read bench file {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise BenchDiffError(f"bench file {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("rows"), list):
+        raise BenchDiffError(f"bench file {path} has no 'rows' list")
+    return doc
+
+
+def _row_key(row: Dict[str, Any]) -> str:
+    parts = [str(row[f]) for f in _KEY_FIELDS if f in row]
+    return "/".join(parts) if parts else json.dumps(row, sort_keys=True)[:40]
+
+
+def _timing_columns(row: Dict[str, Any]) -> Dict[str, float]:
+    """Timing columns of one row, normalized to seconds."""
+    out: Dict[str, float] = {}
+    for key, value in row.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key.endswith(_SECOND_SUFFIX) and key not in ("stdev_s",):
+            out[key] = float(value)
+        elif key in _MS_KEYS:
+            out[key] = float(value) / 1e3
+    return out
+
+
+def bench_diff(
+    old_doc: Dict[str, Any],
+    new_doc: Dict[str, Any],
+    budget_pct: float = 25.0,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    columns: Optional[Sequence[str]] = None,
+) -> BenchDiff:
+    """Compare two bench documents phase-by-phase.
+
+    A (row, column) pair REGRESSES when the new time exceeds the old by
+    more than ``budget_pct`` percent *and* the old time is at least
+    ``min_seconds`` (noise floor).  Rows present on only one side are
+    reported but are not regressions — benches grow legs over time.
+    """
+    old_rows = {_row_key(r): r for r in old_doc["rows"]}
+    new_rows = {_row_key(r): r for r in new_doc["rows"]}
+    deltas: List[PhaseDelta] = []
+    for key in sorted(set(old_rows) & set(new_rows)):
+        old_t = _timing_columns(old_rows[key])
+        new_t = _timing_columns(new_rows[key])
+        for column in sorted(set(old_t) & set(new_t)):
+            if columns and column not in columns:
+                continue
+            old_s, new_s = old_t[column], new_t[column]
+            pct = ((new_s - old_s) / old_s * 100.0) if old_s else 0.0
+            regressed = (
+                old_s >= min_seconds
+                and new_s > old_s * (1.0 + budget_pct / 100.0)
+            )
+            deltas.append(PhaseDelta(key, column, old_s, new_s, pct, regressed))
+    return BenchDiff(
+        figure=str(new_doc.get("figure") or old_doc.get("figure") or "?"),
+        deltas=deltas,
+        only_old=sorted(set(old_rows) - set(new_rows)),
+        only_new=sorted(set(new_rows) - set(old_rows)),
+        provenance=(old_doc.get("provenance"), new_doc.get("provenance")),
+    )

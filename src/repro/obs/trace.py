@@ -29,9 +29,10 @@ exported trace.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["Span", "PhaseStat", "Tracer", "trace"]
 
@@ -84,7 +85,7 @@ class Span:
 
     __slots__ = (
         "tracer", "name", "attributes", "tid", "parent",
-        "start", "duration", "_t0",
+        "start", "duration", "id", "_t0",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
@@ -95,6 +96,7 @@ class Span:
         self.parent: Optional[str] = None
         self.start = 0.0
         self.duration = 0.0
+        self.id = 0
         self._t0 = 0.0
 
     def set(self, **attributes: Any) -> "Span":
@@ -106,6 +108,7 @@ class Span:
         self.parent = stack[-1].name if stack else None
         stack.append(self)
         self.tid = threading.get_ident()
+        self.id = next(self.tracer._ids)
         self._t0 = time.perf_counter()
         self.start = self._t0 - self.tracer._epoch
         return self
@@ -134,6 +137,10 @@ class Tracer:
         self._events: List[Dict[str, Any]] = []
         self._aggregates: Dict[str, PhaseStat] = {}
         self._epoch = time.perf_counter()
+        # span ids are monotonically increasing per tracer; next() on a
+        # count is atomic under the GIL, so no extra lock is needed
+        self._ids = itertools.count(1)
+        self._on_record: Optional[Callable[[Span], None]] = None
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -155,6 +162,16 @@ class Tracer:
             self._events = []
             self._aggregates = {}
             self._epoch = time.perf_counter()
+
+    def set_recorder(self, callback: Optional[Callable[[Span], None]]) -> None:
+        """Install a callback invoked with every finished span.
+
+        This is the flight recorder's tap (see
+        :mod:`repro.obs.recorder`): the callback runs outside the
+        tracer's lock and must be cheap — it is on the always-on path.
+        ``None`` uninstalls.
+        """
+        self._on_record = callback
 
     # -- recording ---------------------------------------------------------
     def span(self, name: str, /, **attributes: Any) -> Span:
@@ -183,6 +200,7 @@ class Tracer:
                 self._events.append(
                     {
                         "name": span.name,
+                        "id": span.id,
                         "ts": span.start * 1e6,
                         "dur": span.duration * 1e6,
                         "tid": span.tid,
@@ -190,6 +208,9 @@ class Tracer:
                         "args": dict(span.attributes),
                     }
                 )
+        callback = self._on_record
+        if callback is not None:
+            callback(span)
 
     # -- reads -------------------------------------------------------------
     def events(self) -> List[Dict[str, Any]]:

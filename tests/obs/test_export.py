@@ -4,7 +4,16 @@ import json
 
 import pytest
 
-from repro.obs import SCHEMA_VERSION, Tracer, chrome_trace, phase_table, write_chrome_trace
+from repro.obs import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    metrics_table,
+    phase_table,
+    write_chrome_trace,
+)
+from repro.obs.trace import PhaseStat
 
 
 @pytest.fixture
@@ -88,3 +97,66 @@ class TestPhaseTable:
         with tracer.span("quiet.op"):
             pass
         assert "quiet.op" in phase_table(tracer)
+
+
+class TestDeterministicOrdering:
+    """`repro obs diff` and CI diffs depend on stable table output."""
+
+    @staticmethod
+    def _stat(total: float) -> PhaseStat:
+        stat = PhaseStat()
+        stat.add(total)
+        return stat
+
+    def test_phase_table_breaks_total_ties_by_name(self):
+        tracer = Tracer()
+        for name in ("z.op", "a.op", "m.op"):
+            tracer._aggregates[name] = self._stat(0.5)
+        rows = phase_table(tracer).splitlines()[2:]
+        assert [r.split()[0] for r in rows] == ["a.op", "m.op", "z.op"]
+
+    def test_phase_table_primary_sort_is_total_desc(self):
+        tracer = Tracer()
+        tracer._aggregates["small.op"] = self._stat(0.1)
+        tracer._aggregates["big.op"] = self._stat(0.9)
+        tracer._aggregates["mid.op"] = self._stat(0.5)
+        rows = phase_table(tracer).splitlines()[2:]
+        assert [r.split()[0] for r in rows] == ["big.op", "mid.op", "small.op"]
+
+    def test_phase_table_identical_across_insertion_orders(self):
+        totals = {"a.op": 0.25, "b.op": 0.25, "c.op": 0.5, "d.op": 0.25}
+        tables = []
+        for names in (list(totals), list(reversed(list(totals)))):
+            tracer = Tracer()
+            for name in names:
+                tracer._aggregates[name] = self._stat(totals[name])
+            tables.append(phase_table(tracer))
+        assert tables[0] == tables[1]
+
+    def test_metrics_table_sorted_by_name_then_kind(self):
+        registry = MetricsRegistry()
+        # one name reused across all three instrument kinds plus an
+        # earlier/later name: rows must come out (metric, kind)-sorted
+        registry.inc("b.same")
+        registry.gauge("b.same").set(1.0)
+        registry.observe("b.same", 2.0)
+        registry.inc("z.counter")
+        registry.gauge("a.gauge").set(3.0)
+        rows = metrics_table(registry).splitlines()[2:]
+        keys = [(r.split()[0], r.split()[1]) for r in rows]
+        assert keys == [
+            ("a.gauge", "gauge"),
+            ("b.same", "counter"),
+            ("b.same", "gauge"),
+            ("b.same", "histogram"),
+            ("z.counter", "counter"),
+        ]
+
+    def test_metrics_table_identical_across_insertion_orders(self):
+        first = MetricsRegistry()
+        first.inc("x.a")
+        first.gauge("x.b").set(1.0)
+        second = MetricsRegistry()
+        second.gauge("x.b").set(1.0)
+        second.inc("x.a")
+        assert metrics_table(first) == metrics_table(second)

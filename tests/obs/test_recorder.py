@@ -1,0 +1,158 @@
+"""Flight-recorder tests: ring bounds, overhead guard, crash reports."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import Tracer, crash_report, flight_recorder, trace, write_crash_report
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
+
+
+@pytest.fixture
+def recorder():
+    r = FlightRecorder(capacity=64)
+    tracer = Tracer()
+    tracer.set_recorder(r.record_span)
+    return r, tracer
+
+
+class TestRingBounds:
+    def test_ring_never_grows_past_capacity(self, recorder):
+        r, tracer = recorder
+        for i in range(5000):
+            with tracer.span("ring.op", i=i):
+                pass
+        assert len(r) == 64
+        # newest-last: the ring holds exactly the final 64 spans
+        ids = [rec["id"] for rec in r.recent()]
+        assert ids == sorted(ids)
+        assert len(ids) == 64
+
+    def test_recent_n_returns_newest(self, recorder):
+        r, tracer = recorder
+        for _ in range(10):
+            with tracer.span("ring.op"):
+                pass
+        last3 = r.recent(3)
+        assert len(last3) == 3
+        assert last3 == r.recent()[-3:]
+
+    def test_record_fields(self, recorder):
+        r, tracer = recorder
+        with tracer.span("outer.op"):
+            with tracer.span("inner.op"):
+                pass
+        inner, outer = r.recent()[-2], r.recent()[-1]
+        assert inner["name"] == "inner.op"
+        assert inner["parent"] == "outer.op"
+        assert inner["duration_s"] >= 0.0
+        assert isinstance(inner["id"], int) and inner["id"] > 0
+        assert outer["name"] == "outer.op"
+
+    def test_error_spans_flagged(self, recorder):
+        r, tracer = recorder
+        with pytest.raises(ValueError):
+            with tracer.span("bad.op"):
+                raise ValueError("no")
+        assert r.recent()[-1]["error"] == "ValueError"
+
+    def test_capacity_zero_disables(self):
+        r = FlightRecorder(capacity=0)
+        tracer = Tracer()
+        tracer.set_recorder(r.record_span)
+        for _ in range(100):
+            with tracer.span("quiet.op"):
+                pass
+        assert len(r) == 0
+
+    def test_capacity_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_RECORDER_SPANS", "7")
+        assert FlightRecorder().capacity == 7
+        monkeypatch.setenv("REPRO_FLIGHT_RECORDER_SPANS", "junk")
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_global_tracer_feeds_global_ring(self):
+        before = len(flight_recorder)
+        with trace.span("recorder.smoke"):
+            pass
+        assert len(flight_recorder) >= min(before + 1, flight_recorder.capacity)
+        assert any(
+            rec["name"] == "recorder.smoke" for rec in flight_recorder.recent(10)
+        )
+
+    def test_thread_safety_under_concurrent_spans(self, recorder):
+        r, tracer = recorder
+        barrier = threading.Barrier(4)
+
+        def worker(idx):
+            barrier.wait()
+            for i in range(500):
+                with tracer.span(f"thread.{idx}", i=i):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(r) == 64  # bounded regardless of contention
+
+
+class TestOverheadGuard:
+    def test_recorder_span_overhead_is_tiny(self):
+        # same idiom as the PR 2 event-retention guard: 20k spans with
+        # the ring attached must stay far under a generous CI-safe
+        # bound — the always-on tier must never grow real work
+        r = FlightRecorder(capacity=DEFAULT_CAPACITY)
+        tracer = Tracer()
+        tracer.set_recorder(r.record_span)
+        start = time.perf_counter()
+        for _ in range(20_000):
+            with tracer.span("fast.op"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"recorded spans too slow: {elapsed:.3f}s for 20k"
+        assert len(r) == DEFAULT_CAPACITY
+
+
+class TestCrashReport:
+    def _boom(self):
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError as e:
+            return e
+
+    def test_report_contents(self, recorder):
+        r, tracer = recorder
+        tracer.set_recorder(r.record_span)
+        with tracer.span("doomed.op"):
+            pass
+        report = crash_report(
+            self._boom(), command="install", argv=["install", "zlib"], recorder=r
+        )
+        assert report["kind"] == "crash_report"
+        assert report["command"] == "install"
+        assert report["exception"]["type"] == "RuntimeError"
+        assert report["exception"]["message"] == "kaboom"
+        assert any("kaboom" in line for line in report["exception"]["traceback"])
+        assert any(s["name"] == "doomed.op" for s in report["recent_spans"])
+        assert "metrics" in report and "phases" in report
+        json.dumps(report)  # must be serializable as-is
+
+    def test_write_crash_report_lands_json(self, tmp_path):
+        report = crash_report(self._boom(), command="spec", argv=["spec", "x"])
+        path = write_crash_report(tmp_path / "tel", report)
+        assert path.exists() and path.name.startswith("crash-")
+        doc = json.loads(path.read_text())
+        assert doc["exception"]["type"] == "RuntimeError"
+        # no torn temp file left behind
+        assert not list((tmp_path / "tel").glob("*.tmp"))
+
+    def test_two_reports_do_not_collide(self, tmp_path):
+        a = write_crash_report(tmp_path, crash_report(self._boom()))
+        time.sleep(0.001)  # ensure a distinct microsecond stamp
+        b = write_crash_report(tmp_path, crash_report(self._boom()))
+        assert a != b
+        assert len(list(tmp_path.glob("crash-*.json"))) == 2

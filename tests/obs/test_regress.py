@@ -1,0 +1,153 @@
+"""bench-diff tests: self-comparison, inflation, noise floor, provenance."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import BenchDiffError, bench_diff, load_bench
+
+
+def make_doc(mean=1.0, solve=0.5, figure="figure5", extra_row=None,
+             provenance=None):
+    rows = [
+        {"label": "new/local", "spec": "axom", "runs": 3,
+         "mean_s": mean, "stdev_s": 0.01, "solve_s": solve,
+         "ground_s": 0.2, "built": 0},
+        {"label": "new/local", "spec": "raja", "runs": 3,
+         "mean_s": mean * 0.5, "stdev_s": 0.01, "solve_s": solve * 0.5,
+         "ground_s": 0.1, "built": 0},
+    ]
+    if extra_row:
+        rows.append(extra_row)
+    doc = {"figure": figure, "rows": rows, "obs_schema": 6}
+    if provenance:
+        doc["provenance"] = provenance
+    return doc
+
+
+class TestBenchDiff:
+    def test_self_comparison_is_clean(self):
+        doc = make_doc()
+        diff = bench_diff(doc, doc)
+        assert diff.ok
+        assert diff.deltas  # compared something, found nothing
+        assert all(d.pct == 0.0 for d in diff.deltas)
+
+    def test_inflation_beyond_budget_regresses(self):
+        diff = bench_diff(make_doc(), make_doc(mean=1.5, solve=0.8),
+                          budget_pct=20.0)
+        assert not diff.ok
+        regressed = {(d.key, d.column) for d in diff.regressions}
+        assert ("new/local/axom", "mean_s") in regressed
+        assert ("new/local/axom", "solve_s") in regressed
+
+    def test_inflation_within_budget_passes(self):
+        diff = bench_diff(make_doc(mean=1.0), make_doc(mean=1.1),
+                          budget_pct=25.0)
+        assert diff.ok
+        # ...but the delta is still reported
+        assert any(d.pct == pytest.approx(10.0, abs=0.1) for d in diff.deltas)
+
+    def test_improvement_never_regresses(self):
+        assert bench_diff(make_doc(mean=2.0), make_doc(mean=1.0)).ok
+
+    def test_noise_floor_suppresses_tiny_phases(self):
+        # a 10x blowup on a 0.1 ms phase is timer noise, not a regression
+        old = make_doc()
+        new = make_doc()
+        for doc, value in ((old, 0.0001), (new, 0.001)):
+            for row in doc["rows"]:
+                row["translate_s"] = value
+        diff = bench_diff(old, new, budget_pct=25.0, min_seconds=1e-3)
+        assert all(
+            not d.regressed for d in diff.deltas if d.column == "translate_s"
+        )
+
+    def test_ms_columns_normalized(self):
+        old = {"figure": "mirrors",
+               "rows": [{"phase": "union_len", "mirror": "a+b", "ms": 100.0}]}
+        new = {"figure": "mirrors",
+               "rows": [{"phase": "union_len", "mirror": "a+b", "ms": 200.0}]}
+        diff = bench_diff(old, new, budget_pct=25.0)
+        [delta] = diff.deltas
+        assert delta.old_s == pytest.approx(0.1)
+        assert delta.regressed
+
+    def test_rows_on_one_side_reported_not_flagged(self):
+        extra = {"label": "new/local", "spec": "umpire", "mean_s": 9.0}
+        diff = bench_diff(make_doc(), make_doc(extra_row=extra))
+        assert diff.ok
+        assert diff.only_new == ["new/local/umpire"]
+
+    def test_stdev_and_count_columns_ignored(self):
+        old = make_doc()
+        new = make_doc()
+        for row in new["rows"]:
+            row["stdev_s"] = 99.0   # noisy, but not a timing regression
+            row["runs"] = 30
+        assert bench_diff(old, new).ok
+
+    def test_column_filter(self):
+        diff = bench_diff(make_doc(), make_doc(mean=5.0, solve=5.0),
+                          budget_pct=10.0, columns=["solve_s"])
+        assert {d.column for d in diff.deltas} == {"solve_s"}
+
+    def test_render_mentions_verdict_and_provenance(self):
+        prov = {"git_sha": "abc1234", "timestamp": "2026-08-08T00:00:00Z",
+                "hostname": "ci-runner"}
+        diff = bench_diff(make_doc(provenance=prov),
+                          make_doc(mean=3.0, provenance=prov),
+                          budget_pct=20.0)
+        text = diff.render()
+        assert "REGRESSED" in text
+        assert "abc1234" in text and "ci-runner" in text
+        assert "regression(s)" in text
+
+
+class TestLoadBench:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(make_doc()))
+        assert load_bench(path)["figure"] == "figure5"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BenchDiffError):
+            load_bench(tmp_path / "ghost.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchDiffError):
+            load_bench(path)
+
+    def test_rowless_doc_raises(self, tmp_path):
+        path = tmp_path / "norows.json"
+        path.write_text(json.dumps({"figure": "x"}))
+        with pytest.raises(BenchDiffError):
+            load_bench(path)
+
+
+class TestBenchProvenance:
+    def test_figure_report_embeds_provenance(self, tmp_path):
+        from repro.bench.report import FigureReport
+
+        report = FigureReport("figtest", "provenance smoke")
+        report.headline("x", 1.0)
+        path = report.save(tmp_path)
+        doc = json.loads(path.read_text())
+        prov = doc["provenance"]
+        for key in ("git_sha", "timestamp", "hostname", "repro_version"):
+            assert key in prov, key
+        assert prov["hostname"]
+        assert prov["timestamp"].endswith("Z")
+
+    def test_shipped_bench_results_diff_cleanly_against_themselves(self):
+        # the real artifacts in bench_results/ must satisfy the gate's
+        # self-comparison invariant (what CI runs)
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parents[2] / "bench_results"
+        for path in sorted(results.glob("*.json")):
+            doc = load_bench(path)
+            diff = bench_diff(doc, doc)
+            assert diff.ok, f"{path.name}: {diff.regressions}"
