@@ -118,6 +118,14 @@ class Control:
             "grounded in %.4fs: %s", sp.duration, self._ground_program.stats()
         )
 
+    def use_ground_program(self, ground_program) -> None:
+        """Inject an externally produced :class:`GroundProgram` (a
+        ground-cache hit or an incremental re-ground); :meth:`solve`
+        will skip grounding entirely and no ``asp.ground`` span opens,
+        so the cached path provably spends zero ground time."""
+        self._ground_program = ground_program
+        self._ground_span = None
+
     @property
     def _ground_time(self) -> float:
         """Backward-compatible accessor: a thin read of the ground span."""

@@ -188,6 +188,18 @@ class Function(Term):
             self._hash = hash(("fn", self.name, self.args))
         return self._hash
 
+    def __getstate__(self):
+        # str hashes are salted per process (PYTHONHASHSEED): a memoized
+        # hash must never travel through pickle (the ground-program disk
+        # cache), or unpickled terms poison dict/set lookups against
+        # natively built equal terms in the consuming process
+        return (self.name, self.args)
+
+    def __setstate__(self, state):
+        self.name, self.args = state
+        self._ground = all(a.is_ground for a in self.args)
+        self._hash = None
+
     def __repr__(self):
         return f"{self.name}({','.join(map(repr, self.args))})"
 
@@ -350,6 +362,15 @@ class Atom:
         if self._hash is None:
             self._hash = hash((self.predicate, self.args))
         return self._hash
+
+    def __getstate__(self):
+        # see Function.__getstate__: never pickle the memoized hash
+        return (self.predicate, self.args)
+
+    def __setstate__(self, state):
+        self.predicate, self.args = state
+        self._ground = all(a.is_ground for a in self.args)
+        self._hash = None
 
     def __repr__(self):
         if not self.args:

@@ -197,6 +197,11 @@ class BuildCache:
         cached merged view on."""
         return self._index.state_token()
 
+    def content_digest(self) -> str:
+        """Stable digest of the indexed spec set (O(1) with a current
+        v3 manifest) — the concretizer's reuse-set cache key."""
+        return self._index.content_digest()
+
     def spec_hash_set(self) -> frozenset:
         """The exact set of indexed spec hashes.  Served from the
         index's summary sidecar when it can prove the answer (zero

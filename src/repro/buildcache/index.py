@@ -232,6 +232,33 @@ class ShardedIndex:
         """
         return (self._manifest_digest, self._revision)
 
+    def content_digest(self) -> str:
+        """A stable digest of the indexed spec set, cheap when possible.
+
+        With a current v3 manifest (no unsaved journal overlay or
+        pushes pending) this is O(1): the manifest digest is computed
+        over the per-shard sha256 lines, which cover every spec
+        document.  Otherwise it falls back to hashing the exact
+        spec-hash set (summary-served when the sidecars can prove it) —
+        still shard-read-free in the common case.  Spec hashes are DAG
+        content hashes, so the set fully determines the reusable specs;
+        the two schemes are prefixed so they can never collide.  The
+        concretizer's ground cache keys reuse sets on this instead of
+        re-hashing 20k spec DAGs per solve.
+        """
+        with self._lock:
+            dirty = any(shard.dirty for shard in self._shards.values())
+            if self._manifest_digest is not None and not dirty:
+                return f"manifest:{self._manifest_digest}"
+        hashes = self.spec_hash_set()
+        if hashes is None:
+            hashes = frozenset(self.spec_hashes())
+        digest = hashlib.sha256()
+        for spec_hash in sorted(hashes):
+            digest.update(spec_hash.encode())
+            digest.update(b"\n")
+        return f"hashes:{digest.hexdigest()}"
+
     @staticmethod
     def _shard_key(prefix: str) -> str:
         return f"{SHARD_DIR}/{prefix}.json"

@@ -192,16 +192,36 @@ def _reusable(args, caches=None) -> list:
     return specs
 
 
+def _reuse_digest(args, caches):
+    """O(1) digest of the reuse set, when one cache is its only source.
+
+    The ground-program cache keys on the reuse set; a single
+    ``BuildCache`` can answer in O(1) via its index manifest digest.
+    When an install store also contributes reusable specs (or several
+    mirrors do), return None so the concretizer falls back to hashing
+    the spec list itself — slower but always correct.
+    """
+    if len(caches) != 1 or not hasattr(caches[0], "content_digest"):
+        return None
+    if getattr(args, "store", None):
+        store = Path(args.store)
+        if (store / "db.json").exists():
+            return None
+    return caches[0].content_digest()
+
+
 def cmd_spec(args) -> int:
     """`repro spec`: concretize and print trees, builds, and splices."""
     repo = _load_repo(args.repo)
+    caches = _open_caches(args)
     concretizer = Concretizer(
         repo,
-        reusable_specs=_reusable(args, _open_caches(args)),
+        reusable_specs=_reusable(args, caches),
         splicing=args.splice,
+        reuse_digest=_reuse_digest(args, caches),
     )
     try:
-        result = concretizer.solve(args.specs, forbidden=args.forbid or [])
+        result = concretizer.solve_all(args.specs, forbidden=args.forbid or [])
     except UnsatisfiableError as e:
         print(f"error: {e}", file=sys.stderr)
         diagnosis = concretizer.explain(args.specs, forbidden=args.forbid or [])
@@ -228,9 +248,10 @@ def cmd_install(args) -> int:
         repo,
         reusable_specs=_reusable(args, caches),
         splicing=args.splice,
+        reuse_digest=_reuse_digest(args, caches),
     )
     try:
-        result = concretizer.solve(args.specs, forbidden=args.forbid or [])
+        result = concretizer.solve_all(args.specs, forbidden=args.forbid or [])
     except UnsatisfiableError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
@@ -452,9 +473,27 @@ def cmd_obs(args) -> int:
     action = args.obs_action
     if action == "bench-diff":
         try:
+            new_doc = load_bench(args.new)
+            if args.old is not None:
+                old_doc = load_bench(args.old)
+            elif args.baseline_dir:
+                # resolve the baseline by figure name: a CI job can point
+                # --baseline-dir at a checked-out bench_results/ and
+                # compare whatever figure the candidate file claims to be
+                figure = str(new_doc.get("figure") or "")
+                if not figure:
+                    raise CLIError(
+                        f"{args.new} has no 'figure' name; pass the "
+                        "baseline file explicitly"
+                    )
+                old_doc = load_bench(Path(args.baseline_dir) / f"{figure}.json")
+            else:
+                raise CLIError(
+                    "bench-diff needs a baseline: pass OLD or --baseline-dir DIR"
+                )
             diff = bench_diff(
-                load_bench(args.old),
-                load_bench(args.new),
+                old_doc,
+                new_doc,
                 budget_pct=args.budget_pct,
                 min_seconds=args.min_seconds,
                 columns=args.columns,
@@ -701,8 +740,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "phase-by-phase; exit 1 on regressions",
         parents=[obs],
     )
-    o_bench.add_argument("old", help="baseline bench JSON")
+    o_bench.add_argument(
+        "old", nargs="?", default=None,
+        help="baseline bench JSON (omit when using --baseline-dir)",
+    )
     o_bench.add_argument("new", help="candidate bench JSON")
+    o_bench.add_argument(
+        "--baseline-dir", metavar="DIR",
+        help="directory holding baseline JSONs; the file named after the "
+             "candidate's figure (<figure>.json) becomes the baseline",
+    )
     o_bench.add_argument(
         "--budget-pct", type=float, default=25.0, metavar="N",
         help="flag a phase slower than the baseline by more than N%% "

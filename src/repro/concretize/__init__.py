@@ -1,7 +1,13 @@
 """The concretizer: dependency resolution with reuse and splicing."""
 
-from .concretizer import Concretizer, ConcretizationResult, UnsatisfiableError
+from .concretizer import (
+    BatchConcretizationResult,
+    ConcretizationResult,
+    Concretizer,
+    UnsatisfiableError,
+)
 from .encode import Encoder, EncodingError
+from .groundcache import GroundProgramCache, reset_ground_caches
 from .reuse import ReuseEncoder, OLD_ENCODING, NEW_ENCODING
 from .cansplice import CanSpliceCompiler
 from .extract import ModelExtractor, ExtractionError
@@ -10,7 +16,10 @@ from .explain import Diagnosis, Constraint, explain_unsat
 __all__ = [
     "Concretizer",
     "ConcretizationResult",
+    "BatchConcretizationResult",
     "UnsatisfiableError",
+    "GroundProgramCache",
+    "reset_ground_caches",
     "Encoder",
     "EncodingError",
     "ReuseEncoder",

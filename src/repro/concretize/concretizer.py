@@ -11,21 +11,29 @@ Configuration axes mirror the paper's experiments (Section 6.1.4):
 from __future__ import annotations
 
 import logging
+import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..asp.api import Control, Model
+from ..asp.grounder import Grounder
 from ..asp.parser import parse_program
-from ..asp.syntax import Program
-from ..obs import trace
+from ..asp.syntax import Atom, Program, Rule
+from ..obs import metrics, trace
 from ..package.repository import Repository
 from ..spec import Spec, parse_one
+from . import groundcache
 from .cansplice import CanSpliceCompiler
 from .encode import Encoder, EncodingError
 from .extract import ModelExtractor
 from .reuse import ReuseEncoder, NEW_ENCODING, OLD_ENCODING
 
-__all__ = ["Concretizer", "ConcretizationResult", "UnsatisfiableError"]
+__all__ = [
+    "Concretizer",
+    "ConcretizationResult",
+    "BatchConcretizationResult",
+    "UnsatisfiableError",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -106,6 +114,35 @@ class ConcretizationResult:
         )
 
 
+class BatchConcretizationResult(ConcretizationResult):
+    """One joint solve over many roots, viewable per root.
+
+    All roots share one stable model, so common dependencies *unify*
+    (one node per package across the whole environment).  Per-root views
+    restrict ``by_name`` to the root's own DAG closure; their
+    ``built``/``reused``/``spliced`` breakdowns therefore count only
+    nodes reachable from that root.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._per_root: Optional[List[ConcretizationResult]] = None
+
+    def for_root(self, root: Spec) -> ConcretizationResult:
+        """The solve restricted to one concrete root's closure."""
+        closure = {node.name: node for node in root.traverse()}
+        return ConcretizationResult([root], closure, self.model, self.stats)
+
+    @property
+    def per_root(self) -> List[ConcretizationResult]:
+        if self._per_root is None:
+            self._per_root = [self.for_root(root) for root in self.roots]
+        return self._per_root
+
+    def __iter__(self):
+        return iter(self.per_root)
+
+
 class Concretizer:
     """Dependency resolver over a repository and a set of reusable specs."""
 
@@ -117,6 +154,9 @@ class Concretizer:
         splicing: bool = False,
         default_os: str = "centos8",
         default_target: str = "skylake",
+        ground_cache: Optional[groundcache.GroundProgramCache] = None,
+        incremental: Optional[bool] = None,
+        reuse_digest: Optional[str] = None,
     ):
         if splicing and encoding != NEW_ENCODING:
             raise ValueError(
@@ -133,17 +173,37 @@ class Concretizer:
         for spec in self.reusable_specs:
             for node in spec.traverse():
                 self._by_hash.setdefault(node.dag_hash(), node)
+        #: exact-key ground-program cache; default resolves from the
+        #: environment (REPRO_GROUND_CACHE_DIR / REPRO_GROUND_CACHE) and
+        #: is OFF otherwise — fresh-solve timings must stay honest
+        self.ground_cache = (
+            ground_cache if ground_cache is not None else groundcache.default_cache()
+        )
+        if incremental is None:
+            incremental = (
+                os.environ.get(groundcache.ENV_INCREMENTAL, "").lower()
+                in ("1", "true", "yes", "on")
+            )
+        #: opt-in: reuse a shared monotone ground state and only ground
+        #: the per-solve delta (request + reuse facts)
+        self.incremental = incremental
+        #: caller-provided O(1) reuse-set digest (e.g. a buildcache
+        #: index's content_digest()); falls back to hashing _by_hash keys
+        self._reuse_digest = reuse_digest
+        self._reuse_encoder: Optional[ReuseEncoder] = None
+        self._reuse_facts: Optional[List[Atom]] = None
 
     # ------------------------------------------------------------------
     def lookup(self, hash_: str) -> Spec:
         return self._by_hash[hash_]
 
-    def _resolve_hash_constraints(self, roots: Sequence[Spec], control) -> None:
+    def _hash_constraint_facts(self, roots: Sequence[Spec]) -> List[Atom]:
         """Resolve ``name/abc123`` hash-prefix requests against the
         reusable-spec set and force the matching installed hash."""
-        from ..asp.syntax import Atom, String
+        from ..asp.syntax import String
         from .encode import node_term
 
+        facts: List[Atom] = []
         for root in roots:
             for node in root.traverse():
                 prefix = node.abstract_hash
@@ -165,12 +225,13 @@ class Concretizer:
                         f"{', '.join(m[:10] for m in matches)}"
                     )
                 name = node.name or self._by_hash[matches[0]].name
-                control.add_fact(
+                facts.append(
                     Atom(
                         "attr",
                         (String("hash"), node_term(name), String(matches[0])),
                     )
                 )
+        return facts
 
     def explain(
         self,
@@ -183,6 +244,197 @@ class Concretizer:
 
         return explain_unsat(self, specs, forbidden)
 
+    # ------------------------------------------------------------------
+    # reuse-set / cache-key helpers
+    # ------------------------------------------------------------------
+    def _reuse_encoding(self) -> Tuple[ReuseEncoder, List[Atom]]:
+        """The reuse facts for this concretizer's (fixed) reuse set,
+        encoded once per instance."""
+        if self._reuse_encoder is None:
+            encoder = ReuseEncoder(self.encoding)
+            self._reuse_facts = list(encoder.encode_specs(self.reusable_specs))
+            self._reuse_encoder = encoder
+        return self._reuse_encoder, self._reuse_facts
+
+    def _logic_names(self) -> List[str]:
+        names = ["concretize.lp"]
+        if self.encoding == NEW_ENCODING:
+            names.append("reuse_new.lp")
+        if self.splicing:
+            names.append("splice.lp")
+        return names
+
+    def _solve_key(
+        self, roots: Sequence[Spec], forbidden: Sequence[str]
+    ) -> Tuple[str, str, str]:
+        """(base-state key..., exact solve key) digests.
+
+        The repo digest is recomputed per solve — repositories mutate
+        (replica injection, provider preferences) — but it folds cached
+        per-package digests, so it is cheap.  The reuse digest is fixed
+        per instance (the spec list is copied at construction).
+        """
+        logic = groundcache.logic_digest(self._logic_names())
+        repo = groundcache.repo_digest(self.repo)
+        if self._reuse_digest is None:
+            self._reuse_digest = groundcache.reuse_digest(self._by_hash)
+        request = groundcache.request_digest(
+            roots, forbidden, self.default_os, self.default_target,
+            self.encoding, self.splicing,
+        )
+        return logic, repo, groundcache.cache_key(
+            logic, repo, self._reuse_digest, request
+        )
+
+    # ------------------------------------------------------------------
+    # the three grounding paths
+    # ------------------------------------------------------------------
+    def _prepare_control(
+        self, roots: Sequence[Spec], forbidden: Sequence[str]
+    ) -> Tuple[Control, int, float]:
+        """Produce a ground, solvable :class:`Control` for the request.
+
+        Three paths, fastest first:
+
+        1. **exact ground-cache hit** — the whole ground program is
+           memoized; no setup, no grounding (neither span even opens);
+        2. **incremental** — a shared monotone grounder holds the base
+           (repo + logic) fixpoint; only the volatile delta (request,
+           reuse facts, forced hashes) is ground (``asp.ground_delta``);
+        3. **classic** — full setup + ground, exactly the historical
+           path; the result feeds the exact cache when one is enabled.
+
+        Returns ``(control, reusable_nodes, setup_seconds)``.
+        """
+        key = None
+        if self.ground_cache is not None or self.incremental:
+            logic_d, repo_d, key = self._solve_key(roots, forbidden)
+        if self.ground_cache is not None:
+            entry = self.ground_cache.get(key)
+            if entry is not None:
+                logger.info("ground cache hit for %s", [str(r) for r in roots])
+                control = Control()
+                control.use_ground_program(entry.ground_program)
+                return control, int(entry.meta.get("reusable_nodes", 0)), 0.0
+        if self.incremental:
+            return self._prepare_incremental(
+                roots, forbidden, (logic_d, repo_d), key
+            )
+        return self._prepare_classic(roots, forbidden, key)
+
+    def _prepare_classic(
+        self,
+        roots: Sequence[Spec],
+        forbidden: Sequence[str],
+        key: Optional[str],
+    ) -> Tuple[Control, int, float]:
+        with trace.span("concretize.setup") as setup_span:
+            control = Control()
+            encoder = Encoder(self.repo)
+            encoder.encode_repository()
+            encoder.encode_request(
+                roots,
+                forbidden=forbidden,
+                default_os=self.default_os,
+                default_target=self.default_target,
+            )
+
+            for fact in self._hash_constraint_facts(roots):
+                control.add_fact(fact)
+
+            if self.splicing:
+                compiler = CanSpliceCompiler(self.repo, encoder)
+                for rule in compiler.compile_all():
+                    control.add_rule(rule)
+
+            encoder.into_program(control.program)
+
+            reuse, reuse_facts = self._reuse_encoding()
+            for fact in reuse_facts:
+                control.add_fact(fact)
+
+            for name in self._logic_names():
+                control.program.extend(_load_logic(name))
+            setup_span.set(reusable_nodes=reuse.node_count)
+
+        control.ground()  # explicit, so the program can be cached pre-solve
+        if self.ground_cache is not None and key is not None:
+            self.ground_cache.put(
+                key,
+                control._ground_program,
+                {"reusable_nodes": reuse.node_count},
+            )
+        return control, reuse.node_count, setup_span.duration
+
+    def _build_incremental_state(self) -> groundcache.IncrementalGroundState:
+        """Ground the request-independent base once: repository encoding
+        (+ splice rules) + logic programs, through the monotone
+        possible-atom fixpoint."""
+        program = Program()
+        encoder = Encoder(self.repo)
+        encoder.encode_repository()
+        splice_rules: List[Rule] = []
+        if self.splicing:
+            compiler = CanSpliceCompiler(self.repo, encoder)
+            # consume before into_program: compilation may register
+            # conditions/vsets on the encoder
+            splice_rules = list(compiler.compile_all())
+        encoder.into_program(program)
+        for rule in splice_rules:
+            program.add_rule(rule)
+        for name in self._logic_names():
+            program.extend(_load_logic(name))
+        grounder = Grounder(program, monotone=True)
+        grounder.prepare()
+        return groundcache.IncrementalGroundState(encoder, grounder)
+
+    def _prepare_incremental(
+        self,
+        roots: Sequence[Spec],
+        forbidden: Sequence[str],
+        state_key_parts: Tuple[str, str],
+        key: Optional[str],
+    ) -> Tuple[Control, int, float]:
+        logic_d, repo_d = state_key_parts
+        state = groundcache.incremental_state(
+            (logic_d, repo_d, self.encoding, self.splicing),
+            self._build_incremental_state,
+        )
+        with state.lock:
+            with trace.span("concretize.setup") as setup_span:
+                encoder = state.encoder
+                encoder.begin_request()
+                try:
+                    encoder.encode_request(
+                        roots,
+                        forbidden=forbidden,
+                        default_os=self.default_os,
+                        default_target=self.default_target,
+                    )
+                finally:
+                    volatile_facts, volatile_rules = encoder.take_request()
+                volatile_facts.extend(self._hash_constraint_facts(roots))
+                reuse, reuse_facts = self._reuse_encoding()
+                volatile_facts.extend(reuse_facts)
+                setup_span.set(reusable_nodes=reuse.node_count)
+            with trace.span("asp.ground_delta") as delta_span:
+                ground_program = state.grounder.ground_with(
+                    volatile_facts, volatile_rules
+                )
+                delta_span.set(**ground_program.stats())
+            state.solves += 1
+        metrics.inc("concretize.incremental_resolves")
+        control = Control()
+        control.use_ground_program(ground_program)
+        if self.ground_cache is not None and key is not None:
+            self.ground_cache.put(
+                key, ground_program, {"reusable_nodes": reuse.node_count}
+            )
+        return control, reuse.node_count, setup_span.duration
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
     def solve(
         self,
         specs: Sequence[Union[str, Spec]],
@@ -207,37 +459,9 @@ class Concretizer:
             encoding=self.encoding,
             splicing=self.splicing,
         ) as outer:
-            with trace.span("concretize.setup") as setup_span:
-                control = Control()
-                encoder = Encoder(self.repo)
-                encoder.encode_repository()
-                encoder.encode_request(
-                    roots,
-                    forbidden=forbidden,
-                    default_os=self.default_os,
-                    default_target=self.default_target,
-                )
-
-                self._resolve_hash_constraints(roots, control)
-
-                if self.splicing:
-                    compiler = CanSpliceCompiler(self.repo, encoder)
-                    for rule in compiler.compile_all():
-                        control.add_rule(rule)
-
-                encoder.into_program(control.program)
-
-                reuse = ReuseEncoder(self.encoding)
-                for fact in reuse.encode_specs(self.reusable_specs):
-                    control.add_fact(fact)
-
-                control.program.extend(_load_logic("concretize.lp"))
-                if self.encoding == NEW_ENCODING:
-                    control.program.extend(_load_logic("reuse_new.lp"))
-                if self.splicing:
-                    control.program.extend(_load_logic("splice.lp"))
-                setup_span.set(reusable_nodes=reuse.node_count)
-
+            control, reusable_nodes, setup_seconds = self._prepare_control(
+                roots, forbidden
+            )
             result = control.solve()
             if not result.satisfiable:
                 raise UnsatisfiableError(
@@ -250,13 +474,34 @@ class Concretizer:
             concrete_roots = [by_name[r.name] for r in roots]
 
         stats = dict(result.stats)
-        stats["setup_time"] = setup_span.duration
+        stats["setup_time"] = setup_seconds
         stats["total_time"] = outer.duration
-        stats["reusable_nodes"] = reuse.node_count
+        stats["reusable_nodes"] = reusable_nodes
         logger.info(
             "concretized in %.3fs (setup %.3fs, ground %.3fs, "
             "translate %.3fs, solve %.3fs)",
-            outer.duration, setup_span.duration, stats.get("ground_time", 0.0),
+            outer.duration, setup_seconds, stats.get("ground_time", 0.0),
             stats.get("translate_time", 0.0), stats.get("solve_time", 0.0),
         )
         return ConcretizationResult(concrete_roots, by_name, result.model, stats)
+
+    def solve_all(
+        self,
+        specs: Sequence[Union[str, Spec]],
+        forbidden: Sequence[str] = (),
+    ) -> BatchConcretizationResult:
+        """Concretize all roots in ONE ASP program (environment scale).
+
+        The repository and reuse facts are encoded once and every ground
+        rule is shared across roots, so per-root amortized cost drops
+        superlinearly versus sequential single-root solves; shared
+        dependencies unify into a single node.  Returns a
+        :class:`BatchConcretizationResult` — the joint solve plus
+        per-root DAG views.
+        """
+        roots = [parse_one(s) if isinstance(s, str) else s for s in specs]
+        metrics.inc("concretize.batch_roots", len(roots))
+        result = self.solve(roots, forbidden=forbidden)
+        return BatchConcretizationResult(
+            result.roots, result.by_name, result.model, result.stats
+        )

@@ -88,7 +88,7 @@ class Environment:
             default_os=self.default_os,
             default_target=self.default_target,
         )
-        result = concretizer.solve(self.roots, forbidden=self.forbidden)
+        result = concretizer.solve_all(self.roots, forbidden=self.forbidden)
         self.concrete_roots = result.roots
         return self.concrete_roots
 

@@ -42,7 +42,11 @@ __all__ = [
 #: obs.sessions_written/session_rotations/session_corrupt_lines/
 #: crash_reports counters, span ids in retained events, and the
 #: session/crash-report JSON documents themselves)
-SCHEMA_VERSION = 6
+#: (7: environment-scale concretization — the asp.ground_delta span and
+#: concretize.batch_roots/ground_cache_{hits,misses,stale}/
+#: incremental_resolves counters added with batch solve + the ground
+#: program cache)
+SCHEMA_VERSION = 7
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:

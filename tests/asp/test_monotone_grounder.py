@@ -1,0 +1,180 @@
+"""Monotone grounder: delta grounding must preserve stable models.
+
+The incremental concretizer keeps ONE base :class:`Grounder` alive and
+feeds it per-request volatile facts via ``ground_with``.  Its
+possible-atom index only ever grows, so a ground program assembled
+after several requests *over-approximates* any single request's
+program: it may contain stale instances whose bodies mention atoms
+from earlier requests.  Soundness rests on the translator's Clark
+completion forcing every unsupported atom false — stale instances are
+inert, never wrong.
+
+These tests pin that equivalence: for each scenario the stable models
+of ``ground_with(facts)`` (after arbitrary earlier requests polluted
+the index) must equal the stable models of grounding the program +
+facts from scratch the classic way.
+"""
+
+import pytest
+
+from repro.asp.grounder import Grounder, GroundingError, ground
+from repro.asp.parser import parse_program
+from repro.asp.stable import StableModelFinder
+from repro.asp.parser import parse_term
+from repro.asp.syntax import Atom, Rule
+from repro.asp.translate import Translator
+
+
+def all_stable_models(gp, limit=32):
+    """Every stable model as a frozenset of atom reprs (blocking-clause
+    enumeration; aux vars are functionally determined by atom vars)."""
+    translator = Translator(gp)
+    finder = StableModelFinder(translator)
+    models = set()
+    while len(models) < limit:
+        model = finder.solve()
+        if model is None:
+            break
+        models.add(frozenset(repr(a) for a in model))
+        clause = [
+            -var if atom in model else var
+            for atom, var in translator.atom_var.items()
+        ]
+        if not clause:
+            break
+        translator.solver.add_clause(clause)
+    return models
+
+
+def classic_models(text):
+    return all_stable_models(ground(parse_program(text)))
+
+
+BASE = """
+dep(X, Y) :- pkg(X), pkg(Y), wants(X, Y).
+node(X) :- root(X).
+node(Y) :- node(X), dep(X, Y).
+:- node(X), forbidden(X).
+{ variant(X) : node(X) }.
+happy(X) :- node(X), variant(X).
+lonely(X) :- node(X), not variant(X).
+"""
+
+PKGS = """
+pkg(a). pkg(b). pkg(c).
+wants(a, b). wants(b, c).
+"""
+
+
+class TestDeltaEquivalence:
+    def test_volatile_facts_match_classic(self):
+        grounder = Grounder(parse_program(BASE + PKGS), monotone=True)
+        gp = grounder.ground_with([Atom("root", (parse_term("a"),))])
+        assert all_stable_models(gp) == classic_models(
+            BASE + PKGS + "root(a)."
+        )
+
+    def test_stale_facts_forced_false(self):
+        # request 1 pollutes the index with root(a)'s closure; request 2
+        # asks only for root(c).  root(a) stays *possible* but is no
+        # longer emitted as a fact, so completion forces it false: the
+        # second solve sees exactly the second request
+        grounder = Grounder(parse_program(BASE + PKGS), monotone=True)
+        grounder.ground_with([Atom("root", (parse_term("a"),))])
+        gp = grounder.ground_with([Atom("root", (parse_term("c"),))])
+        assert all_stable_models(gp) == classic_models(
+            BASE + PKGS + "root(c)."
+        )
+
+    def test_only_current_facts_emitted(self):
+        # each ground_with emits its own volatile facts, never an
+        # earlier request's — that is the per-request isolation the
+        # incremental concretizer relies on
+        grounder = Grounder(parse_program(BASE + PKGS), monotone=True)
+        gp1 = grounder.ground_with([Atom("root", (parse_term("a"),))])
+        n1 = sum(
+            1 for r in gp1.rules if r.head and r.head.predicate == "root"
+        )
+        gp2 = grounder.ground_with([Atom("root", (parse_term("c"),))])
+        n2 = sum(
+            1 for r in gp2.rules if r.head and r.head.predicate == "root"
+        )
+        assert (n1, n2) == (1, 1)
+
+    def test_new_facts_enable_new_instances(self):
+        # a later request's facts must trigger genuinely new joins, not
+        # just re-emission of the old ground rules
+        grounder = Grounder(parse_program(BASE + PKGS), monotone=True)
+        grounder.ground_with([Atom("root", (parse_term("c"),))])
+        gp = grounder.ground_with(
+            [Atom("pkg", (parse_term("d"),)),
+             Atom("wants", (parse_term("c"), parse_term("d"))),
+             Atom("root", (parse_term("a"),)),
+             Atom("root", (parse_term("c"),))]
+        )
+        assert all_stable_models(gp) == classic_models(
+            BASE + PKGS + "root(a). root(c). pkg(d). wants(c, d)."
+        )
+
+    def test_negation_against_volatile_atoms(self):
+        # `lonely(X) :- node(X), not variant(X)` — the negated atom is
+        # possible only via the volatile closure; monotone mode must
+        # keep the negative literal (certainty is disabled for rules
+        # with negation, so no body is wrongly simplified)
+        grounder = Grounder(parse_program(BASE + PKGS), monotone=True)
+        gp = grounder.ground_with([Atom("root", (parse_term("b"),))])
+        assert all_stable_models(gp) == classic_models(
+            BASE + PKGS + "root(b)."
+        )
+
+    def test_constraints_still_prune(self):
+        grounder = Grounder(parse_program(BASE + PKGS), monotone=True)
+        gp = grounder.ground_with(
+            [Atom("root", (parse_term("a"),)),
+             Atom("forbidden", (parse_term("c"),))]
+        )
+        assert all_stable_models(gp) == set()  # a -> b -> c is forced
+
+    def test_choices_over_volatile_facts(self):
+        text = "opt(base). { pick(X) : opt(X) } 1. some :- pick(X), opt(X)."
+        grounder = Grounder(parse_program(text), monotone=True)
+        gp = grounder.ground_with([Atom("opt", (parse_term("extra"),))])
+        assert all_stable_models(gp) == classic_models(text + " opt(extra).")
+
+
+class TestModeGuards:
+    def test_ground_with_requires_monotone(self):
+        grounder = Grounder(parse_program("a."))
+        with pytest.raises(GroundingError):
+            grounder.ground_with([Atom("b", ())])
+
+    def test_volatile_rules_must_be_headless(self):
+        from repro.asp.syntax import Literal
+
+        grounder = Grounder(parse_program("a."), monotone=True)
+        bad = Rule(Atom("b", ()), (Literal(Atom("a", ())),))
+        with pytest.raises(GroundingError):
+            grounder.ground_with([], [bad])
+
+    def test_headless_volatile_rules_apply(self):
+        from repro.asp.syntax import Literal
+
+        grounder = Grounder(parse_program("{ a }."), monotone=True)
+        forbid = Rule(None, (Literal(Atom("a", ())),))
+        gp = grounder.ground_with([], [forbid])
+        models = all_stable_models(gp)
+        assert models == {frozenset()}
+
+    def test_add_facts_rejects_non_ground(self):
+        from repro.asp.syntax import Variable
+
+        grounder = Grounder(parse_program("a."), monotone=True)
+        with pytest.raises(GroundingError):
+            grounder.add_facts([Atom("p", (Variable("X"),))])
+
+    def test_classic_ground_unchanged(self):
+        # monotone=False is byte-for-byte the historical grounder
+        text = BASE + PKGS + "root(a)."
+        a = ground(parse_program(text))
+        b = Grounder(parse_program(text)).ground()
+        assert sorted(map(repr, a.rules)) == sorted(map(repr, b.rules))

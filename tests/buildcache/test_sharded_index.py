@@ -330,3 +330,68 @@ class TestBuildCacheIntegration:
         assert "buildcache.shard_load" not in trace.phase_stats()
         assert zlib.dag_hash() in reopened
         assert trace.phase_stats()["buildcache.shard_load"]["count"] == 1
+
+
+class TestContentDigest:
+    """content_digest(): the ground cache's O(1) reuse-set key.
+
+    Contract: equal spec sets give equal digests across save/reopen
+    (and across directories), any content change gives a new digest,
+    and the clean-manifest fast path never reads a shard.
+    """
+
+    def test_stable_across_save_and_reopen(self, tmp_path):
+        populate(tmp_path, 20)
+        saver = ShardedIndex(tmp_path)
+        assert saver.content_digest() == ShardedIndex(tmp_path).content_digest()
+
+    @requires_v3_writes
+    def test_clean_manifest_path_is_o1(self, tmp_path):
+        populate(tmp_path, 20)
+        obs.reset()
+        index = ShardedIndex(tmp_path)
+        digest = index.content_digest()
+        assert digest.startswith("manifest:")
+        assert "buildcache.shard_load" not in trace.phase_stats()
+
+    def test_same_content_same_digest_across_directories(self, tmp_path):
+        populate(tmp_path / "a", 12)
+        populate(tmp_path / "b", 12)
+        assert (
+            ShardedIndex(tmp_path / "a").content_digest()
+            == ShardedIndex(tmp_path / "b").content_digest()
+        )
+
+    def test_push_changes_digest(self, tmp_path):
+        populate(tmp_path, 12)
+        index = ShardedIndex(tmp_path)
+        before = index.content_digest()
+        h, doc = fake_doc(99)
+        index.record_push({h: doc}, {}, {})
+        dirty = index.content_digest()
+        assert dirty != before
+        assert dirty.startswith("hashes:")  # unsaved overlay: exact fallback
+        index.save()
+        saved = index.content_digest()
+        assert saved != before
+        assert ShardedIndex(tmp_path).content_digest() == saved
+
+    def test_digest_after_save_matches_fresh_open(self, tmp_path):
+        index = ShardedIndex(tmp_path)
+        for i in range(8):
+            h, doc = fake_doc(i)
+            index.record_push({h: doc}, {}, {})
+        index.save()
+        assert index.content_digest() == ShardedIndex(tmp_path).content_digest()
+
+    def test_buildcache_delegates(self, zlib, tmp_path):
+        src = tmp_path / "build" / "zlib"
+        (src / "lib").mkdir(parents=True)
+        (src / "lib" / "libzlib.so").write_text("payload")
+        cache = BuildCache(tmp_path / "cache")
+        before = cache.content_digest()
+        cache.push(zlib, src)
+        cache.save_index()
+        after = cache.content_digest()
+        assert after != before
+        assert BuildCache(tmp_path / "cache").content_digest() == after

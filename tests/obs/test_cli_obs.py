@@ -227,6 +227,49 @@ class TestBenchDiffVerb:
                      str(tmp_path / "h.json")]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_baseline_dir_resolves_by_figure(self, no_telemetry, tmp_path,
+                                             capsys):
+        baseline = tmp_path / "baseline"
+        baseline.mkdir()
+        self._write(baseline, "fig.json", 1.0)  # figure name, not file name
+        new = self._write(tmp_path, "new.json", 1.05)
+        assert main(["obs", "bench-diff", "--baseline-dir", str(baseline),
+                     new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_baseline_dir_catches_regression(self, no_telemetry, tmp_path,
+                                             capsys):
+        baseline = tmp_path / "baseline"
+        baseline.mkdir()
+        self._write(baseline, "fig.json", 1.0)
+        new = self._write(tmp_path, "new.json", 2.0)
+        assert main(["obs", "bench-diff", "--baseline-dir", str(baseline),
+                     new, "--budget-pct", "20"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_baseline_dir_without_figure_exits_2(self, no_telemetry,
+                                                 tmp_path, capsys):
+        path = tmp_path / "new.json"
+        path.write_text(json.dumps({"rows": []}))  # no figure field
+        assert main(["obs", "bench-diff", "--baseline-dir", str(tmp_path),
+                     str(path)]) == 2
+        assert "figure" in capsys.readouterr().err
+
+    def test_baseline_dir_missing_figure_file_exits_2(self, no_telemetry,
+                                                      tmp_path, capsys):
+        baseline = tmp_path / "empty"
+        baseline.mkdir()
+        new = self._write(tmp_path, "new.json", 1.0)
+        assert main(["obs", "bench-diff", "--baseline-dir", str(baseline),
+                     new]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_baseline_at_all_exits_2(self, no_telemetry, tmp_path,
+                                        capsys):
+        new = self._write(tmp_path, "new.json", 1.0)
+        assert main(["obs", "bench-diff", new]) == 2
+        assert "baseline" in capsys.readouterr().err
+
 
 class TestLogCorrelation:
     def test_filter_stamps_active_span(self):
