@@ -1,0 +1,123 @@
+"""Full static audit of a public-scale buildcache in single-digit seconds.
+
+The ISSUE's promise for the audit families: auditing the whole ~4k-spec
+public cache — every shard digest, every summary entry, every
+``can_splice`` declaration cross-checked against artifacts — is cheap
+enough to run in CI on every publish.  This bench populates a
+radiuss-shaped index at that scale (index-only: the audit's ABI surface
+fallback reads the same class data the simulated builds bake into
+binaries), runs the complete checker set, and reports wall time plus
+the per-checker ``analysis.*`` obs spans as the proof.
+
+Run:   pytest benchmarks/bench_audit.py
+Scale: REPRO_AUDIT_SCALE_SPECS  (default 4000)
+Budget: REPRO_AUDIT_BUDGET_S    (default 9.9 — "single-digit seconds")
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.analysis import Analyzer, AuditContext
+from repro.bench import FigureReport, write_results
+from repro.buildcache import BuildCache, vary_configurations
+from repro.obs import SCHEMA_VERSION, trace
+from repro.repos.radiuss import RADIUSS_ROOTS, make_radiuss_repo
+
+SPEC_COUNT = int(os.environ.get("REPRO_AUDIT_SCALE_SPECS", "4000"))
+BUDGET_S = float(os.environ.get("REPRO_AUDIT_BUDGET_S", "9.9"))
+
+PROVIDERS = [
+    {"mpi": "mpich"},
+    {"mpi": "mpich"},
+    {"mpi": "openmpi"},
+    {"mpi": "mvapich2"},
+]
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def public_cache(tmp_path_factory):
+    """A ~SPEC_COUNT-spec cache shaped like the public mirror."""
+    root = tmp_path_factory.mktemp("audit-scale") / "cache"
+    repo = make_radiuss_repo()
+    specs = vary_configurations(
+        repo, RADIUSS_ROOTS, count=SPEC_COUNT, seed=7, providers=PROVIDERS
+    )
+    start = time.perf_counter()
+    cache = BuildCache(root)
+    for spec in specs:
+        cache._index_spec(spec)
+    cache.save_index()
+    _results["populate_s"] = time.perf_counter() - start
+    _results["spec_count"] = len(cache)
+    return repo, BuildCache(root)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end(public_cache):
+    yield
+    report = FigureReport(
+        "audit_scale",
+        f"full static audit of a {_results.get('spec_count', 0)}-spec cache",
+    )
+    for row in _results.get("checker_spans", []):
+        report.rows.append(row)
+    report.headline("spec_count", _results.get("spec_count", 0))
+    report.headline("populate_s", round(_results.get("populate_s", 0.0), 3))
+    report.headline("audit_s", round(_results.get("audit_s", 0.0), 3))
+    report.headline("budget_s", BUDGET_S)
+    report.headline("obs_schema", SCHEMA_VERSION)
+    write_results(report)
+
+
+class TestAuditAtScale:
+    def test_full_audit_within_budget(self, public_cache):
+        repo, cache = public_cache
+        obs.reset()
+        context = AuditContext(
+            repo=repo,
+            cache=cache,
+            concrete_specs=cache.all_specs(),
+            reusable_specs=cache.all_specs(),
+        )
+        start = time.perf_counter()
+        audit = Analyzer().run(context)
+        elapsed = time.perf_counter() - start
+        _results["audit_s"] = elapsed
+
+        # per-checker wall time, straight from the analysis.* obs spans —
+        # the bench JSON carries the proof, not just the total
+        spans = []
+        for phase, stats in sorted(trace.phase_stats().items()):
+            if phase.startswith("analysis."):
+                spans.append(
+                    {"span": phase, "seconds": round(stats["total_s"], 4)}
+                )
+        _results["checker_spans"] = spans
+        assert spans, "audit ran without emitting analysis.* spans"
+
+        # a clean public cache: the seeded repos carry no unsound
+        # declarations, so nothing may error at scale
+        assert not audit.has_errors, audit.render()
+        assert elapsed < BUDGET_S, (
+            f"full audit took {elapsed:.2f}s (budget {BUDGET_S}s) over "
+            f"{_results['spec_count']} specs"
+        )
+
+    def test_per_code_counters_exported(self, public_cache):
+        """Schema 8: any diagnostic increments its per-code counter."""
+        from repro.obs import metrics
+
+        repo, cache = public_cache
+        obs.reset()
+        context = AuditContext(
+            repo=repo, cache=cache, concrete_specs=cache.all_specs()
+        )
+        audit = Analyzer(["abi"]).run(context)
+        counters = metrics.snapshot()["counters"]
+        for diag in audit.diagnostics:
+            assert counters.get(f"analysis.diagnostics.code.{diag.code}")

@@ -8,11 +8,15 @@ UNSAT or a wrong model.  This package is the ``spack audit`` analogue:
 a checker registry producing structured diagnostics with stable codes
 (``SPL001``, ``ASP002``, ``DAG001``, ...), surfaced via ``repro audit``.
 
-Three checker families (see docs/static_analysis.md for the catalog):
+Five checker families (see docs/static_analysis.md for the catalog):
 
 * ``directives.*`` — lints over a :class:`Repository`;
 * ``encoding.*``   — audits over the generated ASP program;
-* ``dag.*``        — invariant checks over concrete/spliced specs.
+* ``dag.*``        — invariant checks over concrete/spliced specs;
+* ``abi.*``        — splice-soundness checks cross-referencing
+  ``can_splice`` declarations against actual cached/installed binaries;
+* ``cache.*``/``store.*`` — full static verification of the on-disk
+  buildcache, ground-cache, and install-store formats.
 
 Programmatic entry points::
 
@@ -48,6 +52,7 @@ __all__ = [
     "Severity",
     "all_checkers",
     "all_codes",
+    "audit_cache",
     "audit_program",
     "audit_repository",
     "audit_specs",
@@ -88,4 +93,16 @@ def audit_store(
             database=database,
             store_root=getattr(database, "root", None),
         )
+    )
+
+
+def audit_cache(
+    cache, repo=None, trust=None, checks: Optional[Sequence[str]] = None
+) -> Report:
+    """Statically verify a buildcache: on-disk format integrity
+    (``cache.*``) plus ABI splice soundness against its artifacts
+    (``abi.*``) when a repo is given."""
+    default = ["cache"] + (["abi"] if repo is not None else [])
+    return Analyzer(checks or default).run(
+        AuditContext(repo=repo, cache=cache, trust=trust)
     )

@@ -20,7 +20,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 __all__ = ["Severity", "Diagnostic", "Report", "REPORT_SCHEMA_VERSION"]
 
 #: bump when the JSON report shape changes incompatibly
-REPORT_SCHEMA_VERSION = 1
+#: (2: explicit ``family`` field on every diagnostic; diagnostics are
+#: sorted by (family, code, location) instead of severity-first, so
+#: output order is stable across checker additions)
+REPORT_SCHEMA_VERSION = 2
 
 
 class Severity(enum.Enum):
@@ -68,12 +71,19 @@ class Diagnostic:
             return self.package
         return "-"
 
+    @property
+    def family(self) -> str:
+        """The code's alphabetic prefix: ``SPL001`` → ``SPL``,
+        ``CACHE003`` → ``CACHE``."""
+        return self.code.rstrip("0123456789")
+
     def sort_key(self) -> Tuple:
-        return (self.severity.rank, self.code, self.location, self.message)
+        return (self.family, self.code, self.location, self.message)
 
     def to_dict(self) -> Dict:
         return {
             "code": self.code,
+            "family": self.family,
             "severity": str(self.severity),
             "message": self.message,
             "package": self.package,

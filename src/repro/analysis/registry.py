@@ -105,7 +105,7 @@ def all_codes() -> List[str]:
 def _ensure_builtin_checkers() -> None:
     # late import so the registry module has no import cycle with the
     # checker modules (they import `checker` from here)
-    from . import dag, directives, encoding  # noqa: F401
+    from . import abi, dag, directives, encoding, storage  # noqa: F401
 
 
 class AuditContext:
@@ -113,7 +113,9 @@ class AuditContext:
 
     Only ``repo`` is commonly required; the ASP ``program`` is assembled
     lazily from the repo on first access (mirroring the concretizer's
-    own program assembly), and DAG/store inputs are optional.
+    own program assembly), and DAG/store/cache inputs are optional —
+    checkers declare what they need via ``requires`` and are skipped
+    when an input is absent.
     """
 
     def __init__(
@@ -124,6 +126,11 @@ class AuditContext:
         reusable_specs: Optional[Sequence] = None,
         database=None,
         store_root=None,
+        cache=None,
+        store=None,
+        loader=None,
+        trust=None,
+        ground_cache_dir=None,
     ):
         self.repo = repo
         self._program = program
@@ -134,9 +141,22 @@ class AuditContext:
             list(reusable_specs) if reusable_specs is not None else None
         )
         self.database = database
-        self.store_root = store_root
+        self.store_root = store_root if store_root is not None else store
+        #: the :class:`~repro.buildcache.cache.BuildCache` under audit
+        self.cache = cache
+        #: install-store root (alias of ``store_root``, the name the
+        #: storage checkers require)
+        self.store = self.store_root
+        self._loader = loader
+        #: optional :class:`~repro.buildcache.signing.TrustStore` for
+        #: deep signature verification (CACHE007)
+        self.trust = trust
+        #: optional ground-program cache directory (STORE001)
+        self.ground_cache_dir = ground_cache_dir
         #: notes produced while assembling the program (ENC001)
         self.assembly_diagnostics: List[Diagnostic] = []
+        #: memo shared by the ABI checkers: dag_hash -> loaded artifact
+        self.artifact_memo: Dict[str, object] = {}
 
     @property
     def program(self) -> Optional[Program]:
@@ -147,6 +167,16 @@ class AuditContext:
                 self._program, notes = build_audit_program(self.repo)
             self.assembly_diagnostics.extend(notes)
         return self._program
+
+    @property
+    def loader(self):
+        """A shared :class:`~repro.binary.loader.Loader` (lazily built
+        so its directory-scan cache spans every checker in the run)."""
+        if self._loader is None:
+            from ..binary.loader import Loader
+
+            self._loader = Loader()
+        return self._loader
 
 
 class Analyzer:
@@ -197,11 +227,13 @@ class Analyzer:
                 metrics.inc("analysis.checkers_run")
                 for diag in found:
                     metrics.inc(f"analysis.diagnostics.{diag.severity}")
+                    metrics.inc(f"analysis.diagnostics.code.{diag.code}")
                 report.extend(found)
             # program-assembly notes surface once, attributed to the
             # encoding family (they only exist if some checker forced
             # program assembly)
             for diag in context.assembly_diagnostics:
                 metrics.inc(f"analysis.diagnostics.{diag.severity}")
+                metrics.inc(f"analysis.diagnostics.code.{diag.code}")
             report.extend(context.assembly_diagnostics)
         return report.finalize()

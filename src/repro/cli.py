@@ -426,23 +426,48 @@ def cmd_audit(args) -> int:
         return 0
     repo = _load_repo(args.repo)
     concrete: list = []
+    cache = None
     database = None
     if args.cache:
-        concrete.extend(BuildCache(Path(args.cache)).all_specs())
+        cache_path = Path(args.cache)
+        if not cache_path.is_dir():
+            raise CLIError(f"buildcache {cache_path} does not exist")
+        try:
+            cache = BuildCache(cache_path)
+        except BuildCacheError as e:
+            raise CLIError(f"cannot open buildcache {cache_path}: {e}")
+        try:
+            concrete.extend(cache.all_specs())
+        except BuildCacheError:
+            # a partially-unreadable index: the cache.* checkers report
+            # the corruption as diagnostics instead of aborting the run
+            pass
     if args.store:
         store = Path(args.store)
+        if not store.is_dir():
+            raise CLIError(f"install store {store} does not exist")
         if (store / "db.json").exists():
-            from .installer.database import Database
+            from .installer.database import Database, DatabaseError
 
-            database = Database(store)
-            concrete.extend(database.all_specs())
+            try:
+                database = Database(store)
+                concrete.extend(database.all_specs())
+            except (DatabaseError, ValueError) as e:
+                raise CLIError(f"cannot open install database in {store}: {e}")
+    ground_cache_dir = args.ground_cache or os.environ.get(
+        "REPRO_GROUND_CACHE_DIR"
+    )
+    if ground_cache_dir and not Path(ground_cache_dir).is_dir():
+        raise CLIError(f"ground cache {ground_cache_dir} does not exist")
     auditing_specs = bool(args.cache or args.store)
     context = AuditContext(
         repo=repo,
         concrete_specs=concrete if auditing_specs else None,
         reusable_specs=concrete if auditing_specs else None,
+        cache=cache,
         database=database,
         store_root=Path(args.store) if args.store else None,
+        ground_cache_dir=ground_cache_dir,
     )
     try:
         analyzer = Analyzer(args.checks)
@@ -690,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit a machine-readable JSON report")
     p_audit.add_argument("--cache", help="buildcache whose specs to audit")
     p_audit.add_argument("--store", help="install store to audit")
+    p_audit.add_argument(
+        "--ground-cache", metavar="DIR",
+        help="ground-program cache directory to audit "
+             "(default: $REPRO_GROUND_CACHE_DIR)",
+    )
     p_audit.add_argument(
         "--check", action="append", dest="checks", metavar="NAME",
         help="run only this checker, family, or code (repeatable)",

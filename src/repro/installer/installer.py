@@ -328,7 +328,25 @@ class Installer:
             ).binary
             patched = rewire_binary(binary, plan, check_abi=checker)
             patched.write(target)
+        self._discard_staging(Path(source_prefix))
         report.rewired.append(node.name)
+
+    def _discard_staging(self, source_prefix: Path) -> None:
+        """Drop a staged build-spec extraction once its rewire succeeded.
+
+        Leftover ``.staging`` trees read as interrupted installs to a
+        store audit (STORE002); only failed rewires should leave one.
+        """
+        import shutil
+
+        staging_root = self.store_root / ".staging"
+        if staging_root not in source_prefix.parents:
+            return
+        shutil.rmtree(source_prefix, ignore_errors=True)
+        try:
+            staging_root.rmdir()
+        except OSError:
+            pass  # other extractions still staged
 
     # ------------------------------------------------------------------
     # uninstall and garbage collection

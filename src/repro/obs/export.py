@@ -46,7 +46,11 @@ __all__ = [
 #: concretize.batch_roots/ground_cache_{hits,misses,stale}/
 #: incremental_resolves counters added with batch solve + the ground
 #: program cache)
-SCHEMA_VERSION = 7
+#: (8: audit families — per-checker analysis.<checker-name> spans for
+#: the new abi.*/cache.*/store.* checkers, and per-code
+#: analysis.diagnostics.code.<CODE> counters alongside the existing
+#: per-severity analysis.diagnostics.<severity> counters)
+SCHEMA_VERSION = 8
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:

@@ -1,0 +1,195 @@
+"""The ABI splice-soundness family: ABI001–ABI004.
+
+These tests exercise the paper's central trust gap: ``can_splice``
+declarations are taken at face value by the solver, so the auditor must
+cross-check them against the artifacts a cache/store actually holds —
+the seeded ``MPI_Comm`` int-vs-struct mismatch between mpich and
+openmpi is the canonical unsound case.
+"""
+
+import pytest
+
+from repro.analysis import Analyzer, AuditContext, audit_cache
+from repro.buildcache import BuildCache
+from repro.concretize import Concretizer
+from repro.installer import Installer
+from repro.package.directives import CanSpliceDecl
+from repro.repos.mock import make_mock_repo
+from repro.repos.radiuss import make_radiuss_repo
+from repro.spec import parse_one
+
+
+@pytest.fixture()
+def repo():
+    return make_mock_repo()
+
+
+def cached_stacks(repo, tmp_path, roots):
+    """Install each root stack and push it to a fresh buildcache."""
+    installer = Installer(tmp_path / "seed", repo)
+    cache = BuildCache(tmp_path / "cache")
+    for root in roots:
+        spec = Concretizer(repo).solve([root]).roots[0]
+        installer.install(spec)
+        installer.push_to_cache(cache, spec)
+    cache.save_index()
+    return cache
+
+
+def seed_unsound_declaration(repo):
+    """Declare openmpi splice-compatible with mpich@3.4.3 — unsound:
+    their MPI_Comm layouts differ (int32 vs ptr-struct)."""
+    openmpi = repo.get("openmpi")
+    openmpi.can_splice_decls = openmpi.can_splice_decls + [
+        CanSpliceDecl(target=parse_one("mpich@3.4.3"))
+    ]
+
+
+class TestDeclarations:
+    def test_unsound_declaration_fires_abi001(self, repo, tmp_path):
+        seed_unsound_declaration(repo)
+        cache = cached_stacks(
+            repo,
+            tmp_path,
+            ["example@1.1.0 ^mpich@3.4.3", "example ^openmpi"],
+        )
+        report = audit_cache(cache, repo=repo, checks=["abi.declarations"])
+        errors = [d for d in report.diagnostics if d.code == "ABI001"]
+        assert len(errors) == 1
+        (err,) = errors
+        assert "MPI_Comm" in err.message
+        assert err.package == "openmpi"
+        assert err.directive == "can_splice[0]"
+        assert "unsound" in err.message
+
+    def test_sound_declaration_is_silent(self, repo, tmp_path):
+        # mpiabi's declared splice over mpich@3.4.3 is sound (both int32)
+        cache = cached_stacks(
+            repo,
+            tmp_path,
+            ["example@1.1.0 ^mpich@3.4.3", "example@1.1.0 ^mpiabi"],
+        )
+        report = audit_cache(cache, repo=repo, checks=["abi.declarations"])
+        assert not [d for d in report.diagnostics if d.code == "ABI001"]
+
+    def test_radiuss_declarations_are_sound(self, tmp_path):
+        repo = make_radiuss_repo()
+        cache = cached_stacks(
+            repo,
+            tmp_path,
+            ["mfem ^mpich@3.4.3", "mfem ^openmpi", "mpiabi", "mvapich2"],
+        )
+        report = audit_cache(cache, repo=repo)
+        assert not [d for d in report.diagnostics if d.code == "ABI001"], (
+            report.render()
+        )
+
+    def test_dead_declaration_warns_abi002(self, repo, tmp_path):
+        # nothing in the cache matches zlib@1.2 (the seed stacks carry a
+        # newer zlib), so zlib's own declaration is dead weight
+        cache = cached_stacks(repo, tmp_path, ["example@1.1.0 ^mpich@3.4.3"])
+        report = audit_cache(cache, repo=repo, checks=["abi.declarations"])
+        warned = [d for d in report.diagnostics if d.code == "ABI002"]
+        assert any(d.package == "zlib" for d in warned)
+        assert all(d.severity.value == "warning" for d in warned)
+
+    def test_verdict_uses_real_artifacts_from_cache(self, repo, tmp_path):
+        """The checker reads the pushed binaries, not just class data."""
+        seed_unsound_declaration(repo)
+        cache = cached_stacks(
+            repo,
+            tmp_path,
+            ["example@1.1.0 ^mpich@3.4.3", "example ^openmpi"],
+        )
+        ctx = AuditContext(repo=repo, cache=cache)
+        Analyzer(["abi.declarations"]).run(ctx)
+        sources = {src for _, src in ctx.artifact_memo.values() if src}
+        assert "cache" in sources
+
+
+class TestOpportunities:
+    def test_undeclared_compatible_pair_noted(self, repo, tmp_path):
+        # mpich and mpiabi share symbols and layouts; mpich declares no
+        # splice over mpiabi, so the auditor surfaces the opportunity
+        cache = cached_stacks(
+            repo,
+            tmp_path,
+            ["example@1.1.0 ^mpich@3.4.3", "example@1.1.0 ^mpiabi"],
+        )
+        report = audit_cache(cache, repo=repo, checks=["abi.opportunities"])
+        notes = [d for d in report.diagnostics if d.code == "ABI003"]
+        assert any(
+            d.package == "mpich" and "mpiabi" in d.message for d in notes
+        )
+        assert all(d.severity.value == "note" for d in notes)
+
+    def test_declared_pairs_not_renoted(self, repo, tmp_path):
+        cache = cached_stacks(
+            repo,
+            tmp_path,
+            ["example@1.1.0 ^mpich@3.4.3", "example@1.1.0 ^mpiabi"],
+        )
+        report = audit_cache(cache, repo=repo, checks=["abi.opportunities"])
+        # mpiabi -> mpich@3.4.3 is already declared; no note repeats it
+        assert not [
+            d
+            for d in report.diagnostics
+            if d.code == "ABI003"
+            and d.package == "mpiabi"
+            and "mpich@3.4.3" in d.message
+        ]
+
+
+class TestSpliceLinks:
+    def _spliced_store(self, repo, tmp_path, verify_abi=True, unsafe=False):
+        spec = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+        source = Installer(tmp_path / "seed", repo)
+        source.install(spec)
+        cache = BuildCache(tmp_path / "cache")
+        source.push_to_cache(cache, spec)
+        cache.save_index()
+        if unsafe:
+            openmpi = Concretizer(repo).solve(["openmpi"]).roots[0]
+            spliced = spec.splice(openmpi, transitive=True, replace="mpich")
+        else:
+            c = Concretizer(
+                repo, reusable_specs=cache.all_specs(), splicing=True
+            )
+            spliced = c.solve(["example@1.1.0 ^mpiabi"]).roots[0]
+        target = Installer(
+            tmp_path / "store", repo, caches=[cache], verify_abi=verify_abi
+        )
+        target.install(spliced)
+        return target.database, spliced
+
+    def test_clean_splice_has_no_findings(self, repo, tmp_path):
+        database, _ = self._spliced_store(repo, tmp_path)
+        report = Analyzer(["abi.splice_links"]).run(
+            AuditContext(database=database)
+        )
+        assert report.clean, report.render()
+
+    def test_broken_rewire_fires_abi004(self, repo, tmp_path):
+        database, spliced = self._spliced_store(repo, tmp_path)
+        # sabotage: delete the spliced-in dependency's library so the
+        # rewired NEEDED entry no longer resolves anywhere
+        import shutil
+        from pathlib import Path
+
+        dep = [d for d in spliced.traverse() if d.name == "mpiabi"][0]
+        dep_prefix = Path(database.get(dep.dag_hash()).prefix)
+        shutil.rmtree(dep_prefix / "lib")
+        report = Analyzer(["abi.splice_links"]).run(
+            AuditContext(database=database)
+        )
+        errors = [d for d in report.diagnostics if d.code == "ABI004"]
+        assert errors and "libmpiabi.so" in errors[0].message
+
+    def test_unspliced_store_is_skipped_cheaply(self, repo, tmp_path):
+        spec = Concretizer(repo).solve(["zlib"]).roots[0]
+        installer = Installer(tmp_path / "store", repo)
+        installer.install(spec)
+        report = Analyzer(["abi.splice_links"]).run(
+            AuditContext(database=installer.database)
+        )
+        assert report.clean

@@ -25,7 +25,7 @@ class TestCleanRepos:
         assert code == 0
         doc = json.loads(out)
         assert doc["clean"] is True
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert doc["diagnostics"] == []
         assert doc["checkers_run"]
 
@@ -68,6 +68,21 @@ class TestSeededFailures:
         (diag,) = [d for d in doc["diagnostics"] if d["code"] == "DEP001"]
         assert diag["package"] == "app"
         assert diag["severity"] == "error"
+        assert diag["family"] == "DEP"
+
+    def test_diagnostics_sorted_by_family_code_location(
+        self, capsys, broken_repo
+    ):
+        code, out, _ = run(capsys, "--repo", str(broken_repo), "audit", "--json")
+        doc = json.loads(out)
+        keys = [
+            (d["family"], d["code"], d["location"])
+            for d in doc["diagnostics"]
+        ]
+        assert keys == sorted(keys)
+        # and the whole document is byte-identical run-to-run
+        _, out2, _ = run(capsys, "--repo", str(broken_repo), "audit", "--json")
+        assert out == out2
 
     def test_warnings_pass_unless_strict(self, capsys, warning_repo):
         code, out, _ = run(capsys, "--repo", str(warning_repo), "audit")
@@ -101,6 +116,72 @@ class TestCheckSelection:
         )
         assert code == 2
         assert "nonsense" in err
+
+
+class TestBadPaths:
+    """Unusable inputs are CLI errors (exit 2, one line on stderr) —
+    distinct from exit 1, which means the audit ran and found problems."""
+
+    def test_missing_cache_exits_two(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "--repo", "mock", "audit",
+            "--cache", str(tmp_path / "nope"),
+        )
+        assert code == 2
+        assert "error:" in err and "does not exist" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_store_exits_two(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "--repo", "mock", "audit",
+            "--store", str(tmp_path / "nope"),
+        )
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_missing_ground_cache_exits_two(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "--repo", "mock", "audit",
+            "--ground-cache", str(tmp_path / "nope"),
+        )
+        assert code == 2
+        assert "ground cache" in err
+
+    def test_corrupt_database_exits_two(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "db.json").write_text("{ not json")
+        code, _, err = run(
+            capsys, "--repo", "mock", "audit", "--store", str(store)
+        )
+        assert code == 2
+        assert "install database" in err
+
+    def test_corrupt_index_still_audits(self, capsys, tmp_path):
+        """A cache that opens but whose index is torn is a *finding*
+        (exit 1 with CACHE diagnostics), not a CLI error."""
+        from repro.buildcache import BuildCache
+        from repro.concretize import Concretizer
+        from repro.installer import Installer
+        from repro.repos.mock import make_mock_repo
+
+        repo = make_mock_repo()
+        cache = BuildCache(tmp_path / "cache")
+        spec = Concretizer(repo).solve(["zlib"]).roots[0]
+        installer = Installer(tmp_path / "seed", repo)
+        installer.install(spec)
+        installer.push_to_cache(cache, spec)
+        cache.save_index()
+        shard_dir = tmp_path / "cache" / "index.d"
+        shard = next(shard_dir.glob("*.json"))
+        shard.write_text("{ torn")
+        code, out, _ = run(
+            capsys, "--repo", "mock", "audit",
+            "--cache", str(tmp_path / "cache"), "--json",
+        )
+        assert code == 1
+        doc = json.loads(out)
+        assert "CACHE001" in doc["codes"]
 
 
 class TestStoreAudit:

@@ -29,26 +29,36 @@ class TestDiagnostic:
     def test_location_program_level(self):
         assert diag("ASP002", Severity.WARNING).location == "-"
 
+    def test_family_strips_numeric_suffix(self):
+        assert diag("SPL001", Severity.ERROR).family == "SPL"
+        assert diag("CACHE003", Severity.WARNING).family == "CACHE"
+        assert diag("ABI004", Severity.ERROR).family == "ABI"
+
     def test_to_dict_round_trips_through_json(self):
         d = diag("DEP001", Severity.ERROR, package="app",
                  directive="depends_on[0]", checker="directives.dependencies")
         loaded = json.loads(json.dumps(d.to_dict()))
         assert loaded["code"] == "DEP001"
+        assert loaded["family"] == "DEP"
         assert loaded["severity"] == "error"
         assert loaded["location"] == "app.depends_on[0]"
         assert loaded["checker"] == "directives.dependencies"
 
 
 class TestReport:
-    def test_finalize_sorts_errors_first(self):
+    def test_finalize_sorts_by_family_code_location(self):
+        # schema 2: deterministic (family, code, location) order — a
+        # diff of two reports lines up family-by-family regardless of
+        # severity interleaving
         report = Report(diagnostics=[
             diag("ZZZ001", Severity.NOTE),
+            diag("MMM003", Severity.ERROR, package="b"),
+            diag("MMM003", Severity.ERROR, package="a"),
             diag("AAA002", Severity.WARNING),
-            diag("MMM003", Severity.ERROR),
         ])
         report.finalize()
-        assert [d.code for d in report.diagnostics] == [
-            "MMM003", "AAA002", "ZZZ001"
+        assert [(d.code, d.location) for d in report.diagnostics] == [
+            ("AAA002", "-"), ("MMM003", "a"), ("MMM003", "b"), ("ZZZ001", "-")
         ]
 
     def test_counts_and_flags(self):

@@ -134,5 +134,5 @@ def test_json_report_always_serializes(repo):
     import json
 
     doc = json.loads(audit_repository(repo).to_json())
-    assert doc["schema_version"] == 1
+    assert doc["schema_version"] == 2
     assert set(doc["summary"]) == {"error", "warning", "note"}
