@@ -1,0 +1,289 @@
+"""The networked cache pair vs the simulated-latency model.
+
+Every earlier mirror number in this repo priced the remote half of
+Section 6's local/public pair with :class:`SimulatedRemoteBackend` —
+a per-op sleep standing in for a round-trip.  This bench swaps in the
+real thing: a populated buildcache behind ``repro buildcache serve``
+on loopback, talked to by :class:`HTTPBackend`.  It measures
+
+* **cold open** — first contact: manifest + summary sidecar over the
+  wire, for HTTP and for the simulated remote at the same spec count;
+* **warm refresh** — the steady-state poll an installer pays per run
+  against an unchanged mirror.  Asserted, not just timed: every warm
+  ``refresh()`` must be exactly one conditional GET answered 304,
+  with zero shard re-downloads;
+* **payload fetch** — one full verify-ready payload pull over HTTP;
+* **K concurrent clients** — every client opens its own connection
+  pool and pulls the full payload stack at once through the threaded
+  server; throughput in payloads/s.
+
+Per-phase numbers, ``buildcache.http_*`` counters, and the client-side
+span table land in ``bench_results/http_mirror.json``.
+
+Run:   pytest benchmarks/bench_http_mirror.py
+Scale: REPRO_HTTP_SCALE_SPECS (default 2000 fabricated index entries)
+       REPRO_HTTP_CLIENTS     (default 4 concurrent clients)
+       REPRO_MIRROR_LATENCY_S (default 0.002 per simulated round-trip)
+"""
+
+import hashlib
+import os
+import threading
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.bench import FigureReport, write_results
+from repro.buildcache import (
+    BuildCache,
+    HTTPBackend,
+    LocalFSBackend,
+    SimulatedRemoteBackend,
+)
+from repro.buildcache.server import start_server
+from repro.concretize import Concretizer
+from repro.installer import Installer
+from repro.obs import metrics, trace
+from repro.repos.mock import make_mock_repo
+
+SPEC_COUNT = int(os.environ.get("REPRO_HTTP_SCALE_SPECS", "2000"))
+CLIENTS = int(os.environ.get("REPRO_HTTP_CLIENTS", "4"))
+LATENCY_S = float(os.environ.get("REPRO_MIRROR_LATENCY_S", "0.002"))
+
+_results = {}
+_counters = {}
+
+
+def fake_entry(i: int, population: str):
+    h = hashlib.sha256(f"{population}-{i}".encode()).hexdigest()[:32]
+    doc = {
+        "root": h,
+        "nodes": [
+            {"name": f"pkg{i}", "version": "1.0.0", "hash": h,
+             "prefix": f"/opt/store/pkg{i}-1.0.0-{h[:7]}"},
+        ],
+    }
+    return h, doc
+
+
+def populate(cache: BuildCache, count: int, population: str) -> None:
+    batch = {}
+    for i in range(count):
+        h, doc = fake_entry(i, population)
+        batch[h] = doc
+        if len(batch) >= 1000:
+            cache._index.record_push(batch, {}, {})
+            batch = {}
+    if batch:
+        cache._index.record_push(batch, {}, {})
+    cache.save_index()
+
+
+def snap_counters(prefix: str = "buildcache.http") -> None:
+    for name, value in metrics.snapshot()["counters"].items():
+        if name.startswith(prefix):
+            _counters[name] = _counters.get(name, 0) + value
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One populated buildcache — real payload stack + ``SPEC_COUNT``
+    fabricated index entries — behind a live loopback server."""
+    ws = tmp_path_factory.mktemp("http_mirror")
+    repo = make_mock_repo()
+    spec = Concretizer(repo).solve(["example@1.1.0 ^mpich@3.4.3"]).roots[0]
+    seed = Installer(ws / "seed", repo)
+    seed.install(spec)
+    root = ws / "pub"
+    pub = BuildCache(root, name="pub")
+    seed.push_to_cache(pub, spec)
+    populate(pub, SPEC_COUNT, "pub")
+    server = start_server(root)
+    yield ws, repo, spec, root, server
+    server.shutdown()
+    server.server_close()
+
+
+class TestIndexRefresh:
+    def test_cold_open_http(self, benchmark, served):
+        """First contact over the wire: manifest + summary sidecar with
+        a fresh connection pool and an empty revalidation cache."""
+        _ws, _repo, spec, _root, server = served
+
+        def cold_open():
+            backend = HTTPBackend(server.url, name="cold")
+            cache = BuildCache(backend=backend, name="cold")
+            assert spec.dag_hash() in cache
+            backend.close()
+
+        benchmark(cold_open)
+        _results["http_cold_open_s"] = benchmark.stats.stats.mean
+
+    def test_cold_open_sim(self, benchmark, served):
+        """The latency model this repo priced remotes with so far, at
+        the same spec count — the baseline the wire is judged against."""
+        _ws, _repo, spec, root, _server = served
+
+        def cold_open():
+            backend = SimulatedRemoteBackend(
+                LocalFSBackend(root, name="inner"), name="sim",
+                latency_per_op={"get": LATENCY_S},
+            )
+            cache = BuildCache(backend=backend, name="sim")
+            assert spec.dag_hash() in cache
+
+        benchmark(cold_open)
+        _results["sim_cold_open_s"] = benchmark.stats.stats.mean
+
+    def test_warm_refresh_http_is_one_304(self, benchmark, served):
+        """The steady-state poll: an unchanged served mirror costs one
+        conditional GET per ``refresh()`` — asserted request-by-request
+        on the server's log, then timed."""
+        _ws, _repo, spec, _root, server = served
+        obs.reset()
+        cache = BuildCache(backend=HTTPBackend(server.url, name="warm"),
+                           name="warm")
+        assert spec.dag_hash() in cache
+        mark = len(server.request_log)
+        refreshes = [0]
+
+        def warm_refresh():
+            assert cache.refresh_index() == 0
+            refreshes[0] += 1
+
+        benchmark(warm_refresh)
+        new = server.request_log[mark:]
+        assert len(new) == refreshes[0], "warm refresh made extra requests"
+        assert all(status == 304 for _m, _p, status in new)
+        assert metrics.counter("buildcache.http_304s").value == refreshes[0]
+        _results["http_warm_refresh_s"] = benchmark.stats.stats.mean
+        _results["warm_refresh_requests_per_refresh"] = (
+            len(new) / max(refreshes[0], 1)
+        )
+        snap_counters()
+
+    def test_warm_refresh_sim(self, benchmark, served):
+        _ws, _repo, spec, root, _server = served
+        backend = SimulatedRemoteBackend(
+            LocalFSBackend(root, name="inner"), name="sim",
+            latency_per_op={"get": LATENCY_S},
+        )
+        cache = BuildCache(backend=backend, name="sim")
+        assert spec.dag_hash() in cache
+        benchmark(lambda: cache.refresh_index())
+        _results["sim_warm_refresh_s"] = benchmark.stats.stats.mean
+
+
+class TestPayloadPath:
+    def test_fetch_and_verify_over_http(self, benchmark, served):
+        """One verify-ready payload pull: meta + manifest + signature
+        + blob bytes over the wire."""
+        _ws, _repo, spec, _root, server = served
+        obs.reset()
+        cache = BuildCache(backend=HTTPBackend(server.url, name="fetch"),
+                           name="fetch")
+        h = spec.dag_hash()
+
+        def fetch():
+            cache.verify_payload(cache.fetch(h))
+
+        benchmark(fetch)
+        _results["http_fetch_verify_s"] = benchmark.stats.stats.mean
+        snap_counters()
+
+
+class TestConcurrentClients:
+    def test_k_clients_pull_full_stack(self, served):
+        """``CLIENTS`` independent clients (own pool, own revalidation
+        cache) each pull and verify the whole payload stack at once
+        through the threaded server."""
+        _ws, _repo, spec, _root, server = served
+        hashes = [spec.dag_hash()] + [
+            d.dag_hash() for d in spec.traverse() if d is not spec
+        ]
+        obs.reset()
+        errors = []
+        barrier = threading.Barrier(CLIENTS)
+
+        def client(name):
+            try:
+                cache = BuildCache(
+                    backend=HTTPBackend(server.url, name=name), name=name
+                )
+                barrier.wait()
+                for h in hashes:
+                    if h in cache:
+                        cache.verify_payload(cache.fetch(h))
+            except Exception as e:
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=client, args=(f"client{i}",))
+            for i in range(CLIENTS)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        assert not errors
+        payloads = CLIENTS * len(hashes)
+        _results["concurrent_wall_s"] = elapsed
+        _results["concurrent_payloads_per_s"] = payloads / max(elapsed, 1e-9)
+        _results["concurrent_clients"] = CLIENTS
+        snap_counters()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end(served):
+    yield
+    report = FigureReport(
+        "http_mirror",
+        f"HTTP cache pair vs simulated remote at {SPEC_COUNT} specs, "
+        f"{CLIENTS} clients",
+    )
+    phases = [
+        "http_cold_open_s", "sim_cold_open_s",
+        "http_warm_refresh_s", "sim_warm_refresh_s",
+        "http_fetch_verify_s", "concurrent_wall_s",
+    ]
+    for key in phases:
+        if key in _results:
+            report.rows.append(
+                {"phase": key.removesuffix("_s"),
+                 "ms": round(_results[key] * 1000, 4)}
+            )
+    for name in sorted(_counters):
+        report.rows.append(
+            {"phase": "counters", "counter": name, "value": _counters[name]}
+        )
+    # the client-side span table: where the wire time actually went
+    for name, stats in sorted(trace.phase_stats().items()):
+        if name.startswith("buildcache.http"):
+            report.rows.append(
+                {"phase": "spans", "span": name, "count": stats["count"],
+                 "total_ms": round(stats["total_s"] * 1000, 4),
+                 "mean_ms": round(stats["mean_s"] * 1000, 4)}
+            )
+    report.headline("spec_count", SPEC_COUNT)
+    report.headline("clients", CLIENTS)
+    report.headline("sim_latency_ms", LATENCY_S * 1000)
+    if "warm_refresh_requests_per_refresh" in _results:
+        report.headline(
+            "warm_refresh_requests",
+            _results["warm_refresh_requests_per_refresh"],
+        )
+    if "http_warm_refresh_s" in _results and "http_cold_open_s" in _results:
+        report.headline(
+            "warm_vs_cold_speedup",
+            _results["http_cold_open_s"]
+            / max(_results["http_warm_refresh_s"], 1e-9),
+        )
+    if "concurrent_payloads_per_s" in _results:
+        report.headline(
+            "concurrent_payloads_per_s",
+            _results["concurrent_payloads_per_s"],
+        )
+    write_results(report)

@@ -17,6 +17,16 @@ Plus the mirror seam of Section 6's two-cache evaluation:
   atomic-write and atomic-publish contracts.
 * :mod:`.mirror` — ``MirrorGroup``: an ordered list of caches consulted
   first-hit-wins with retry/fallback, pushes going to the primary.
+
+And the networked cache pair (the "real mirror" the ROADMAP's
+millions-of-users scenarios need):
+
+* :mod:`.httpbackend` — ``HTTPBackend``: the storage contract over
+  pooled ``http.client`` connections with conditional GET, range
+  reads, and transient-fault taxonomy.
+* :mod:`.server` — ``repro buildcache serve``: the threaded
+  ``http.server`` process with ETags, ranges, and atomic staged
+  publish.
 """
 
 from .backend import (
@@ -35,8 +45,10 @@ from .generate import (
     greedy_concretize,
     vary_configurations,
 )
+from .httpbackend import HTTPBackend
 from .index import IndexFormatError, ShardedIndex
 from .mirror import MirrorGroup
+from .server import BuildCacheHTTPServer, start_server
 from .signing import SignatureError
 from .summary import (
     BloomSummary,
@@ -66,6 +78,9 @@ __all__ = [
     "StorageBackend",
     "LocalFSBackend",
     "SimulatedRemoteBackend",
+    "HTTPBackend",
+    "BuildCacheHTTPServer",
+    "start_server",
     "MirrorGroup",
     "SigningKey",
     "TrustStore",

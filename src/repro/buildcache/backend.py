@@ -135,6 +135,18 @@ class StorageBackend:
         """The bytes at ``key``; :class:`MissingBlobError` if absent."""
         raise NotImplementedError
 
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        """``length`` bytes of ``key`` starting at offset ``start``
+        (shorter at EOF, empty past it) — the partial-blob-fetch seam.
+
+        The default reads the whole blob and slices; remote backends
+        override it with a real ranged read (``Range:`` header) so a
+        consumer inspecting the head of a large payload never pays for
+        the tail.
+        """
+        data = self.get(key)
+        return data[start:start + length]
+
     def exists(self, key: str) -> bool:
         raise NotImplementedError
 
@@ -214,6 +226,18 @@ class LocalFSBackend(StorageBackend):
         except OSError as e:
             raise BackendError(f"{self.describe()}: cannot read {key!r}: {e}") from e
 
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        try:
+            with open(self._path(key), "rb") as fh:
+                fh.seek(start)
+                return fh.read(length)
+        except FileNotFoundError:
+            raise MissingBlobError(
+                f"{self.describe()}: no blob at {key!r}"
+            ) from None
+        except OSError as e:
+            raise BackendError(f"{self.describe()}: cannot read {key!r}: {e}") from e
+
     def exists(self, key: str) -> bool:
         return self._path(key).is_file()
 
@@ -252,10 +276,17 @@ class LocalFSBackend(StorageBackend):
         self._require_writable()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        created = not path.exists()
         with open(path, "ab") as fh:
             fh.write(line)
             fh.flush()
             os.fsync(fh.fileno())
+        if created:
+            # the first append *creates* the journal: without flushing
+            # the parent's entry table a crash can lose the whole file
+            # despite the fsynced data above (fsync_write already does
+            # this for renames; creation needs it just the same)
+            _fsync_dir(path.parent)
 
     # -- atomic publish -----------------------------------------------
     def _stage_file(self, path: Path, data: bytes) -> None:
@@ -394,6 +425,12 @@ class SimulatedRemoteBackend(StorageBackend):
         if self._is_dropped(key):
             raise MissingBlobError(f"{self.describe()}: no blob at {key!r}")
         return self.inner.get(key)
+
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        self._enter("get_range")
+        if self._is_dropped(key):
+            raise MissingBlobError(f"{self.describe()}: no blob at {key!r}")
+        return self.inner.get_range(key, start, length)
 
     def exists(self, key: str) -> bool:
         self._enter("exists")

@@ -84,6 +84,14 @@ logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 
+#: the process-wide backoff clock.  Every group constructed without an
+#: explicit ``sleep`` reads this *at call time*, so tests (and the
+#: ``--fetch-jobs`` retry suite) monkeypatch one module attribute and
+#: every MirrorGroup anywhere — including the ones the CLI builds
+#: internally — goes fake-clock: no wall-clock backoff ever runs while
+#: HTTP/simulated transient faults are being exercised.
+_default_sleep: Callable[[float], None] = time.sleep
+
 
 class _MergedView:
     """One immutable union snapshot over the group's mirrors.
@@ -115,8 +123,9 @@ class MirrorGroup:
     ``retries`` is the number of *extra* attempts per mirror when an
     operation raises :class:`TransientBackendError`; ``backoff`` is the
     base delay in seconds, doubled per retry (tests pass 0).  ``sleep``
-    injects the delay clock (tests pass a recorder; production leaves
-    :func:`time.sleep`).
+    injects the delay clock (tests pass a recorder); when omitted, the
+    module-level :data:`_default_sleep` is consulted at call time, so
+    monkeypatching it reaches groups constructed by the CLI too.
     """
 
     def __init__(
@@ -124,7 +133,7 @@ class MirrorGroup:
         mirrors: Sequence[BuildCache],
         retries: int = 2,
         backoff: float = 0.05,
-        sleep: Callable[[float], None] = time.sleep,
+        sleep: Optional[Callable[[float], None]] = None,
     ):
         if not mirrors:
             raise BuildCacheError("a MirrorGroup needs at least one mirror")
@@ -182,7 +191,7 @@ class MirrorGroup:
                     mirror.label, e, attempt + 1, self.retries, delay,
                 )
                 if delay > 0:
-                    self._sleep(delay)
+                    (self._sleep or _default_sleep)(delay)
         raise AssertionError("unreachable: the loop returns or raises")
 
     def _fallback(self, mirror: BuildCache, op: str, error: Exception) -> None:
@@ -469,7 +478,14 @@ class MirrorGroup:
         return self.primary
 
     def verify_payload(self, payload: CachedPayload) -> CachedPayload:
-        return self._serving(payload).verify_payload(payload)
+        # verification re-reads the entry's manifest/meta from the
+        # serving mirror's backend, so HTTP transient faults can surface
+        # here too (the prefetch pipeline calls this off-thread) —
+        # route it through the same retry seam as every other read
+        serving = self._serving(payload)
+        return self._with_retries(
+            serving, lambda: serving.verify_payload(payload)
+        )
 
     def extract_payload(
         self,
@@ -477,8 +493,12 @@ class MirrorGroup:
         prefix,
         extra_prefix_map: Optional[Dict[str, str]] = None,
     ):
-        return self._serving(payload).extract_payload(
-            payload, prefix, extra_prefix_map=extra_prefix_map
+        serving = self._serving(payload)
+        return self._with_retries(
+            serving,
+            lambda: serving.extract_payload(
+                payload, prefix, extra_prefix_map=extra_prefix_map
+            ),
         )
 
     def extract(
@@ -490,8 +510,8 @@ class MirrorGroup:
         payload = self.fetch(dag_hash)
         serving = self._serving(payload)
         if serving.trust is not None:
-            serving.verify_payload(payload)
-        return serving.extract_payload(
+            self.verify_payload(payload)
+        return self.extract_payload(
             payload, prefix, extra_prefix_map=extra_prefix_map
         )
 

@@ -140,6 +140,16 @@ class SortedHashSummary(ShardSummary):
 
     @classmethod
     def from_document(cls, document: dict) -> "SortedHashSummary":
+        # the sidecar is machine-written within a versioned format, so a
+        # key this reader does not know is corruption (or version skew a
+        # bumped INDEX_VERSION should have caught), not extensibility —
+        # a lenient .get() here would let a corrupted key name silently
+        # fall back to a default that may equal the real value
+        unknown = set(document) - {"kind", "prefix_len", "hashes"}
+        if unknown:
+            raise SummaryFormatError(
+                f"sorted summary: unknown key(s) {sorted(unknown)}"
+            )
         hashes = document.get("hashes")
         if not isinstance(hashes, list):
             raise SummaryFormatError("sorted summary: 'hashes' is not a list")
@@ -210,6 +220,11 @@ class BloomSummary(ShardSummary):
 
     @classmethod
     def from_document(cls, document: dict) -> "BloomSummary":
+        unknown = set(document) - {"kind", "m", "k", "count", "bits"}
+        if unknown:
+            raise SummaryFormatError(
+                f"bloom summary: unknown key(s) {sorted(unknown)}"
+            )
         try:
             bits = int(str(document["bits"]), 16)
             m = int(document["m"])

@@ -17,9 +17,11 @@ both contribute reusable specs to the concretizer.
 Multiple binary mirrors (the local + public two-cache setup of the
 paper's Section 6) compose with ``--mirror [NAME=]DIR[:ro]``
 (repeatable; ``:ro`` marks a mirror read-only) or ``--mirrors-file
-FILE`` (one mirror per line, ``#`` comments).  Mirrors are consulted
-in order, first-hit-wins, with ``--cache`` as the primary write
-target; see docs/buildcache.md.
+FILE`` (one mirror per line, ``#`` comments).  A mirror may also be an
+``http://host:port/path`` URL pointing at a ``repro buildcache serve``
+process — the networked cache pair.  Mirrors are consulted in order,
+first-hit-wins, with ``--cache`` as the primary write target; see
+docs/buildcache.md.
 
 Observability flags (every subcommand, see docs/observability.md):
 
@@ -106,19 +108,52 @@ def _load_repo(name: str) -> Repository:
 
 
 def _parse_mirror(entry: str):
-    """``[NAME=]PATH[:ro]`` -> ``(name_or_None, path, read_only)``."""
-    entry = entry.strip()
+    """``[NAME=]PATH-or-URL[:ro]`` -> ``(name_or_None, path, read_only)``.
+
+    Parsing is scheme-aware: a ``scheme://`` before the first ``=``
+    means the whole entry is a URL, so ``http://h/p?a=b`` keeps its
+    query string instead of being split into a bogus label (and only a
+    *trailing* ``:ro`` is a read-only marker — ``http://h:8080/p`` keeps
+    its port).  Empty labels (``NAME=`` / ``=path``) are user mistakes,
+    rejected with the exit-2 :class:`CLIError` taxonomy rather than
+    colliding later in the duplicate-label check.
+    """
+    original = entry.strip()
+    entry = original
+    name = None
+    eq = entry.find("=")
+    scheme = entry.find("://")
+    if eq != -1 and (scheme == -1 or eq < scheme):
+        name, entry = entry[:eq].strip(), entry[eq + 1:].strip()
+        if not name:
+            raise CLIError(
+                f"invalid mirror entry {original!r}: empty label before '='"
+            )
     read_only = False
     if entry.endswith(":ro"):
         read_only = True
-        entry = entry[: -len(":ro")]
-    name = None
-    if "=" in entry:
-        name, entry = entry.split("=", 1)
-        name = name.strip()
+        entry = entry[: -len(":ro")].strip()
     if not entry:
-        raise CLIError(f"invalid mirror entry {entry!r}")
-    return name, entry.strip(), read_only
+        raise CLIError(
+            f"invalid mirror entry {original!r}: no path or URL"
+        )
+    return name, entry, read_only
+
+
+def _is_url(path: str) -> bool:
+    return path.startswith(("http://", "https://"))
+
+
+def _mirror_label(path: str) -> str:
+    """A human label for an unnamed mirror: directory basename for
+    paths, ``host:port[/last-segment]`` for URLs."""
+    if _is_url(path):
+        from urllib.parse import urlsplit
+
+        parsed = urlsplit(path)
+        tail = parsed.path.strip("/").rsplit("/", 1)[-1]
+        return tail or parsed.netloc or path
+    return Path(path).name or str(path)
 
 
 def _open_caches(args) -> list:
@@ -162,12 +197,22 @@ def _open_caches(args) -> list:
                     "must be unique)"
                 )
             explicit.add(name)
-        label = name or Path(path).name or str(path)
+        label = name or _mirror_label(path)
         base, n = label, 2
         while label in used:  # keep MirrorGroup labels unique
             label, n = f"{base}-{n}", n + 1
         used.add(label)
-        backend = LocalFSBackend(Path(path), name=label, writable=not read_only)
+        if _is_url(path):
+            from .buildcache.httpbackend import HTTPBackend
+
+            try:
+                backend = HTTPBackend(path, name=label, writable=not read_only)
+            except BuildCacheError as e:
+                raise CLIError(f"invalid mirror URL {path}: {e}")
+        else:
+            backend = LocalFSBackend(
+                Path(path), name=label, writable=not read_only
+            )
         try:
             caches.append(BuildCache(backend=backend, name=label))
         except BuildCacheError as e:
@@ -282,7 +327,11 @@ def cmd_find(args) -> int:
 
 
 def cmd_buildcache(args) -> int:
-    """`repro buildcache create|list`: push installed specs / show a cache."""
+    """`repro buildcache create|list|serve`: push/show/serve a cache."""
+    if args.action == "serve":
+        return _cmd_buildcache_serve(args)
+    if not args.cache:
+        raise CLIError(f"buildcache {args.action} needs --cache DIR")
     repo = _load_repo(args.repo)
     cache = BuildCache(Path(args.cache))
     if args.action == "list":
@@ -298,6 +347,35 @@ def cmd_buildcache(args) -> int:
             pushed += 1
     cache.save_index()
     print(f"pushed {pushed} spec(s); cache now holds {len(cache)}")
+    return 0
+
+
+def _cmd_buildcache_serve(args) -> int:
+    """`repro buildcache serve DIR`: run the HTTP cache server until
+    interrupted (the networked half of an ``http://`` mirror)."""
+    from .buildcache.server import BuildCacheHTTPServer
+
+    directory = (args.specs[0] if args.specs else None) or args.cache
+    if not directory:
+        raise CLIError("buildcache serve needs a cache directory "
+                       "(repro buildcache serve DIR)")
+    path = Path(directory)
+    if not path.is_dir():
+        raise CLIError(f"buildcache {path} does not exist")
+    try:
+        server = BuildCacheHTTPServer(
+            path, host=args.host, port=args.port, read_only=args.read_only
+        )
+    except OSError as e:
+        raise CLIError(f"cannot bind {args.host}:{args.port}: {e}")
+    mode = " (read-only)" if args.read_only else ""
+    print(f"serving buildcache {path} at {server.url}{mode}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -568,9 +646,10 @@ def cmd_suggest_splices(args) -> int:
 
 def _add_mirror_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--mirror", action="append", metavar="[NAME=]DIR[:ro]",
-        help="additional binary mirror, consulted after --cache in "
-             "first-hit-wins order (repeatable; ':ro' = read-only)",
+        "--mirror", action="append", metavar="[NAME=]DIR|URL[:ro]",
+        help="additional binary mirror — a directory or an "
+             "http(s):// buildcache server — consulted after --cache "
+             "in first-hit-wins order (repeatable; ':ro' = read-only)",
     )
     parser.add_argument(
         "--mirrors-file", metavar="FILE",
@@ -659,10 +738,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cache = sub.add_parser("buildcache", help="manage a binary cache",
                              parents=[obs])
-    p_cache.add_argument("action", choices=["create", "list"])
-    p_cache.add_argument("specs", nargs="*")
-    p_cache.add_argument("--cache", required=True)
+    p_cache.add_argument("action", choices=["create", "list", "serve"])
+    p_cache.add_argument(
+        "specs", nargs="*", metavar="SPEC|DIR",
+        help="specs to push (create) or the cache directory to serve",
+    )
+    p_cache.add_argument("--cache", help="cache directory (create/list)")
     p_cache.add_argument("--store", help="store to read binaries from")
+    p_cache.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for serve (default 127.0.0.1)",
+    )
+    p_cache.add_argument(
+        "--port", type=int, default=8080,
+        help="port for serve (default 8080; 0 = ephemeral)",
+    )
+    p_cache.add_argument(
+        "--read-only", action="store_true",
+        help="serve rejects every mutating request with 403",
+    )
     p_cache.set_defaults(func=cmd_buildcache)
 
     p_uninstall = sub.add_parser("uninstall", help="remove an installed spec",

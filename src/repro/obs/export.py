@@ -50,7 +50,12 @@ __all__ = [
 #: the new abi.*/cache.*/store.* checkers, and per-code
 #: analysis.diagnostics.code.<CODE> counters alongside the existing
 #: per-severity analysis.diagnostics.<severity> counters)
-SCHEMA_VERSION = 8
+#: (9: networked cache pair — buildcache.http_request/http_publish
+#: spans and buildcache.http_{requests,304s,range_bytes_saved,
+#: pool_reuse} client counters plus buildcache.http_server_{requests,
+#: 304s,range_requests} server counters added with HTTPBackend +
+#: `repro buildcache serve`)
+SCHEMA_VERSION = 9
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict:

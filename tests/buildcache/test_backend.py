@@ -1,5 +1,10 @@
 """Storage-backend tests: durable writes, atomic publish, fault simulation."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.buildcache import (
@@ -188,3 +193,35 @@ class TestSimulatedRemoteBackend:
         start = time.monotonic()
         sim.get("k")
         assert time.monotonic() - start >= 0.01
+
+
+class TestAppendDurability:
+    def test_first_append_survives_hard_process_kill(self, tmp_path):
+        """The journal-creation durability gap: ``append_line`` fsyncs
+        the file, but when the append *creates* the journal the parent
+        directory's entry table must be fsynced too — otherwise a crash
+        right after the first push can lose the whole file.  Kill the
+        appending process with ``os._exit`` (no atexit, no interpreter
+        shutdown, nothing) and the line must still be there."""
+        script = f"""
+import os
+from repro.buildcache import LocalFSBackend
+
+backend = LocalFSBackend({str(tmp_path / "cache")!r})
+backend.append_line("journal.jsonl", b'{{"op": "push"}}\\n')
+os._exit(9)  # die immediately after the *creating* append
+"""
+        env = dict(os.environ)
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = f"{src_dir}:{env.get('PYTHONPATH', '')}"
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 9, proc.stderr
+        journal = tmp_path / "cache" / "journal.jsonl"
+        assert journal.exists()
+        assert journal.read_bytes() == b'{"op": "push"}\n'
+        # and the reopened backend reads it back through the contract
+        assert LocalFSBackend(tmp_path / "cache").get("journal.jsonl") == (
+            b'{"op": "push"}\n'
+        )

@@ -105,6 +105,20 @@ class TestSummaryStructures:
         with pytest.raises(Exception, match="cannot enumerate"):
             summary.hashes()
 
+    def test_unknown_document_key_is_rejected(self):
+        # a corrupted key name (e.g. one flipped byte in "prefix_len")
+        # must not silently fall back to a default that may equal the
+        # real value — the mutation property in test_storage_audit
+        # found exactly that gap
+        doc = SortedHashSummary({fake_hash(1)}).to_document()
+        doc[" refix_len"] = doc.pop("prefix_len")
+        with pytest.raises(Exception, match="unknown key"):
+            summary_from_document(doc)
+        bloom = BloomSummary({fake_hash(1)}).to_document()
+        bloom["coun t"] = bloom.pop("count")
+        with pytest.raises(Exception, match="unknown key"):
+            summary_from_document(bloom)
+
     def test_bloom_env_knobs_are_honoured(self, monkeypatch):
         monkeypatch.setenv("REPRO_BUILDCACHE_SUMMARY", "bloom")
         monkeypatch.setenv("REPRO_BUILDCACHE_SUMMARY_BITS", "16")
